@@ -1,0 +1,152 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - the register-model SIMD sort vs the scalar packed baseline
+//     (what does simulating lane parallelism buy/cost?);
+//   - merge-sort vs radix-sort kernels under the same massage plan
+//     (the paper's Section 7 future work);
+//   - serial vs goroutine-parallel code massaging;
+//   - ByteSlice scans vs a naive column scan.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/byteslice"
+	"repro/internal/column"
+	"repro/internal/massage"
+	"repro/internal/mcsort"
+	"repro/internal/mergesort"
+	"repro/internal/plan"
+)
+
+func randKeys64(n, bits int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	mask := column.Mask(bits)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() & mask
+	}
+	return keys
+}
+
+// BenchmarkAblationRegisterSort32 is the register-model SIMD merge-sort.
+func BenchmarkAblationRegisterSort32(b *testing.B) {
+	const n = 1 << 16
+	src := randKeys64(n, 32, 1)
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, src)
+		for j := range oids {
+			oids[j] = uint32(j)
+		}
+		mergesort.Sort(32, keys, oids)
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melem/s")
+}
+
+// BenchmarkAblationScalarPackedSort32 is the scalar packed baseline: the
+// fastest plain-Go sort of the same (key, oid) pairs. The gap between
+// this and the register model is the price of simulating SIMD in
+// software; on real AVX2 the register kernels would win instead.
+func BenchmarkAblationScalarPackedSort32(b *testing.B) {
+	const n = 1 << 16
+	src64 := randKeys64(n, 32, 1)
+	src := make([]uint32, n)
+	for i, k := range src64 {
+		src[i] = uint32(k)
+	}
+	keys := make([]uint32, n)
+	oids := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, src)
+		for j := range oids {
+			oids[j] = uint32(j)
+		}
+		mergesort.SortPacked(keys, oids)
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melem/s")
+}
+
+// BenchmarkAblationMCSMerge and ...MCSRadix run the same stitched
+// two-column sort with the two kernels.
+func benchMCSKernel(b *testing.B, useRadix bool) {
+	const n = 1 << 17
+	inputs := []massage.Input{
+		{Codes: randKeys64(n, 10, 2), Width: 10},
+		{Codes: randKeys64(n, 17, 3), Width: 17},
+	}
+	p := plan.Plan{Rounds: []plan.Round{{Width: 27, Bank: 32}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcsort.Execute(inputs, p, mcsort.Options{UseRadix: useRadix}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtuples/s")
+}
+
+func BenchmarkAblationMCSMerge(b *testing.B) { benchMCSKernel(b, false) }
+func BenchmarkAblationMCSRadix(b *testing.B) { benchMCSKernel(b, true) }
+
+// BenchmarkAblationMassageSerial/Parallel measure the four-instruction
+// program with and without row partitioning across goroutines.
+func benchMassage(b *testing.B, workers int) {
+	const n = 1 << 20
+	inputs := []massage.Input{
+		{Codes: randKeys64(n, 17, 4), Width: 17},
+		{Codes: randKeys64(n, 33, 5), Width: 33},
+	}
+	prog, err := massage.Compile(inputs, []int{18, 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers > 1 {
+			prog.RunParallel(inputs, n, workers)
+		} else {
+			prog.Run(inputs, n)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}
+
+func BenchmarkAblationMassageSerial(b *testing.B)    { benchMassage(b, 1) }
+func BenchmarkAblationMassageParallel4(b *testing.B) { benchMassage(b, 4) }
+
+// BenchmarkAblationByteSliceScan vs NaiveScan: the early-stopping
+// byte-plane scan against a plain predicate loop over the codes.
+func BenchmarkAblationByteSliceScan(b *testing.B) {
+	const n = 1 << 20
+	col := column.FromCodes("c", 17, randKeys64(n, 17, 6))
+	bs := byteslice.FromColumn(col)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bs.Scan(byteslice.LT, 1<<13); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}
+
+func BenchmarkAblationNaiveScan(b *testing.B) {
+	const n = 1 << 20
+	codes := randKeys64(n, 17, 6)
+	out := make([]uint64, (n+63)/64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := range out {
+			out[w] = 0
+		}
+		for r, v := range codes {
+			if v < 1<<13 {
+				out[r>>6] |= 1 << (uint(r) & 63)
+			}
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}

@@ -1,0 +1,47 @@
+// Command calibrate measures this machine's cost-model constants
+// (Section 4 of the paper: C_cache, C_mem, C_massage, C_scan and the
+// per-bank sorting constants, solved from controlled runs) and prints
+// or saves them as a JSON profile for reuse by mcsbench and the library.
+//
+//	calibrate                 # print the profile
+//	calibrate -o profile.json # save it; later: mcsbench -calibration profile.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "", "write the profile to this path")
+		ncal = flag.Int("ncal", 0, "calibration array size (default 2^18)")
+	)
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "calibrating (controlled runs for lookup, massage, scan, and per-bank sorts)...")
+	start := time.Now()
+	m := costmodel.Calibrate(costmodel.CalOptions{NCal: *ncal})
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		if err := m.Save(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile written to %s\n", *out)
+		return
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -1,0 +1,68 @@
+// Command mcsbench regenerates the paper's tables and figures: it runs
+// any experiment by id and prints the same rows/series the paper
+// reports.
+//
+//	mcsbench -exp fig3a                 # one experiment
+//	mcsbench -exp all -quick            # the whole evaluation, reduced
+//	mcsbench -exp fig8 -tablerows 200000
+//
+// Experiment ids: fig1, fig3a, fig3b, fig3c, fig4a, fig4b, fig5, fig7,
+// tab1, tab2, fig8, fig9, fig10, fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id, or 'all'")
+		rows      = flag.Int("rows", 1<<18, "synthetic rows N (paper: 2^24)")
+		tableRows = flag.Int("tablerows", 60_000, "WideTable rows per workload")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		quick     = flag.Bool("quick", false, "reduced populations and scales")
+		calPath   = flag.String("calibration", "", "load a saved calibration profile instead of calibrating")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Rows:      *rows,
+		TableRows: *tableRows,
+		Seed:      *seed,
+		Quick:     *quick,
+	}
+	if *calPath != "" {
+		m, err := costmodel.Load(*calPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Model = m
+	} else {
+		fmt.Fprintln(os.Stderr, "mcsbench: calibrating the cost model (a few seconds; use -calibration to reuse a profile)...")
+		start := time.Now()
+		cfg.Model = costmodel.Calibrate(costmodel.CalOptions{})
+		fmt.Fprintf(os.Stderr, "mcsbench: calibration done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.All
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,83 @@
+// Package colstore is the public column-store API of the library: order-
+// preserving dictionary encoding, WideTables of encoded columns, the
+// ByteSlice scan/lookup layout, and a declarative query runner with the
+// paper's physical operators (ByteSlice-Scan, ByteSlice-Lookup,
+// Code-Massage, SIMD-Sort, aggregation, window RANK).
+//
+// A typical flow: encode native values into Columns, assemble a Table,
+// describe a query (filters, sort clause, aggregate or window) and Run
+// it — with code massaging on or off to compare.
+package colstore
+
+import (
+	"repro/internal/byteslice"
+	"repro/internal/column"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/table"
+)
+
+// Column is a fixed-width encoded column.
+type Column = column.Column
+
+// IntDict and StringDict decode codes back to native values.
+type (
+	IntDict    = column.IntDict
+	StringDict = column.StringDict
+)
+
+// Encoders: order-preserving dictionary encodings for the native types.
+var (
+	EncodeInts     = column.EncodeInts
+	EncodeStrings  = column.EncodeStrings
+	EncodeDecimals = column.EncodeDecimals
+	FromCodes      = column.FromCodes
+)
+
+// Table is a WideTable of equal-length encoded columns.
+type Table = table.Table
+
+// NewTable creates an empty table expecting n rows.
+func NewTable(name string, n int) *Table { return table.New(name, n) }
+
+// Predicate operators for filters.
+type Op = byteslice.Op
+
+// Comparison operators.
+const (
+	LT  = byteslice.LT
+	LE  = byteslice.LE
+	GT  = byteslice.GT
+	GE  = byteslice.GE
+	EQ  = byteslice.EQ
+	NEQ = byteslice.NEQ
+)
+
+// Query building blocks.
+type (
+	Query   = engine.Query
+	SortCol = engine.SortCol
+	Filter  = engine.Filter
+	Agg     = engine.Agg
+	Window  = engine.Window
+	Options = engine.Options
+	Result  = engine.Result
+	Timing  = engine.Timing
+)
+
+// Aggregate kinds.
+const (
+	Count = engine.Count
+	Sum   = engine.Sum
+	Avg   = engine.Avg
+)
+
+// Run executes a query against a table. Options.Massaging toggles code
+// massaging; Options.Model supplies a calibrated cost model (defaulting
+// to a process-wide calibration on first use).
+func Run(t *Table, q Query, opts Options) (*Result, error) {
+	return engine.Run(t, q, opts)
+}
+
+// DefaultModel returns the process-wide calibrated cost model.
+func DefaultModel() *costmodel.Model { return costmodel.Default() }

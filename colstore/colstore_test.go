@@ -1,0 +1,99 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeAndQueryEndToEnd(t *testing.T) {
+	const n = 4000
+	rng := rand.New(rand.NewSource(1))
+
+	// Encode native values through the public encoders.
+	regions := make([]string, n)
+	amounts := make([]int64, n)
+	names := []string{"apac", "emea", "latam", "na"}
+	for i := 0; i < n; i++ {
+		regions[i] = names[rng.Intn(len(names))]
+		amounts[i] = int64(rng.Intn(1000))
+	}
+	regionCol, regionDict := EncodeStrings("region", regions)
+	amountCol, _ := EncodeInts("amount", amounts)
+
+	tbl := NewTable("sales", n)
+	tbl.MustAdd(regionCol)
+	tbl.MustAdd(amountCol)
+
+	q := Query{
+		ID:       "sum-by-region",
+		Kind:     1, // GroupBy
+		SortCols: []SortCol{{Name: "region"}},
+		Agg:      &Agg{Kind: Sum, Col: "amount"},
+	}
+	res, err := Run(tbl, q, Options{Massaging: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GroupKeys) != len(names) {
+		t.Fatalf("groups = %d, want %d", len(res.GroupKeys), len(names))
+	}
+	// Aggregates must match a map-computed reference over *codes*.
+	want := map[uint64]uint64{}
+	for i := 0; i < n; i++ {
+		want[regionCol.Codes[i]] += amountCol.Codes[i]
+	}
+	for g, keys := range res.GroupKeys {
+		if want[keys[0]] != res.Aggregates[g] {
+			t.Errorf("region %s: sum %d, want %d",
+				regionDict.Decode(keys[0]), res.Aggregates[g], want[keys[0]])
+		}
+	}
+}
+
+func TestFilterOpsExported(t *testing.T) {
+	// The op constants must round-trip through the engine.
+	const n = 800
+	tbl := NewTable("t", n)
+	codes := make([]uint64, n)
+	for i := range codes {
+		codes[i] = uint64(i % 100)
+	}
+	tbl.MustAdd(FromCodes("v", 7, codes))
+	tbl.MustAdd(FromCodes("k", 7, codes))
+
+	for _, c := range []struct {
+		op   Op
+		k    uint64
+		want int
+	}{
+		{LT, 50, 400},
+		{LE, 49, 400},
+		{GE, 50, 400},
+		{GT, 49, 400},
+		{EQ, 7, 8},
+		{NEQ, 7, 792},
+	} {
+		q := Query{
+			ID:       "f",
+			SortCols: []SortCol{{Name: "k"}},
+			Filters:  []Filter{{Col: "v", Op: c.op, Const: c.k}},
+		}
+		res, err := Run(tbl, q, Options{Massaging: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows != c.want {
+			t.Errorf("op %v const %d: rows %d, want %d", c.op, c.k, res.Rows, c.want)
+		}
+	}
+}
+
+func TestDecimalEncoding(t *testing.T) {
+	col, dict := EncodeDecimals("price", []float64{19.99, 5.00, 19.99}, 2)
+	if col.Codes[0] != col.Codes[2] {
+		t.Error("equal prices must share a code")
+	}
+	if dict.Decode(col.Codes[0]) != 1999 {
+		t.Errorf("decoded %d, want 1999", dict.Decode(col.Codes[0]))
+	}
+}

@@ -1,0 +1,215 @@
+// Package byteslice implements the ByteSlice storage layout (Feng et
+// al., reference [14] of the paper): a w-bit code column is chopped into
+// ⌈w/8⌉ byte planes, most significant byte first (codes are left-aligned
+// by padding the last plane's low bits with zeros). Scans evaluate a
+// predicate one plane at a time over eight codes per word, stopping
+// early for the rows whose outcome is already decided; lookups stitch a
+// code's bytes back together. These are the paper's fast-scan and
+// fast-lookup substrate (Figure 1's non-sorting time).
+package byteslice
+
+import (
+	"fmt"
+
+	"repro/internal/column"
+	"repro/internal/simd"
+)
+
+// BS is a ByteSlice-encoded column.
+type BS struct {
+	Width  int // code width in bits
+	N      int
+	planes [][]byte // ⌈Width/8⌉ planes, most significant first, padded to 8
+	shift  uint     // left-align shift: planes store code << shift
+}
+
+// FromColumn converts an encoded column to the ByteSlice layout.
+func FromColumn(c *column.Column) *BS {
+	nPlanes := (c.Width + 7) / 8
+	bs := &BS{
+		Width:  c.Width,
+		N:      len(c.Codes),
+		planes: make([][]byte, nPlanes),
+		shift:  uint(nPlanes*8 - c.Width),
+	}
+	padded := (bs.N + 7) &^ 7
+	for p := range bs.planes {
+		bs.planes[p] = make([]byte, padded)
+	}
+	for i, code := range c.Codes {
+		v := code << bs.shift
+		for p := 0; p < nPlanes; p++ {
+			bs.planes[p][i] = byte(v >> uint(8*(nPlanes-1-p)))
+		}
+	}
+	return bs
+}
+
+// Lookup reconstructs the code at row i by stitching its bytes.
+func (bs *BS) Lookup(i int) uint64 {
+	var v uint64
+	for p := range bs.planes {
+		v = v<<8 | uint64(bs.planes[p][i])
+	}
+	return v >> bs.shift
+}
+
+// Op is a comparison predicate operator.
+type Op int
+
+const (
+	LT Op = iota
+	LE
+	GT
+	GE
+	EQ
+	NEQ
+)
+
+func (o Op) String() string {
+	switch o {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return "<>"
+	}
+}
+
+// BitVector is a result bit vector: bit i set means row i satisfies the
+// predicate.
+type BitVector struct {
+	Words []uint64
+	N     int
+}
+
+// Get reports whether row i is set.
+func (bv *BitVector) Get(i int) bool {
+	return bv.Words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set rows.
+func (bv *BitVector) Count() int {
+	c := 0
+	for _, w := range bv.Words {
+		c += popcount(w)
+	}
+	return c
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Rows converts the bit vector to a list of row numbers (the record
+// numbers passed to lookups).
+func (bv *BitVector) Rows() []uint32 {
+	out := make([]uint32, 0, bv.Count())
+	for i := 0; i < bv.N; i++ {
+		if bv.Get(i) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// And intersects two bit vectors in place (bv &= other).
+func (bv *BitVector) And(other *BitVector) {
+	for i := range bv.Words {
+		bv.Words[i] &= other.Words[i]
+	}
+}
+
+// Scan evaluates `code op constant` over the whole column and returns
+// the result bit vector. The constant is a code in the column's domain.
+// Eight codes are processed per word per plane; planes below the first
+// deciding byte are skipped for words whose rows are all decided —
+// ByteSlice's early stopping.
+func (bs *BS) Scan(op Op, constant uint64) (*BitVector, error) {
+	if constant&^column.Mask(bs.Width) != 0 {
+		return nil, fmt.Errorf("byteslice: constant %d exceeds %d-bit domain", constant, bs.Width)
+	}
+	nPlanes := len(bs.planes)
+	cShift := constant << bs.shift
+	constBytes := make([]uint64, nPlanes) // broadcast constant per plane
+	for p := 0; p < nPlanes; p++ {
+		constBytes[p] = simd.Broadcast8(byte(cShift >> uint(8*(nPlanes-1-p))))
+	}
+
+	bv := &BitVector{Words: make([]uint64, (bs.N+63)/64), N: bs.N}
+	padded := (bs.N + 7) &^ 7
+	for base := 0; base < padded; base += 8 {
+		var lt, gt uint64 // per-lane byte masks, sticky across planes
+		eq := ^uint64(0)  // lanes still undecided (equal so far)
+		for p := 0; p < nPlanes; p++ {
+			w := loadWord(bs.planes[p], base)
+			geM := simd.GE8(w, constBytes[p])
+			eqM := simd.EQ8(w, constBytes[p])
+			lt |= eq & ^geM
+			gt |= eq & (geM &^ eqM)
+			eq &= eqM
+			if eq == 0 {
+				break // early stop: every lane decided
+			}
+		}
+		var res uint64
+		switch op {
+		case LT:
+			res = lt
+		case LE:
+			res = lt | eq
+		case GT:
+			res = gt
+		case GE:
+			res = gt | eq
+		case EQ:
+			res = eq
+		case NEQ:
+			res = lt | gt
+		}
+		// Compact the per-lane byte masks into result bits.
+		for lane := 0; lane < 8; lane++ {
+			row := base + lane
+			if row >= bs.N {
+				break
+			}
+			if res&(0x80<<(8*uint(lane))) != 0 {
+				bv.Words[row>>6] |= 1 << (uint(row) & 63)
+			}
+		}
+	}
+	return bv, nil
+}
+
+// ScanBetween evaluates lo <= code <= hi with two plane walks.
+func (bs *BS) ScanBetween(lo, hi uint64) (*BitVector, error) {
+	a, err := bs.Scan(GE, lo)
+	if err != nil {
+		return nil, err
+	}
+	b, err := bs.Scan(LE, hi)
+	if err != nil {
+		return nil, err
+	}
+	a.And(b)
+	return a, nil
+}
+
+// loadWord loads 8 plane bytes as one word (lane i = plane[base+i]).
+func loadWord(plane []byte, base int) uint64 {
+	b := plane[base : base+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,139 @@
+package column
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 12, 12}, {1<<12 + 1, 13},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.n); got != c.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	// The paper's examples: size(15)=2 (int16), size(17)=4 (int32).
+	cases := []struct{ w, want int }{
+		{1, 1}, {8, 1}, {9, 2}, {15, 2}, {16, 2}, {17, 4},
+		{32, 4}, {33, 8}, {64, 8},
+	}
+	for _, c := range cases {
+		if got := Size(c.w); got != c.want {
+			t.Errorf("Size(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	// Footnote 5: complement of 5 = (101)₂ in 3 bits is (010)₂ = 2.
+	if got := Complement(5, 3); got != 2 {
+		t.Errorf("Complement(5,3) = %d, want 2", got)
+	}
+	if got := Complement(0, 4); got != 15 {
+		t.Errorf("Complement(0,4) = %d, want 15", got)
+	}
+	// Involution and order reversal.
+	f := func(a, b uint16) bool {
+		x, y := uint64(a), uint64(b)
+		if Complement(Complement(x, 16), 16) != x {
+			return false
+		}
+		return (x < y) == (Complement(x, 16) > Complement(y, 16))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeIntsOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000) - 500
+	}
+	col, dict := EncodeInts("v", vals)
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dict.Decode(col.Codes[i]) != vals[i] {
+			t.Fatalf("row %d: decode mismatch", i)
+		}
+	}
+	for i := 1; i < len(vals); i++ {
+		a, b := vals[i-1], vals[i]
+		ca, cb := col.Codes[i-1], col.Codes[i]
+		if (a < b) != (ca < cb) || (a == b) != (ca == cb) {
+			t.Fatalf("order not preserved between rows %d and %d", i-1, i)
+		}
+	}
+	// Width must match the distinct count.
+	distinct := map[int64]bool{}
+	for _, v := range vals {
+		distinct[v] = true
+	}
+	if want := WidthFor(len(distinct)); col.Width != want {
+		t.Errorf("width = %d, want %d", col.Width, want)
+	}
+}
+
+func TestEncodeStringsOrderPreserving(t *testing.T) {
+	vals := []string{"pear", "apple", "fig", "apple", "banana", "fig", "apple"}
+	col, dict := EncodeStrings("s", vals)
+	for i := range vals {
+		if dict.Decode(col.Codes[i]) != vals[i] {
+			t.Fatalf("row %d: decode mismatch", i)
+		}
+	}
+	for i := range vals {
+		for j := range vals {
+			if (vals[i] < vals[j]) != (col.Codes[i] < col.Codes[j]) {
+				t.Fatalf("order not preserved for %q vs %q", vals[i], vals[j])
+			}
+		}
+	}
+	if !sort.StringsAreSorted(dict.Values) {
+		t.Error("dictionary not sorted")
+	}
+}
+
+func TestEncodeDecimals(t *testing.T) {
+	vals := []float64{1.25, 0.10, 99.99, 0.10, 50.00}
+	col, dict := EncodeDecimals("d", vals, 2)
+	want := []int64{125, 10, 9999, 10, 5000}
+	for i := range vals {
+		if dict.Decode(col.Codes[i]) != want[i] {
+			t.Fatalf("row %d: decoded %d, want %d", i, dict.Decode(col.Codes[i]), want[i])
+		}
+	}
+	if col.Codes[1] != col.Codes[3] {
+		t.Error("equal values must share a code")
+	}
+}
+
+func TestValidateRejectsWideCodes(t *testing.T) {
+	col := FromCodes("bad", 3, []uint64{7, 8})
+	if err := col.Validate(); err == nil {
+		t.Error("expected validation error for 8 in a 3-bit column")
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(64) != ^uint64(0) {
+		t.Error("Mask(64) must be all ones")
+	}
+	if Mask(1) != 1 {
+		t.Error("Mask(1) must be 1")
+	}
+	if Mask(17) != (1<<17)-1 {
+		t.Error("Mask(17) wrong")
+	}
+}

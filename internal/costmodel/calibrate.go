@@ -1,0 +1,388 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/column"
+	"repro/internal/hw"
+	"repro/internal/massage"
+	"repro/internal/mergesort"
+)
+
+// CalOptions tunes the calibration runs.
+type CalOptions struct {
+	// NCal is the array size of the controlled experiments. The paper
+	// uses 100× the LLC; we default to a size that keeps calibration
+	// under a few seconds and scale the lookup experiment separately.
+	NCal int
+	// Seed makes calibration deterministic for tests.
+	Seed int64
+}
+
+func (o *CalOptions) defaults() {
+	if o.NCal == 0 {
+		o.NCal = 1 << 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 20160626 // SIGMOD'16 opening day
+	}
+}
+
+// Calibrate measures the machine and returns a ready-to-use model. The
+// process follows Section 4: each constant (or identifiable group of
+// constants) is solved from controlled runs, the sort constants as a
+// least-squares linear system over runs with varying group counts.
+func Calibrate(opts CalOptions) *Model {
+	opts.defaults()
+	caches := hw.Detect()
+	m := &Model{
+		L2:     caches.L2,
+		LLC:    caches.LLC,
+		Fanout: mergesort.DefaultFanout,
+		C: Constants{
+			Bank: make(map[int]BankConstants),
+		},
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	m.C.CScan = calibrateScan(rng, opts.NCal)
+	m.C.CCache, m.C.CMem = calibrateLookup(rng, opts.NCal, caches.LLC)
+	m.C.CMassage = calibrateMassage(rng, opts.NCal)
+	for _, bank := range mergesort.Banks {
+		m.C.Bank[bank] = calibrateBank(rng, opts.NCal, bank, m)
+	}
+	m.C.SmallCall, m.C.SmallElem, m.C.SmallQuad = calibrateSmall(rng, opts.NCal)
+	return m
+}
+
+// calibrateSmall measures the small-sort regime: segmented sorts whose
+// groups fall below the insertion threshold never enter the merge-sort
+// phases, so their cost is a per-call constant plus linear and quadratic
+// per-element terms, fitted from runs at several group sizes.
+func calibrateSmall(rng *rand.Rand, n int) (call, elem, quad float64) {
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+	var rows [][3]float64
+	var ts []float64
+	for _, size := range []int{2, 3, 5, 8, 12, 16, 20} {
+		for i := range keys {
+			keys[i] = rng.Uint64() & ((1 << 20) - 1)
+			oids[i] = uint32(i)
+		}
+		g := n / size
+		start := time.Now()
+		for s := 0; s < g; s++ {
+			lo := s * size
+			mergesort.Sort(32, keys[lo:lo+size], oids[lo:lo+size])
+		}
+		t := float64(time.Since(start).Nanoseconds()) / float64(g)
+		rows = append(rows, [3]float64{1, float64(size), float64(size * size)})
+		ts = append(ts, t)
+	}
+	sol := leastSquares3(rows, ts)
+	call, elem, quad = sol[0], sol[1], sol[2]
+	if call < 0 {
+		call = 0
+	}
+	if elem < 0 {
+		elem = 0
+	}
+	if quad < 0 {
+		quad = 0
+	}
+	if call == 0 && elem == 0 && quad == 0 {
+		elem = 20 // degenerate measurement; any small positive slope works
+	}
+	return call, elem, quad
+}
+
+// calibrateScan measures C_scan: a sequential pass over sorted codes that
+// writes group boundaries.
+func calibrateScan(rng *rand.Rand, n int) float64 {
+	codes := make([]uint64, n)
+	for i := range codes {
+		codes[i] = uint64(i / 7) // sorted with ties, like real scan input
+	}
+	bounds := make([]int32, 0, n/7+2)
+	start := time.Now()
+	const reps = 3
+	for r := 0; r < reps; r++ {
+		bounds = bounds[:0]
+		bounds = append(bounds, 0)
+		for i := 1; i < n; i++ {
+			if codes[i] != codes[i-1] {
+				bounds = append(bounds, int32(i))
+			}
+		}
+		bounds = append(bounds, int32(n))
+	}
+	_ = bounds
+	return float64(time.Since(start).Nanoseconds()) / float64(n*reps)
+}
+
+// calibrateLookup measures C_cache and C_mem by running the lookup
+// procedure at two target cache-hit ratios and solving the 2×2 system of
+// Equation 3. On machines whose LLC exceeds what we can afford to
+// exceed, both runs are fully cached and the system is singular; we then
+// fall back to C_cache = measured and C_mem = 4×C_cache, which leaves
+// the model exact in the regime the experiments actually run in.
+func calibrateLookup(rng *rand.Rand, nBase int, llc int64) (cCache, cMem float64) {
+	const w = 32 // calibration column width
+	sz := int64(column.Size(w))
+
+	measure := func(n int) float64 {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = rng.Uint64() & column.Mask(w)
+		}
+		perm := rng.Perm(n)
+		out := make([]uint64, n)
+		start := time.Now()
+		for i, p := range perm {
+			out[i] = codes[p]
+		}
+		el := float64(time.Since(start).Nanoseconds()) / float64(n)
+		_ = out
+		return el
+	}
+
+	hitRatio := func(n int) float64 {
+		h := float64(llc) / (float64(n) * float64(sz))
+		if h > 1 {
+			return 1
+		}
+		return h
+	}
+
+	// Target hit ratios 0.9 and 0.1, bounded by an affordable footprint.
+	n1 := int(float64(llc) / 0.9 / float64(sz))
+	n2 := int(float64(llc) / 0.1 / float64(sz))
+	const maxN = 1 << 23 // 8 Mi codes ≈ 32 MiB: the affordability bound
+	if n1 > maxN {
+		n1 = maxN
+	}
+	if n2 > maxN {
+		n2 = maxN
+	}
+	if n1 < nBase {
+		n1 = nBase
+	}
+	if n2 <= n1 {
+		n2 = 2 * n1
+	}
+	t1, t2 := measure(n1), measure(n2)
+	h1, h2 := hitRatio(n1), hitRatio(n2)
+	det := h1*(1-h2) - h2*(1-h1)
+	if det < 0.05 && det > -0.05 {
+		// Singular: both runs effectively at the same hit ratio.
+		c := (t1 + t2) / 2
+		return c, 4 * c
+	}
+	// Solve [h 1-h][cCache cMem]ᵀ = t for the two runs.
+	cCache = (t1*(1-h2) - t2*(1-h1)) / det
+	cMem = (h1*t2 - h2*t1) / det
+	if cCache <= 0 {
+		cCache = (t1 + t2) / 2
+	}
+	if cMem <= cCache {
+		cMem = 4 * cCache
+	}
+	return cCache, cMem
+}
+
+// calibrateMassage measures C_massage (per FIP per row) on the massage
+// plans of the paper's Examples Ex1–Ex4.
+func calibrateMassage(rng *rand.Rand, n int) float64 {
+	type cal struct {
+		in  []int
+		out []int
+	}
+	cases := []cal{
+		{[]int{10, 17}, []int{27}},         // Ex1 stitch
+		{[]int{15, 31}, []int{46}},         // Ex2 stitch
+		{[]int{17, 33}, []int{18, 32}},     // Ex3 optimal
+		{[]int{48, 48}, []int{32, 32, 32}}, // Ex4 three rounds
+	}
+	var totalNS, totalWork float64
+	for _, c := range cases {
+		inputs := make([]massage.Input, len(c.in))
+		for i, w := range c.in {
+			codes := make([]uint64, n)
+			for r := range codes {
+				codes[r] = rng.Uint64() & column.Mask(w)
+			}
+			inputs[i] = massage.Input{Codes: codes, Width: w}
+		}
+		prog, err := massage.Compile(inputs, c.out)
+		if err != nil {
+			panic(fmt.Sprintf("calibrateMassage: %v", err))
+		}
+		start := time.Now()
+		prog.Run(inputs, n)
+		totalNS += float64(time.Since(start).Nanoseconds())
+		totalWork += float64(prog.FIPCount() * n)
+	}
+	return totalNS / totalWork
+}
+
+// calibrateBank solves C_overhead, CLinear and C_out-of-cache for one
+// bank as a least-squares system over segmented sorts with group counts
+// 1, 4, 16, …: T = G·C_overhead + N·CLinear + (Σ n_g·passes(n_g))·C_ooc.
+func calibrateBank(rng *rand.Rand, n, bank int, m *Model) BankConstants {
+	var rows [][3]float64
+	var ts []float64
+
+	runOnce := func(nRun, g int) {
+		mask := column.Mask(bank)
+		keys := make([]uint64, nRun)
+		for i := range keys {
+			keys[i] = rng.Uint64() & mask
+		}
+		oids := make([]uint32, nRun)
+		for i := range oids {
+			oids[i] = uint32(i)
+		}
+		per := nRun / g
+		start := time.Now()
+		for s := 0; s < g; s++ {
+			lo := s * per
+			hi := lo + per
+			if s == g-1 {
+				hi = nRun
+			}
+			mergesort.Sort(bank, keys[lo:hi], oids[lo:hi])
+		}
+		t := float64(time.Since(start).Nanoseconds())
+		passes := m.outOfCachePasses(float64(per), bank)
+		rows = append(rows, [3]float64{float64(g), float64(nRun), float64(nRun) * passes})
+		ts = append(ts, t)
+	}
+
+	for g := 1; g <= n/64; g *= 4 {
+		runOnce(n, g)
+	}
+	// Two runs large enough to exceed half the L2 cache, so the
+	// out-of-cache constant has a non-zero regressor.
+	elemBytes := bank/8 + 4
+	big := int(m.L2) / elemBytes * 2
+	if big < 2*n {
+		big = 2 * n
+	}
+	runOnce(big, 1)
+	runOnce(big*4, 1)
+
+	sol := leastSquares3(rows, ts)
+	bc := BankConstants{COverhead: sol[0], CLinear: sol[1], COutOfCache: sol[2]}
+	// Guard against small negative solutions from measurement noise.
+	if bc.COverhead < 0 {
+		bc.COverhead = 0
+	}
+	if bc.CLinear < 1e-3 {
+		bc.CLinear = 1e-3
+	}
+	if bc.COutOfCache <= 0 {
+		bc.COutOfCache = bc.CLinear * 0.25
+	}
+	return bc
+}
+
+// leastSquares3 solves min ‖A·x − b‖ for three unknowns via the normal
+// equations and Gaussian elimination with partial pivoting.
+func leastSquares3(a [][3]float64, b []float64) [3]float64 {
+	var ata [3][4]float64 // augmented [AᵀA | Aᵀb]
+	for r, row := range a {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			ata[i][3] += row[i] * b[r]
+		}
+	}
+	// Gaussian elimination.
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if abs(ata[r][col]) > abs(ata[piv][col]) {
+				piv = r
+			}
+		}
+		ata[col], ata[piv] = ata[piv], ata[col]
+		if abs(ata[col][col]) < 1e-12 {
+			continue // degenerate direction; leave as zero
+		}
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := ata[r][col] / ata[col][col]
+			for j := col; j < 4; j++ {
+				ata[r][j] -= f * ata[col][j]
+			}
+		}
+	}
+	var x [3]float64
+	for i := 0; i < 3; i++ {
+		if abs(ata[i][i]) > 1e-12 {
+			x[i] = ata[i][3] / ata[i][i]
+		}
+	}
+	return x
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var (
+	defaultModelOnce sync.Once
+	defaultModel     *Model
+)
+
+// Default returns a process-wide calibrated model, calibrating on first
+// use (a few seconds) or loading the profile named by MCS_CALIBRATION if
+// that environment variable points at a saved profile.
+func Default() *Model {
+	defaultModelOnce.Do(func() {
+		if path := os.Getenv("MCS_CALIBRATION"); path != "" {
+			if m, err := Load(path); err == nil {
+				defaultModel = m
+				return
+			}
+		}
+		defaultModel = Calibrate(CalOptions{})
+	})
+	return defaultModel
+}
+
+// Save writes the model (constants and geometry) as JSON.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model saved by Save.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if m.C.Bank == nil || m.Fanout == 0 {
+		return nil, fmt.Errorf("costmodel: profile %s is incomplete", path)
+	}
+	return &m, nil
+}

@@ -1,0 +1,334 @@
+// Package costmodel implements the architecture-aware cost model of the
+// paper (Section 4): closed-form estimates of the four subcosts of
+// multi-column sorting — lookup, massaging, SIMD-sort, and scan — with
+// machine-dependent constants calibrated from controlled experiments and
+// solved as linear systems.
+//
+// All times are in nanoseconds. Constants are "per element" unless noted.
+package costmodel
+
+import (
+	"math"
+
+	"repro/internal/column"
+	"repro/internal/plan"
+)
+
+// BankConstants are the calibrated per-bank sorting constants of
+// Equations 5–8. The in-register (C_sort-network) and in-cache-merge
+// constants both multiply N with no other distinguishing regressor in
+// the calibration runs, so they are calibrated as one identifiable sum,
+// CLinear = C_sort-network + C_in-cache-merge (see DESIGN.md).
+type BankConstants struct {
+	COverhead   float64 // per SIMD-sort call: allocation + setup (C_overhead)
+	CLinear     float64 // per element: in-register + in-cache phases
+	COutOfCache float64 // per element per out-of-cache pass
+}
+
+// Constants holds every calibrated parameter of the model.
+type Constants struct {
+	CCache   float64 // random access latency when the item is cached
+	CMem     float64 // random access latency on a cache miss
+	CMassage float64 // per FIP invocation per row
+	CScan    float64 // per row of group-extraction scan
+	Bank     map[int]BankConstants
+	// Small-sort regime (groups below the insertion threshold bypass
+	// the merge-sort phases entirely): T = SmallCall + SmallElem·n +
+	// SmallQuad·n², bank-independent because the fallback is scalar.
+	SmallCall float64
+	SmallElem float64
+	SmallQuad float64
+}
+
+// SmallSortThreshold mirrors the sorter's insertion-sort cutoff: groups
+// below it never enter the three-phase merge-sort.
+const SmallSortThreshold = 24
+
+// Model is the cost model: calibrated constants plus the cache geometry
+// and merge fanout they were calibrated against.
+type Model struct {
+	C      Constants
+	L2     int64 // M_L2 in bytes
+	LLC    int64 // M_LLC in bytes
+	Fanout int   // out-of-cache merge fanout F
+}
+
+// ColumnStats summarizes one sort column for the estimator.
+type ColumnStats struct {
+	Width int
+	// PrefixDistinct[t] is the number of distinct values of the top t
+	// bits of the column (t = 0..Width; PrefixDistinct[0] = 1).
+	PrefixDistinct []float64
+}
+
+// Stats are the input statistics the model consumes: the row count and
+// per-column prefix-distinct profiles, in sort-clause order.
+type Stats struct {
+	N    int
+	Cols []ColumnStats
+}
+
+// Permute returns the stats with columns reordered by perm: Cols[i] of
+// the result is Cols[perm[i]] of s. Used when searching GROUP BY /
+// PARTITION BY plan spaces, where the column order is free.
+func (s Stats) Permute(perm []int) Stats {
+	cols := make([]ColumnStats, len(perm))
+	for i, p := range perm {
+		cols[i] = s.Cols[p]
+	}
+	return Stats{N: s.N, Cols: cols}
+}
+
+// TotalWidth returns the summed column width W.
+func (s Stats) TotalWidth() int {
+	w := 0
+	for _, c := range s.Cols {
+		w += c.Width
+	}
+	return w
+}
+
+// distinctOfPrefix returns the estimated number of distinct values of
+// the first s bits of the column concatenation, assuming column
+// independence: the product of the fully covered columns' distinct
+// counts and the partially covered column's prefix-distinct count.
+func (s Stats) distinctOfPrefix(bits int) float64 {
+	d := 1.0
+	remaining := bits
+	for _, c := range s.Cols {
+		if remaining <= 0 {
+			break
+		}
+		t := remaining
+		if t > c.Width {
+			t = c.Width
+		}
+		d *= c.PrefixDistinct[t]
+		remaining -= c.Width
+		if d > float64(s.N)*4 {
+			// Far beyond the row count every tuple is distinct anyway;
+			// cap to avoid overflow in the occupancy formulas.
+			return float64(s.N) * 4
+		}
+	}
+	return d
+}
+
+// groupProfile estimates, for tuples grouped by their first `bits` bits:
+// the expected number of groups, the number of groups of size ≥ 2
+// (which is N_sort of the next round), and the number of rows belonging
+// to those non-singleton groups. It uses the classic occupancy model: N
+// rows drawn over P equally likely combinations.
+func (s Stats) groupProfile(bits int) (nGroup, nSort, rowsInSorts float64) {
+	n := float64(s.N)
+	if bits <= 0 {
+		return 1, 1, n
+	}
+	p := s.distinctOfPrefix(bits)
+	if p <= 1 {
+		return 1, 1, n
+	}
+	// E[#occupied cells] and E[#singletons].
+	q := 1.0 - 1.0/p
+	occupied := p * (1 - math.Pow(q, n))
+	singles := n * math.Pow(q, n-1)
+	if occupied > n {
+		occupied = n
+	}
+	if singles > n {
+		singles = n
+	}
+	nGroup = occupied
+	nSort = occupied - singles
+	if nSort < 0 {
+		nSort = 0
+	}
+	rowsInSorts = n - singles
+	if rowsInSorts < 0 {
+		rowsInSorts = 0
+	}
+	return nGroup, nSort, rowsInSorts
+}
+
+// TLookup is Equation 3: N random accesses into a w-bit column with a
+// cache hit ratio of M_LLC / (N·size(w)), clamped to [0, 1].
+func (m *Model) TLookup(n int, w int) float64 {
+	if n == 0 {
+		return 0
+	}
+	footprint := float64(n) * float64(column.Size(w))
+	hit := float64(m.LLC) / footprint
+	if hit > 1 {
+		hit = 1
+	}
+	return float64(n) * (m.C.CCache*hit + m.C.CMem*(1-hit))
+}
+
+// TMassage is Equation 4: I_FIP four-instruction programs over N rows.
+func (m *Model) TMassage(iFIP, n int) float64 {
+	return float64(iFIP) * m.C.CMassage * float64(n)
+}
+
+// TScan is Equation 9: one sequential pass extracting group boundaries.
+func (m *Model) TScan(n int) float64 {
+	return m.C.CScan * float64(n)
+}
+
+// outOfCachePasses is the ⌈log_F(N·(b/8)/(M_L2/2))⌉ factor of Equation 8
+// (zero when the data already fits half the L2 cache).
+func (m *Model) outOfCachePasses(n float64, bank int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	bytes := n * float64(bank/8+4) // key plus 32-bit oid, as implemented
+	half := float64(m.L2) / 2
+	if bytes <= half {
+		return 0
+	}
+	return math.Ceil(math.Log(bytes/half) / math.Log(float64(m.Fanout)))
+}
+
+// TSortOne is Equation 2: the cost of one SIMD-sort call over n codes
+// with a b-bit bank. Below the insertion threshold the sorter never
+// enters the merge-sort phases, so the small-sort regime applies.
+func (m *Model) TSortOne(n float64, bank int) float64 {
+	if n < 2 {
+		// Singleton groups are not sorted at all.
+		return 0
+	}
+	if n < SmallSortThreshold {
+		return m.C.SmallCall + m.C.SmallElem*n + m.C.SmallQuad*n*n
+	}
+	bc := m.C.Bank[bank]
+	return bc.COverhead + bc.CLinear*n + bc.COutOfCache*n*m.outOfCachePasses(n, bank)
+}
+
+// TSortAfter estimates the summed SIMD-sort cost of a round that uses a
+// b-bit bank after bitsBefore bits have already been sorted: Equation 1
+// over the group profile those bits induce. This is the quantity the
+// greedy plan search minimizes when assigning bits to a round.
+func (m *Model) TSortAfter(st Stats, bitsBefore, bank int) float64 {
+	if bitsBefore <= 0 {
+		return m.TSortOne(float64(st.N), bank)
+	}
+	_, nSort, rows := st.groupProfile(bitsBefore)
+	if nSort < 1 {
+		return 0
+	}
+	avg := rows / nSort
+	return nSort * m.TSortOne(avg, bank)
+}
+
+// TSortRound is Equation 1 for round k (1-based) of plan p.
+func (m *Model) TSortRound(p plan.Plan, st Stats, k int) float64 {
+	bitsBefore := 0
+	for i := 0; i < k-1; i++ {
+		bitsBefore += p.Rounds[i].Width
+	}
+	return m.TSortAfter(st, bitsBefore, p.Rounds[k-1].Bank)
+}
+
+// TMCS estimates the total multi-column sorting time of plan p: massage
+// upfront, then per round a lookup (rounds ≥ 2), the SIMD-sorts, and a
+// group-extraction scan.
+func (m *Model) TMCS(p plan.Plan, st Stats) float64 {
+	inWidths := make([]int, len(st.Cols))
+	for i, c := range st.Cols {
+		inWidths[i] = c.Width
+	}
+	t := m.TMassage(plan.IFIP(inWidths, p.Widths()), st.N)
+	for k := 1; k <= len(p.Rounds); k++ {
+		if k > 1 {
+			t += m.TLookup(st.N, p.Rounds[k-1].Width)
+		}
+		t += m.TSortRound(p, st, k)
+		t += m.TScan(st.N)
+	}
+	return t
+}
+
+// CollectStats computes exact prefix-distinct profiles for each column
+// with one sort per column: from the sorted codes, adjacent pairs that
+// share L leading bits contribute a split to every prefix width > L.
+func CollectStats(cols [][]uint64, widths []int) Stats {
+	st := Stats{Cols: make([]ColumnStats, len(cols))}
+	if len(cols) > 0 {
+		st.N = len(cols[0])
+	}
+	for i, codes := range cols {
+		st.Cols[i] = collectColumnStats(codes, widths[i])
+	}
+	return st
+}
+
+// CollectColumnStats computes one column's prefix-distinct profile; the
+// WideTable caches these per column so plan search does not pay for
+// statistics collection at query time (as in any DBMS, statistics are
+// maintained ahead of queries).
+func CollectColumnStats(codes []uint64, width int) ColumnStats {
+	return collectColumnStats(codes, width)
+}
+
+func collectColumnStats(codes []uint64, width int) ColumnStats {
+	cs := ColumnStats{Width: width, PrefixDistinct: make([]float64, width+1)}
+	cs.PrefixDistinct[0] = 1
+	if len(codes) == 0 {
+		for t := 1; t <= width; t++ {
+			cs.PrefixDistinct[t] = 1
+		}
+		return cs
+	}
+	sorted := append([]uint64(nil), codes...)
+	sortUint64(sorted)
+	// splits[L] = adjacent pairs whose longest common prefix is exactly
+	// L bits (counted from the top of the w-bit code).
+	splits := make([]int, width+1)
+	for i := 1; i < len(sorted); i++ {
+		x := sorted[i-1] ^ sorted[i]
+		if x == 0 {
+			continue
+		}
+		lcp := width - bitLen(x)
+		if lcp < 0 {
+			lcp = 0
+		}
+		splits[lcp]++
+	}
+	acc := 0
+	for t := 1; t <= width; t++ {
+		acc += splits[t-1]
+		cs.PrefixDistinct[t] = float64(1 + acc)
+	}
+	return cs
+}
+
+func bitLen(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func sortUint64(a []uint64) {
+	// Simple LSD radix sort by bytes: O(8N), fine for stats collection.
+	buf := make([]uint64, len(a))
+	for shift := uint(0); shift < 64; shift += 8 {
+		var count [257]int
+		for _, v := range a {
+			count[int(byte(v>>shift))+1]++
+		}
+		for i := 1; i < 257; i++ {
+			count[i] += count[i-1]
+		}
+		for _, v := range a {
+			b := int(byte(v >> shift))
+			buf[count[b]] = v
+			count[b]++
+		}
+		a, buf = buf, a
+	}
+	// 64/8 = 8 passes (an even count), so the result ends up back in the
+	// caller's slice.
+}

@@ -1,0 +1,265 @@
+package costmodel
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/plan"
+)
+
+// testModel returns a model with hand-picked constants so tests don't
+// depend on timing.
+func testModel() *Model {
+	return &Model{
+		L2:     1 << 21,
+		LLC:    1 << 23,
+		Fanout: 8,
+		C: Constants{
+			CCache:    2,
+			CMem:      60,
+			CMassage:  1,
+			CScan:     1.5,
+			SmallCall: 60,
+			SmallElem: 15,
+			SmallQuad: 1,
+			Bank: map[int]BankConstants{
+				16: {COverhead: 400, CLinear: 220, COutOfCache: 40},
+				32: {COverhead: 400, CLinear: 300, COutOfCache: 55},
+				64: {COverhead: 400, CLinear: 420, COutOfCache: 80},
+			},
+		},
+	}
+}
+
+// uniformStats mirrors the paper's synthetic setup: each w-bit column
+// holds `distinct` values drawn uniformly from the full [0, 2^w) domain.
+func uniformStats(n int, widths, distinct []int) Stats {
+	rng := rand.New(rand.NewSource(7))
+	cols := make([][]uint64, len(widths))
+	for i, w := range widths {
+		seen := make(map[uint64]bool, distinct[i])
+		vals := make([]uint64, 0, distinct[i])
+		for len(vals) < distinct[i] {
+			v := rng.Uint64() & column.Mask(w)
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+		codes := make([]uint64, n)
+		for r := range codes {
+			codes[r] = vals[rng.Intn(len(vals))]
+		}
+		cols[i] = codes
+	}
+	return CollectStats(cols, widths)
+}
+
+func TestCollectStatsPrefixDistinct(t *testing.T) {
+	// A column holding exactly the values 0..15 in 4 bits: top-t bits
+	// have 2^t distinct values.
+	codes := make([]uint64, 1600)
+	for i := range codes {
+		codes[i] = uint64(i % 16)
+	}
+	st := CollectStats([][]uint64{codes}, []int{4})
+	want := []float64{1, 2, 4, 8, 16}
+	for tbits, w := range want {
+		if got := st.Cols[0].PrefixDistinct[tbits]; got != w {
+			t.Errorf("PrefixDistinct[%d] = %v, want %v", tbits, got, w)
+		}
+	}
+}
+
+func TestCollectStatsSkewed(t *testing.T) {
+	// All codes share the top bit pattern 10…: top-1 distinct must be 1.
+	codes := []uint64{8, 9, 10, 11, 8, 9}
+	st := CollectStats([][]uint64{codes}, []int{4})
+	pd := st.Cols[0].PrefixDistinct
+	if pd[1] != 1 {
+		t.Errorf("top-1 distinct = %v, want 1", pd[1])
+	}
+	if pd[4] != 4 {
+		t.Errorf("top-4 distinct = %v, want 4", pd[4])
+	}
+}
+
+func TestSortUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, 4096} {
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		want := append([]uint64(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sortUint64(a)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestTLookupHitRatio(t *testing.T) {
+	m := testModel()
+	// Small column: fully cached, cost = N·C_cache.
+	small := m.TLookup(1000, 16)
+	if small != 1000*m.C.CCache {
+		t.Errorf("cached lookup = %v, want %v", small, 1000*m.C.CCache)
+	}
+	// Huge column: mostly misses; cost per row must approach C_mem.
+	huge := m.TLookup(1<<26, 32) / float64(1<<26)
+	if huge < 0.8*m.C.CMem {
+		t.Errorf("per-row huge lookup = %v, want near %v", huge, m.C.CMem)
+	}
+	// Monotonic in N per row.
+	if m.TLookup(1<<22, 32)/float64(1<<22) > huge {
+		t.Error("lookup per-row cost must grow with footprint")
+	}
+}
+
+func TestTSortOneShape(t *testing.T) {
+	m := testModel()
+	// Singleton groups cost nothing (paper: one-tuple groups skip sorting).
+	if m.TSortOne(1, 32) != 0 {
+		t.Error("singleton sort must be free")
+	}
+	// A wider bank must cost more for the same n.
+	n := 100000.0
+	if !(m.TSortOne(n, 16) < m.TSortOne(n, 32) && m.TSortOne(n, 32) < m.TSortOne(n, 64)) {
+		t.Error("per-bank sort costs must increase with bank width")
+	}
+	// Out-of-cache passes kick in for large n.
+	if m.outOfCachePasses(1e7, 64) == 0 {
+		t.Error("10M 64-bit elements must be out of cache for a 2MiB L2")
+	}
+	if m.outOfCachePasses(1000, 16) != 0 {
+		t.Error("1000 elements must fit in cache")
+	}
+}
+
+// TestModelPrefersPaperPlans replays the paper's Examples with the
+// synthetic model: the qualitative plan preferences of Section 3 must
+// hold.
+func TestModelPrefersPaperPlans(t *testing.T) {
+	m := testModel()
+	n := 1 << 20
+	d := 1 << 13
+
+	// Ex1: 10-bit + 17-bit. Stitching into 27/[32] must win over P0.
+	st := uniformStats(n, []int{10, 17}, []int{1 << 10, d})
+	p0 := plan.ColumnAtATime([]int{10, 17})
+	stitch := plan.Plan{Rounds: []plan.Round{{Width: 27, Bank: 32}}}
+	if !(m.TMCS(stitch, st) < m.TMCS(p0, st)) {
+		t.Errorf("Ex1: stitch %v should beat P0 %v", m.TMCS(stitch, st), m.TMCS(p0, st))
+	}
+
+	// Ex2: 15-bit + 31-bit. The reckless stitch to 46/[64] must lose.
+	st = uniformStats(n, []int{15, 31}, []int{d, d})
+	p0 = plan.ColumnAtATime([]int{15, 31})
+	stitch = plan.Plan{Rounds: []plan.Round{{Width: 46, Bank: 64}}}
+	if !(m.TMCS(p0, st) < m.TMCS(stitch, st)) {
+		t.Errorf("Ex2: P0 %v should beat stitch-all %v", m.TMCS(p0, st), m.TMCS(stitch, st))
+	}
+
+	// Ex4: 48-bit + 48-bit. Three 32/[32] rounds must beat two 48/[64].
+	st = uniformStats(n, []int{48, 48}, []int{d, d})
+	p0 = plan.ColumnAtATime([]int{48, 48})
+	three := plan.Plan{Rounds: []plan.Round{
+		{Width: 32, Bank: 32}, {Width: 32, Bank: 32}, {Width: 32, Bank: 32}}}
+	if !(m.TMCS(three, st) < m.TMCS(p0, st)) {
+		t.Errorf("Ex4: 3×32 %v should beat P0 %v", m.TMCS(three, st), m.TMCS(p0, st))
+	}
+}
+
+func TestGroupProfileOccupancy(t *testing.T) {
+	st := uniformStats(100000, []int{8}, []int{256})
+	nGroup, nSort, rows := st.groupProfile(8)
+	// 100k rows over 256 values: every value occupied, no singletons.
+	if nGroup < 250 || nGroup > 256 {
+		t.Errorf("nGroup = %v, want ≈ 256", nGroup)
+	}
+	if nSort < 250 {
+		t.Errorf("nSort = %v, want ≈ 256", nSort)
+	}
+	if rows < 99000 {
+		t.Errorf("rowsInSorts = %v, want ≈ 100000", rows)
+	}
+	// Zero bits: everything is one group.
+	g, s, r := st.groupProfile(0)
+	if g != 1 || s != 1 || r != float64(st.N) {
+		t.Errorf("groupProfile(0) = %v,%v,%v", g, s, r)
+	}
+}
+
+func TestLeastSquares3(t *testing.T) {
+	// Recover known coefficients from noise-free data.
+	want := [3]float64{500, 3, 7}
+	var a [][3]float64
+	var b []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		row := [3]float64{float64(1 + rng.Intn(100)), float64(1000 + rng.Intn(100000)), float64(rng.Intn(5000))}
+		a = append(a, row)
+		b = append(b, want[0]*row[0]+want[1]*row[1]+want[2]*row[2])
+	}
+	got := leastSquares3(a, b)
+	for i := range want {
+		if abs(got[i]-want[i]) > 1e-6*want[i] {
+			t.Errorf("coef %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := testModel()
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.C.CCache != m.C.CCache || got.C.Bank[32] != m.C.Bank[32] || got.Fanout != m.Fanout {
+		t.Error("round trip lost fields")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading missing file must fail")
+	}
+}
+
+func TestDistinctCap(t *testing.T) {
+	// Joint distinct estimates far beyond N must be capped, not overflow.
+	st := Stats{N: 1000, Cols: []ColumnStats{
+		{Width: 40, PrefixDistinct: geometric(40)},
+		{Width: 40, PrefixDistinct: geometric(40)},
+	}}
+	d := st.distinctOfPrefix(80)
+	if d > float64(st.N)*4+1 || d <= 0 {
+		t.Errorf("distinctOfPrefix = %v, want capped near 4N", d)
+	}
+}
+
+func geometric(w int) []float64 {
+	pd := make([]float64, w+1)
+	pd[0] = 1
+	for t := 1; t <= w; t++ {
+		pd[t] = pd[t-1] * 2
+		if pd[t] > 1e12 {
+			pd[t] = 1e12
+		}
+	}
+	return pd
+}
+
+func TestMask(t *testing.T) {
+	if column.Mask(64) != ^uint64(0) {
+		t.Error("Mask(64)")
+	}
+}

@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/column"
+	"repro/internal/table"
+)
+
+// AirlineConfig controls the Airline Origin & Destination Survey
+// generators (the paper's real dataset, Tables 4–5). The real 4 GB BTS
+// download is not available offline; the generator reproduces the two
+// relations' schemas with realistic cardinalities (≈450 US airports,
+// ≈20 reporting carriers, quarters, distance groups, dollar-credibility
+// flags, scaled-decimal fares), which determine the encoded widths the
+// five evaluated queries sort.
+type AirlineConfig struct {
+	Rows int // rows per relation
+	Seed int64
+}
+
+const (
+	nAirports  = 450
+	nCarriers  = 20
+	nStates    = 52
+	nCountries = 5
+	nYears     = 22 // 1993..2014, the survey's span at publication time
+	nQuarters  = 4
+	nDistGroup = 12
+	nGeoTypes  = 3
+)
+
+// AirlineTicket generates the Ticket relation of Table 4.
+func AirlineTicket(cfg AirlineConfig) *table.Table {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 60_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows
+	t := table.New("ticket", n)
+
+	add := func(name string, width int, gen func(int) uint64) {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = gen(i)
+		}
+		t.MustAdd(column.FromCodes(name, width, codes))
+	}
+
+	add("ItinID", bits(n), func(i int) uint64 { return uint64(i) })
+	add("Year", bits(nYears), drawFn(rng, nYears, false))
+	add("Quarter", 2, drawFn(rng, nQuarters, false))
+	add("OriginAirportID", bits(nAirports), drawFn(rng, nAirports, false))
+	add("OriginCountry", bits(nCountries), drawFn(rng, nCountries, false))
+	add("OriginStateName", bits(nStates), drawFn(rng, nStates, false))
+	add("RoundTrip", 1, drawFn(rng, 2, false))
+	add("DollarCred", 1, drawFn(rng, 2, false))
+	// Fare per mile in hundredths of a cent: heavily skewed in reality.
+	add("FarePerMile", 17, priceDraw(rng, 0, 100_000, true))
+	add("RPCarrier", bits(nCarriers), drawFn(rng, nCarriers, false))
+	add("Passengers", 8, drawFn(rng, 200, true))
+	add("Distance", 13, drawFn(rng, 6_000, false))
+	add("DistanceGroup", bits(nDistGroup), drawFn(rng, nDistGroup, false))
+	add("ItinGeoType", 2, drawFn(rng, nGeoTypes, false))
+	return t
+}
+
+// AirlineMarket generates the Market relation of Table 4.
+func AirlineMarket(cfg AirlineConfig) *table.Table {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 60_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	n := cfg.Rows
+	t := table.New("market", n)
+
+	add := func(name string, width int, gen func(int) uint64) {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = gen(i)
+		}
+		t.MustAdd(column.FromCodes(name, width, codes))
+	}
+
+	add("ItinID", bits(n), func(i int) uint64 { return uint64(i) })
+	add("MktID", bits(2*n), func(i int) uint64 { return uint64(2 * i) })
+	add("Year", bits(nYears), drawFn(rng, nYears, false))
+	add("Quarter", 2, drawFn(rng, nQuarters, false))
+	add("OriginAirportID", bits(nAirports), drawFn(rng, nAirports, false))
+	add("DestAirportID", bits(nAirports), drawFn(rng, nAirports, false))
+	add("OpCarrier", bits(nCarriers), drawFn(rng, nCarriers, false))
+	add("Passengers", 8, drawFn(rng, 200, true))
+	add("MktFare", 20, priceDraw(rng, 0, 800_000, true))
+	add("MktDistance", 13, drawFn(rng, 6_000, false))
+	add("MktDistanceGroup", bits(nDistGroup), drawFn(rng, nDistGroup, false))
+	add("MktMilesFlown", 13, drawFn(rng, 6_000, false))
+	add("ItinGeoType", 2, drawFn(rng, nGeoTypes, false))
+	return t
+}

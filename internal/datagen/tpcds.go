@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/column"
+	"repro/internal/table"
+)
+
+// TPCDSConfig controls the TPC-DS-shaped WideTable generator.
+type TPCDSConfig struct {
+	SF   int
+	Rows int
+	Seed int64
+}
+
+// TPCDS generates a store_sales-grain WideTable carrying the columns of
+// the four evaluated queries (Q36, Q53, Q67, Q89 — PARTITION BY window
+// queries over item/date/store dimensions, the class the paper selects
+// from the twelve eligible TPC-DS queries).
+func TPCDS(cfg TPCDSConfig) *table.Table {
+	if cfg.SF < 1 {
+		cfg.SF = 1
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 60_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nItems := 18_000 * cfg.SF
+	nStores := 12 * cfg.SF
+	const nDates = 1_823 // 5 years of d_date_sk referenced by sales
+	const nCategories = 10
+	const nClasses = 100
+	const nBrands = 714
+	const nMonths = 12
+	const nMoy = 12
+	const nQoy = 4
+
+	poolItems := minInt(nItems, cfg.Rows)
+	items := newDimension(poolItems)
+	items.attr("i_key", sparseKeys(rng, nItems))
+	items.attr("i_category", drawFn(rng, nCategories, false))
+	items.attr("i_class", drawFn(rng, nClasses, false))
+	items.attr("i_brand", drawFn(rng, nBrands, false))
+	items.attr("i_manufact", drawFn(rng, 1000, false))
+
+	poolStores := minInt(nStores*4, cfg.Rows) // a few stores even at SF1
+	stores := newDimension(maxInt(poolStores, 4))
+	stores.attr("s_key", sparseKeys(rng, maxInt(nStores, 4)))
+	stores.attr("s_state", drawFn(rng, 9, false))
+	stores.attr("s_company", drawFn(rng, 2, false))
+
+	dates := newDimension(nDates)
+	dates.attr("d_year", func(i int) uint64 { return uint64(i / 365) })
+	dates.attr("d_moy", func(i int) uint64 { return uint64((i / 30) % nMoy) })
+	dates.attr("d_qoy", func(i int) uint64 { return uint64((i / 91) % nQoy) })
+
+	n := cfg.Rows
+	t := table.New("tpcds_wide", n)
+
+	itemRef := make([]int, n)
+	storeRef := make([]int, n)
+	dateRef := make([]int, n)
+	for i := 0; i < n; i++ {
+		itemRef[i] = rng.Intn(items.n)
+		storeRef[i] = rng.Intn(stores.n)
+		dateRef[i] = rng.Intn(nDates)
+	}
+
+	addVia := func(name string, width int, dim *dimension, attr string, ref []int) {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = dim.get(attr, ref[i])
+		}
+		t.MustAdd(column.FromCodes(name, width, codes))
+	}
+	addDirect := func(name string, width int, gen func(int) uint64) {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = gen(i)
+		}
+		t.MustAdd(column.FromCodes(name, width, codes))
+	}
+
+	addVia("i_item_sk", bits(nItems), items, "i_key", itemRef)
+	addVia("i_category", bits(nCategories), items, "i_category", itemRef)
+	addVia("i_class", bits(nClasses), items, "i_class", itemRef)
+	addVia("i_brand", bits(nBrands), items, "i_brand", itemRef)
+	addVia("i_manufact_id", 10, items, "i_manufact", itemRef)
+
+	addVia("s_store_sk", bits(maxInt(nStores, 4)), stores, "s_key", storeRef)
+	addVia("s_state", 4, stores, "s_state", storeRef)
+	addVia("s_company_id", 1, stores, "s_company", storeRef)
+
+	addVia("d_year", 3, dates, "d_year", dateRef)
+	addVia("d_moy", 4, dates, "d_moy", dateRef)
+	addVia("d_qoy", 2, dates, "d_qoy", dateRef)
+
+	addDirect("ss_sales_price", 20, priceDraw(rng, 0, 300_00, false))
+	addDirect("ss_quantity", 7, drawFn(rng, 100, false))
+	addDirect("ss_net_profit", 21, priceDraw(rng, -10_000_00, 10_000_00, false))
+	_ = nClasses
+	_ = nMonths
+	return t
+}

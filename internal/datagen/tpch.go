@@ -1,0 +1,214 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/column"
+	"repro/internal/table"
+)
+
+// TPCHConfig controls the TPC-H-shaped WideTable generator.
+type TPCHConfig struct {
+	// SF is the scale factor: it sets the *domains* (key cardinalities,
+	// as in the TPC-H spec), so encoded widths grow with SF exactly as
+	// they would with dbgen data.
+	SF int
+	// Rows is the number of lineitem-grain WideTable rows to
+	// materialize (a sample of the SF's full fact table, so the suite
+	// runs at laptop scale; pass 6_000_000×SF for full scale).
+	Rows int
+	// Skew applies zipf(1) frequencies to foreign-key and attribute
+	// draws — the "TPC-H skew" dataset of the paper.
+	Skew bool
+	Seed int64
+}
+
+// TPCH generates a lineitem-grain WideTable carrying every column the
+// nine multi-column-sorting TPC-H queries touch. Dimension attributes
+// are generated per dimension row and expanded through foreign keys, so
+// functional dependencies (o_orderkey → o_orderdate, c_custkey →
+// c_name, …) hold exactly as in real data — they are what makes later
+// sort rounds cheap or free, so they matter for reproduction fidelity.
+func TPCH(cfg TPCHConfig) *table.Table {
+	if cfg.SF < 1 {
+		cfg.SF = 1
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 60_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Domain cardinalities per the TPC-H spec at this SF.
+	nOrders := 1_500_000 * cfg.SF
+	nCust := 150_000 * cfg.SF
+	nParts := 200_000 * cfg.SF
+	nSupp := 10_000 * cfg.SF
+	const nDates = 2_406 // 1992-01-01 .. 1998-08-02
+	const nNations = 25
+	const nYears = 7
+
+	// Only a bounded number of dimension rows can be referenced by a
+	// Rows-sized sample; generate just the referenced pool but keep the
+	// key *codes* spread over the full SF-sized domain so key widths
+	// match dbgen's encodings.
+	poolOrders := minInt(nOrders, cfg.Rows)
+	poolCust := minInt(nCust, maxInt(cfg.Rows/4, 1))
+	poolParts := minInt(nParts, cfg.Rows)
+	poolSupp := minInt(nSupp, cfg.Rows)
+
+	orders := newDimension(poolOrders)
+	orders.attr("o_key", sparseKeys(rng, nOrders))
+	orders.attr("o_orderdate", drawFn(rng, nDates, cfg.Skew))
+	orders.attr("o_totalprice", priceDraw(rng, 100, 500_000, cfg.Skew))
+	orders.attr("o_shippriority", func(int) uint64 { return 0 })
+	orders.attr("o_custref", drawFn(rng, poolCust, cfg.Skew))
+	// Year is functionally dependent on the date.
+	orders.attr("o_year", func(i int) uint64 {
+		return orders.get("o_orderdate", i) / 366
+	})
+
+	cust := newDimension(poolCust)
+	cust.attr("c_key", sparseKeys(rng, nCust))
+	cust.attr("c_name", identityKeys())
+	cust.attr("c_acctbal", priceDraw(rng, -99_999, 999_999, cfg.Skew))
+	cust.attr("c_phone", identityKeys())
+	cust.attr("c_nation", drawFn(rng, nNations, cfg.Skew))
+	cust.attr("c_address", identityKeys())
+	cust.attr("c_comment", identityKeys())
+	cust.attr("c_mktsegment", drawFn(rng, 5, cfg.Skew))
+
+	parts := newDimension(poolParts)
+	parts.attr("p_key", sparseKeys(rng, nParts))
+	parts.attr("p_brand", drawFn(rng, 25, cfg.Skew))
+	parts.attr("p_type", drawFn(rng, 150, cfg.Skew))
+	parts.attr("p_size", drawFn(rng, 50, cfg.Skew))
+
+	supp := newDimension(poolSupp)
+	supp.attr("s_key", sparseKeys(rng, nSupp))
+	supp.attr("s_name", identityKeys())
+	supp.attr("s_acctbal", priceDraw(rng, -99_999, 999_999, cfg.Skew))
+	supp.attr("s_nation", drawFn(rng, nNations, cfg.Skew))
+
+	n := cfg.Rows
+	t := table.New("tpch_wide", n)
+
+	// Fact-grain foreign keys: roughly 4 lineitems per order.
+	orderRef := make([]int, n)
+	partRef := make([]int, n)
+	suppRef := make([]int, n)
+	drawOrder := drawFn(rng, poolOrders, cfg.Skew)
+	drawPart := drawFn(rng, poolParts, cfg.Skew)
+	drawSupp := drawFn(rng, poolSupp, cfg.Skew)
+	for i := range orderRef {
+		if i%4 == 0 || i == 0 {
+			orderRef[i] = int(drawOrder(i))
+		} else {
+			orderRef[i] = orderRef[i-1] // cluster lineitems per order
+		}
+		partRef[i] = int(drawPart(i))
+		suppRef[i] = int(drawSupp(i))
+	}
+
+	addVia := func(name string, width int, dim *dimension, attr string, ref []int) {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = dim.get(attr, ref[i])
+		}
+		t.MustAdd(column.FromCodes(name, width, codes))
+	}
+
+	// Lineitem-grain columns.
+	addDirect := func(name string, width int, gen func(int) uint64) {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = gen(i)
+		}
+		t.MustAdd(column.FromCodes(name, width, codes))
+	}
+	addDirect("l_returnflag", 2, drawFn(rng, 3, cfg.Skew))
+	addDirect("l_linestatus", 1, drawFn(rng, 2, cfg.Skew))
+	addDirect("l_quantity", 6, drawFn(rng, 50, cfg.Skew))
+	addDirect("l_extendedprice", 21, priceDraw(rng, 90_000, 2_000_000, cfg.Skew))
+	addDirect("l_discount", 4, drawFn(rng, 11, cfg.Skew))
+	addDirect("l_tax", 4, drawFn(rng, 9, cfg.Skew))
+	addDirect("l_shipdate", bits(nDates), drawFn(rng, nDates, cfg.Skew))
+	addDirect("l_year", 3, drawFn(rng, nYears, cfg.Skew))
+
+	addVia("l_orderkey", bits(nOrders), orders, "o_key", orderRef)
+	addVia("o_orderdate", bits(nDates), orders, "o_orderdate", orderRef)
+	addVia("o_year", 3, orders, "o_year", orderRef)
+	addVia("o_totalprice", 21, orders, "o_totalprice", orderRef)
+	addVia("o_shippriority", 1, orders, "o_shippriority", orderRef)
+
+	custRef := make([]int, n)
+	for i := range custRef {
+		custRef[i] = int(orders.get("o_custref", orderRef[i]))
+	}
+	addVia("c_custkey", bits(nCust), cust, "c_key", custRef)
+	addVia("c_name", bits(poolCust), cust, "c_name", custRef)
+	addVia("c_acctbal", 21, cust, "c_acctbal", custRef)
+	addVia("c_phone", bits(poolCust), cust, "c_phone", custRef)
+	addVia("n_name", 5, cust, "c_nation", custRef)
+	addVia("c_address", bits(poolCust), cust, "c_address", custRef)
+	addVia("c_comment", bits(poolCust), cust, "c_comment", custRef)
+	addVia("c_mktsegment", 3, cust, "c_mktsegment", custRef)
+	addVia("cust_nation", 5, cust, "c_nation", custRef)
+
+	addVia("p_partkey", bits(nParts), parts, "p_key", partRef)
+	addVia("p_brand", 5, parts, "p_brand", partRef)
+	addVia("p_type", 8, parts, "p_type", partRef)
+	addVia("p_size", 6, parts, "p_size", partRef)
+
+	addVia("s_name", bits(poolSupp), supp, "s_name", suppRef)
+	addVia("s_acctbal", 21, supp, "s_acctbal", suppRef)
+	addVia("supp_nation", 5, supp, "s_nation", suppRef)
+
+	return t
+}
+
+// sparseKeys returns a generator of unique key codes spread over a
+// domain-sized space: the i-th dimension row gets a stable pseudo-random
+// key below `domain`, so key-column widths match the full-scale domain.
+func sparseKeys(rng *rand.Rand, domain int) func(int) uint64 {
+	perm := rng.Perm(minInt(domain, 1<<22))
+	scale := domain / len(perm)
+	if scale < 1 {
+		scale = 1
+	}
+	return func(row int) uint64 {
+		return uint64(perm[row%len(perm)] * scale)
+	}
+}
+
+// identityKeys makes the attribute equal to the dimension row number —
+// used for per-row-unique attributes (names, phones, addresses) whose
+// dictionary code is dense.
+func identityKeys() func(int) uint64 {
+	return func(row int) uint64 { return uint64(row) }
+}
+
+// priceDraw returns scaled-decimal codes over [lo, hi] (in cents); the
+// encoded width is the caller's concern (range-encoded, per Lee et
+// al.'s encoding the paper builds on).
+func priceDraw(rng *rand.Rand, lo, hi int, skewed bool) func(int) uint64 {
+	span := hi - lo + 1
+	if skewed {
+		z := newZipf(rng, span)
+		return func(int) uint64 { return uint64(z.next()) }
+	}
+	return func(int) uint64 { return uint64(rng.Intn(span)) }
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

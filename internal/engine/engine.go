@@ -1,0 +1,411 @@
+// Package engine executes the evaluation queries over WideTables with
+// the paper's physical operators: ByteSlice-Scan (filters),
+// ByteSlice-Lookup (materialization), Code-Massage + SIMD-Sort
+// (multi-column sorting, via internal/mcsort), grouped aggregation, and
+// window RANK. Every operator's wall time is recorded so experiments can
+// reproduce the paper's per-query time breakdowns (Figures 1 and 9).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/byteslice"
+	"repro/internal/costmodel"
+	"repro/internal/massage"
+	"repro/internal/mcsort"
+	"repro/internal/mergesort"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/table"
+)
+
+// SortCol names one column of the multi-column sort clause.
+type SortCol struct {
+	Name string
+	Desc bool
+}
+
+// Filter is a ByteSlice-scanned predicate, either `col op const` or
+// `lo <= col <= hi` (Between).
+type Filter struct {
+	Col     string
+	Op      byteslice.Op
+	Const   uint64
+	Between bool
+	Lo, Hi  uint64
+}
+
+// AggKind selects the aggregate of a GROUP BY query.
+type AggKind int
+
+const (
+	Count AggKind = iota
+	Sum
+	Avg
+)
+
+// Agg is the aggregate computed per group.
+type Agg struct {
+	Kind AggKind
+	Col  string // ignored for Count
+}
+
+// Window describes RANK() OVER (PARTITION BY SortCols ORDER BY OrderCol).
+type Window struct {
+	OrderCol string
+	Desc     bool
+}
+
+// Query is a declarative description of an evaluation query.
+type Query struct {
+	ID       string
+	Kind     planner.ClauseKind
+	SortCols []SortCol // GROUP BY / ORDER BY / PARTITION BY columns
+	Filters  []Filter
+	Agg      *Agg    // grouped aggregate (GROUP BY queries)
+	Window   *Window // window rank (PARTITION BY queries)
+	// OrderByAgg adds the trailing ORDER BY <aggregate> DESC that many
+	// of the queries carry — a single-column sort over the group table.
+	OrderByAgg bool
+}
+
+// Timing is the per-operator wall-time breakdown of one execution.
+type Timing struct {
+	PlanSearch  time.Duration
+	FilterScan  time.Duration
+	Materialize time.Duration
+	MCS         mcsort.Timings
+	Aggregate   time.Duration
+	PostSort    time.Duration // single-column sorting after aggregation
+}
+
+// Total sums all phases.
+func (t Timing) Total() time.Duration {
+	return t.PlanSearch + t.FilterScan + t.Materialize + t.MCS.Total() +
+		t.Aggregate + t.PostSort
+}
+
+// NonMCS is everything but the multi-column sort: the paper's
+// "scan+lookup+aggregation+single-column sorting" category.
+func (t Timing) NonMCS() time.Duration { return t.Total() - t.MCS.Total() }
+
+// Result of a query execution.
+type Result struct {
+	// GroupKeys[g][c] is the code of sort column c in output group g.
+	GroupKeys [][]uint64
+	// Aggregates[g] is the aggregate of group g (group queries). For
+	// Avg it is the scaled integer mean.
+	Aggregates []uint64
+	// Ranks[i] pairs with RowOids[i] for window queries.
+	Ranks   []uint32
+	RowOids []uint32
+	Timing  Timing
+	Plan    plan.Plan
+	// ColOrder is the column permutation the planner chose.
+	ColOrder []int
+	// Rows is the row count after filtering.
+	Rows int
+}
+
+// Options tunes an execution.
+type Options struct {
+	// Massaging enables plan search; disabled runs column-at-a-time.
+	Massaging bool
+	Model     *costmodel.Model
+	Rho       float64
+	Workers   int
+	// PlanOverride skips the search and uses the given choice.
+	PlanOverride *planner.Choice
+}
+
+// Run executes q against t.
+func Run(t *table.Table, q Query, opts Options) (*Result, error) {
+	res := &Result{}
+
+	// 1. Filters: ByteSlice scans ANDed into one bit vector.
+	start := time.Now()
+	var rows []uint32
+	if len(q.Filters) > 0 {
+		var acc *byteslice.BitVector
+		for _, f := range q.Filters {
+			bs, err := t.ByteSlice(f.Col)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", q.ID, err)
+			}
+			var bv *byteslice.BitVector
+			if f.Between {
+				bv, err = bs.ScanBetween(f.Lo, f.Hi)
+			} else {
+				bv, err = bs.Scan(f.Op, f.Const)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", q.ID, err)
+			}
+			if acc == nil {
+				acc = bv
+			} else {
+				acc.And(bv)
+			}
+		}
+		rows = acc.Rows()
+	} else {
+		rows = make([]uint32, t.N)
+		for i := range rows {
+			rows[i] = uint32(i)
+		}
+	}
+	res.Timing.FilterScan = time.Since(start)
+	res.Rows = len(rows)
+
+	// 2. Materialize the sort columns for the selected rows with
+	// ByteSlice lookups.
+	sortCols := q.SortCols
+	if q.Window != nil {
+		sortCols = append(append([]SortCol(nil), q.SortCols...),
+			SortCol{Name: q.Window.OrderCol, Desc: q.Window.Desc})
+	}
+	start = time.Now()
+	inputs := make([]massage.Input, len(sortCols))
+	for i, sc := range sortCols {
+		bs, err := t.ByteSlice(sc.Name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		codes := make([]uint64, len(rows))
+		for j, r := range rows {
+			codes[j] = bs.Lookup(int(r))
+		}
+		inputs[i] = massage.Input{Codes: codes, Width: bs.Width, Desc: sc.Desc}
+	}
+	res.Timing.Materialize = time.Since(start)
+
+	// 3. Plan: search (massaging on) or column-at-a-time (off).
+	choice, searchTime, err := choosePlan(t, q, sortCols, inputs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q.ID, err)
+	}
+	res.Timing.PlanSearch = searchTime
+	res.Plan = choice.Plan
+	res.ColOrder = choice.ColOrder
+
+	// 4. Multi-column sort under the chosen column order and plan.
+	ordered := make([]massage.Input, len(inputs))
+	for i, c := range choice.ColOrder {
+		ordered[i] = inputs[c]
+	}
+	mres, err := mcsort.Execute(ordered, choice.Plan, mcsort.Options{Workers: opts.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q.ID, err)
+	}
+	res.Timing.MCS = mres.Timings
+
+	// 5. Consume the sorted output.
+	if q.Window != nil {
+		start = time.Now()
+		computeRanks(res, q, inputs, rows, mres)
+		res.Timing.Aggregate = time.Since(start)
+		return res, nil
+	}
+	start = time.Now()
+	if err := aggregate(res, t, q, inputs, rows, mres); err != nil {
+		return nil, err
+	}
+	res.Timing.Aggregate = time.Since(start)
+
+	// 6. ORDER BY aggregate DESC: single-column sort over groups.
+	if q.OrderByAgg {
+		start = time.Now()
+		sortGroupsByAggregate(res)
+		res.Timing.PostSort = time.Since(start)
+	}
+	return res, nil
+}
+
+// MaterializeSortInputs runs a query's filter and materialization stages
+// only, returning the multi-column-sort inputs (in clause order, with
+// the window order column appended for window queries). Plan-space
+// experiments use this to execute many plans over identical inputs.
+func MaterializeSortInputs(t *table.Table, q Query) ([]massage.Input, error) {
+	var rows []uint32
+	if len(q.Filters) > 0 {
+		var acc *byteslice.BitVector
+		for _, f := range q.Filters {
+			bs, err := t.ByteSlice(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			var bv *byteslice.BitVector
+			if f.Between {
+				bv, err = bs.ScanBetween(f.Lo, f.Hi)
+			} else {
+				bv, err = bs.Scan(f.Op, f.Const)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = bv
+			} else {
+				acc.And(bv)
+			}
+		}
+		rows = acc.Rows()
+	} else {
+		rows = make([]uint32, t.N)
+		for i := range rows {
+			rows[i] = uint32(i)
+		}
+	}
+	sortCols := q.SortCols
+	if q.Window != nil {
+		sortCols = append(append([]SortCol(nil), q.SortCols...),
+			SortCol{Name: q.Window.OrderCol, Desc: q.Window.Desc})
+	}
+	inputs := make([]massage.Input, len(sortCols))
+	for i, sc := range sortCols {
+		bs, err := t.ByteSlice(sc.Name)
+		if err != nil {
+			return nil, err
+		}
+		codes := make([]uint64, len(rows))
+		for j, r := range rows {
+			codes[j] = bs.Lookup(int(r))
+		}
+		inputs[i] = massage.Input{Codes: codes, Width: bs.Width, Desc: sc.Desc}
+	}
+	return inputs, nil
+}
+
+// choosePlan runs the plan search when massaging is enabled. Column
+// statistics come from the table's precomputed profiles (as in any
+// DBMS); only the search itself is timed.
+func choosePlan(t *table.Table, q Query, sortCols []SortCol, inputs []massage.Input, opts Options) (planner.Choice, time.Duration, error) {
+	widths := make([]int, len(inputs))
+	for i, in := range inputs {
+		widths[i] = in.Width
+	}
+	if opts.PlanOverride != nil {
+		return *opts.PlanOverride, 0, nil
+	}
+	if !opts.Massaging {
+		order := make([]int, len(inputs))
+		for i := range order {
+			order[i] = i
+		}
+		return planner.Choice{ColOrder: order, Plan: plan.ColumnAtATime(widths)}, 0, nil
+	}
+	model := opts.Model
+	if model == nil {
+		model = costmodel.Default()
+	}
+	st := costmodel.Stats{N: len(inputs[0].Codes)}
+	for _, sc := range sortCols {
+		cs, err := t.Stats(sc.Name)
+		if err != nil {
+			return planner.Choice{}, 0, err
+		}
+		st.Cols = append(st.Cols, cs)
+	}
+	start := time.Now()
+	search := &planner.Search{Model: model, Stats: st, Kind: q.Kind, Rho: opts.Rho}
+	if q.Window != nil {
+		search.FixedTail = 1 // the window's ORDER BY column stays last
+	}
+	choice := planner.ROGA(search)
+	return choice, time.Since(start), nil
+}
+
+// aggregate computes per-group keys and the aggregate.
+func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, rows []uint32, mres *mcsort.Result) error {
+	nGroups := len(mres.Groups) - 1
+	res.GroupKeys = make([][]uint64, nGroups)
+	res.Aggregates = make([]uint64, nGroups)
+
+	var aggBS interface{ Lookup(int) uint64 }
+	if q.Agg != nil && q.Agg.Kind != Count {
+		bs, err := t.ByteSlice(q.Agg.Col)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.ID, err)
+		}
+		aggBS = bs
+	}
+	for g := 0; g < nGroups; g++ {
+		lo, hi := int(mres.Groups[g]), int(mres.Groups[g+1])
+		rep := mres.Perm[lo] // any row of the group carries its keys
+		keys := make([]uint64, len(inputs))
+		for c, in := range inputs {
+			keys[c] = in.Codes[rep]
+		}
+		res.GroupKeys[g] = keys
+		var acc uint64
+		switch {
+		case q.Agg == nil || q.Agg.Kind == Count:
+			acc = uint64(hi - lo)
+		default:
+			for i := lo; i < hi; i++ {
+				acc += aggBS.Lookup(int(rows[mres.Perm[i]]))
+			}
+			if q.Agg.Kind == Avg {
+				acc /= uint64(hi - lo)
+			}
+		}
+		res.Aggregates[g] = acc
+	}
+	return nil
+}
+
+// sortGroupsByAggregate orders groups by descending aggregate with the
+// 64-bit-bank single-column SIMD-sort (ties keep their group order).
+func sortGroupsByAggregate(res *Result) {
+	n := len(res.Aggregates)
+	keys := make([]uint64, n)
+	idx := make([]uint32, n)
+	for i, a := range res.Aggregates {
+		keys[i] = ^a // descending via complement
+		idx[i] = uint32(i)
+	}
+	mergesort.Sort(64, keys, idx)
+	gk := make([][]uint64, n)
+	ag := make([]uint64, n)
+	for i, j := range idx {
+		gk[i], ag[i] = res.GroupKeys[j], res.Aggregates[j]
+	}
+	res.GroupKeys, res.Aggregates = gk, ag
+}
+
+// computeRanks assigns RANK() within partitions: rows tied on the
+// partition columns form a partition; within it, rows share a rank when
+// tied on the order column, and rank counts rows, not distinct values.
+func computeRanks(res *Result, q Query, inputs []massage.Input, rows []uint32, mres *mcsort.Result) {
+	n := len(rows)
+	res.Ranks = make([]uint32, n)
+	res.RowOids = make([]uint32, n)
+	nPart := len(q.SortCols) // partition columns; order column is last
+
+	samePartition := func(a, b uint32) bool {
+		for c := 0; c < nPart; c++ {
+			if inputs[c].Codes[a] != inputs[c].Codes[b] {
+				return false
+			}
+		}
+		return true
+	}
+	orderCol := inputs[len(inputs)-1]
+
+	partStart := 0
+	var rank, seen uint32
+	for i := 0; i < n; i++ {
+		cur := mres.Perm[i]
+		if i == 0 || !samePartition(cur, mres.Perm[partStart]) {
+			partStart, rank, seen = i, 1, 1
+		} else {
+			seen++
+			if orderCol.Codes[cur] != orderCol.Codes[mres.Perm[i-1]] {
+				rank = seen
+			}
+		}
+		res.RowOids[i] = rows[cur]
+		res.Ranks[i] = rank
+	}
+}

@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6 plus the Section 3 example figures). Each
+// experiment is a function returning a Report — a printable table of the
+// same rows/series the paper plots — so cmd/mcsbench and the benchmark
+// suite share one implementation.
+//
+// Scale note: the paper runs N = 2^24 synthetic rows and 1–10 GB TPC
+// data on a 10-core Xeon. The substrate here is a software SIMD model,
+// so defaults are reduced (Config.Rows, Config.TableRows); the shapes —
+// which plan wins, where crossovers fall — are the reproduction target,
+// not absolute times. See EXPERIMENTS.md for measured-vs-paper notes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// Config parameterizes all experiments.
+type Config struct {
+	// Rows is N for synthetic (Section 3) experiments. Default 1<<18.
+	Rows int
+	// TableRows is the WideTable row count for workload experiments.
+	// Default 60_000.
+	TableRows int
+	// Seed drives all generators.
+	Seed int64
+	// Model is the calibrated cost model; nil calibrates once.
+	Model *costmodel.Model
+	// Quick trims plan populations and repetitions for CI-speed runs.
+	Quick bool
+}
+
+func (c *Config) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 1 << 18
+	}
+	if c.TableRows == 0 {
+		c.TableRows = 60_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+func (c *Config) model() *costmodel.Model {
+	if c.Model == nil {
+		c.Model = costmodel.Default()
+	}
+	return c.Model
+}
+
+// Report is a printable experiment result.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// ms formats a duration in milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// speedup formats a speedup factor.
+func speedup(base, improved time.Duration) string {
+	if improved <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(improved))
+}
+
+// All lists every experiment id, in presentation order.
+var All = []string{
+	"fig1", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5",
+	"fig7", "tab1", "tab2", "fig8", "fig9", "fig10", "fig12",
+}
+
+// Run dispatches an experiment by id.
+func Run(id string, cfg Config) (*Report, error) {
+	switch id {
+	case "fig1":
+		return Figure1(cfg), nil
+	case "fig3a":
+		return Figure3a(cfg), nil
+	case "fig3b":
+		return Figure3b(cfg), nil
+	case "fig3c":
+		return Figure3c(cfg), nil
+	case "fig4a":
+		return Figure4a(cfg), nil
+	case "fig4b":
+		return Figure4b(cfg), nil
+	case "fig5":
+		return Figure5(cfg), nil
+	case "fig7":
+		return Figure7(cfg), nil
+	case "tab1":
+		return Table1(cfg), nil
+	case "tab2":
+		return Table2(cfg), nil
+	case "fig8":
+		return Figure8(cfg), nil
+	case "fig9":
+		return Figure9(cfg), nil
+	case "fig10":
+		return Figure10(cfg), nil
+	case "fig12":
+		return Figure12(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (have %v)", id, All)
+	}
+}

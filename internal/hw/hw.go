@@ -1,0 +1,127 @@
+// Package hw detects cache-hierarchy parameters of the host machine.
+//
+// The cost model of the paper (Section 4) is architecture-aware: it needs the
+// size of the L2 cache (M_L2, which bounds the in-cache merge phase of the
+// SIMD merge-sort) and the size of the last-level cache (M_LLC, which drives
+// the cache-hit-ratio term of the lookup cost). On Linux these are read from
+// sysfs; elsewhere, or when sysfs is unavailable, conservative defaults are
+// used. Both can be overridden through environment variables so experiments
+// are reproducible across machines:
+//
+//	MCS_L2_BYTES  — override M_L2
+//	MCS_LLC_BYTES — override M_LLC
+package hw
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Caches describes the cache hierarchy the cost model cares about.
+type Caches struct {
+	// L2 is the per-core unified L2 capacity in bytes (M_L2 in the paper).
+	L2 int64
+	// LLC is the last-level cache capacity in bytes (M_LLC in the paper).
+	LLC int64
+}
+
+// Defaults used when detection fails. They correspond to a typical
+// server-class part and only affect cost-model *estimates*, never
+// correctness: the model is calibrated against measured runs anyway.
+const (
+	DefaultL2  = 1 << 21 // 2 MiB
+	DefaultLLC = 1 << 23 // 8 MiB
+)
+
+var (
+	once   sync.Once
+	cached Caches
+)
+
+// Detect returns the cache sizes of the host, computed once per process.
+func Detect() Caches {
+	once.Do(func() { cached = detect() })
+	return cached
+}
+
+func detect() Caches {
+	c := Caches{L2: DefaultL2, LLC: DefaultLLC}
+	// Walk the sysfs cache indices of cpu0. Level 2 unified -> L2; the
+	// highest unified level -> LLC.
+	highest := int64(0)
+	highestLevel := 0
+	for i := 0; i < 8; i++ {
+		base := "/sys/devices/system/cpu/cpu0/cache/index" + strconv.Itoa(i)
+		typ, err := os.ReadFile(base + "/type")
+		if err != nil {
+			break
+		}
+		if strings.TrimSpace(string(typ)) != "Unified" {
+			continue
+		}
+		levelB, err := os.ReadFile(base + "/level")
+		if err != nil {
+			continue
+		}
+		level, err := strconv.Atoi(strings.TrimSpace(string(levelB)))
+		if err != nil {
+			continue
+		}
+		size, ok := parseSize(base + "/size")
+		if !ok {
+			continue
+		}
+		if level == 2 {
+			c.L2 = size
+		}
+		if level > highestLevel {
+			highestLevel, highest = level, size
+		}
+	}
+	if highest > 0 {
+		c.LLC = highest
+	}
+	if v, ok := envBytes("MCS_L2_BYTES"); ok {
+		c.L2 = v
+	}
+	if v, ok := envBytes("MCS_LLC_BYTES"); ok {
+		c.LLC = v
+	}
+	return c
+}
+
+func parseSize(path string) (int64, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	s := strings.TrimSpace(string(b))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n * mult, true
+}
+
+func envBytes(name string) (int64, bool) {
+	s := os.Getenv(name)
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}

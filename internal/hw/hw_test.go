@@ -1,0 +1,68 @@
+package hw
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDetectReturnsPositiveSizes(t *testing.T) {
+	c := Detect()
+	if c.L2 <= 0 || c.LLC <= 0 {
+		t.Fatalf("cache sizes must be positive: %+v", c)
+	}
+	if c.LLC < c.L2 {
+		t.Errorf("LLC (%d) smaller than L2 (%d)", c.LLC, c.L2)
+	}
+	// Detect is memoized: a second call returns the same values.
+	if Detect() != c {
+		t.Error("Detect not stable")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		p := filepath.Join(dir, "size")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"32K\n", 32 << 10, true},
+		{"2M", 2 << 20, true},
+		{"1G", 1 << 30, true},
+		{"12345", 12345, true},
+		{"-1K", 0, false},
+		{"junk", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseSize(write(c.in))
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseSize(%q) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := parseSize(filepath.Join(dir, "missing")); ok {
+		t.Error("missing file parsed")
+	}
+}
+
+func TestEnvBytes(t *testing.T) {
+	t.Setenv("MCS_TEST_BYTES", "4096")
+	if v, ok := envBytes("MCS_TEST_BYTES"); !ok || v != 4096 {
+		t.Errorf("envBytes = %d,%v", v, ok)
+	}
+	t.Setenv("MCS_TEST_BYTES", "nope")
+	if _, ok := envBytes("MCS_TEST_BYTES"); ok {
+		t.Error("junk env accepted")
+	}
+	if _, ok := envBytes("MCS_UNSET_VAR_XYZ"); ok {
+		t.Error("unset env accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package massage implements code massaging (Section 3 of the paper):
+// manipulating the bits across the columns to be sorted so the bits are
+// repartitioned into new round keys. Stitching merges columns into one
+// key; bit-borrowing moves bits between adjacent columns. By Lemma 1,
+// any repartition of the concatenation C₁‖C₂‖…‖C_m preserves the
+// lexicographic sort order, so a plan is free to choose round boundaries
+// anywhere.
+//
+// The massaging process itself is the paper's four-instruction program
+// (FIP) — shift, mask, bitwise-or, shift — executed once per segment of
+// the union of input/output prefix-sum boundaries; the access pattern is
+// sequential and branchless, so it is cheap relative to sorting.
+package massage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/column"
+)
+
+// Input describes one sort column: its codes, width, and direction.
+// Desc columns are complemented before stitching (Figure 5 of the
+// paper), which converts a descending order requirement into the uniform
+// ascending order the sorter implements.
+type Input struct {
+	Codes []uint64
+	Width int
+	Desc  bool
+}
+
+// segment is one contiguous bit range of the concatenation that maps
+// from a single source column into a single round key; executing it is
+// one FIP invocation.
+type segment struct {
+	src      int    // source column index
+	dst      int    // destination round index
+	srcShift uint   // right-shift applied to the source code
+	dstShift uint   // left-shift applied before OR-ing into the key
+	mask     uint64 // width mask after the source shift
+}
+
+// Program is a compiled massage plan: the segments to execute per row.
+type Program struct {
+	segments  []segment
+	nRounds   int
+	inWidths  []int
+	outWidths []int
+	desc      []bool
+}
+
+// Compile builds the FIP program that reshapes columns with widths
+// inWidths into round keys with widths outWidths. Both partitions must
+// cover the same total bit width.
+func Compile(inputs []Input, outWidths []int) (*Program, error) {
+	inWidths := make([]int, len(inputs))
+	desc := make([]bool, len(inputs))
+	totalIn := 0
+	for i, in := range inputs {
+		if in.Width < 1 || in.Width > 64 {
+			return nil, fmt.Errorf("massage: input %d width %d out of range", i, in.Width)
+		}
+		inWidths[i] = in.Width
+		desc[i] = in.Desc
+		totalIn += in.Width
+	}
+	totalOut := 0
+	for i, w := range outWidths {
+		if w < 1 || w > 64 {
+			return nil, fmt.Errorf("massage: round %d width %d out of range", i, w)
+		}
+		totalOut += w
+	}
+	if totalIn != totalOut {
+		return nil, fmt.Errorf("massage: input bits %d != output bits %d", totalIn, totalOut)
+	}
+	W := totalIn
+
+	// Bit positions count from the most-significant end of the
+	// concatenation: column i spans concat bits [inLo[i], inLo[i]+w).
+	inLo := prefixStarts(inWidths)
+	outLo := prefixStarts(outWidths)
+
+	var segs []segment
+	for d, ow := range outWidths {
+		// Walk the source columns overlapping round d's range.
+		dLo, dHi := outLo[d], outLo[d]+ow
+		for s, iw := range inWidths {
+			sLo, sHi := inLo[s], inLo[s]+iw
+			lo, hi := max(dLo, sLo), min(dHi, sHi)
+			if lo >= hi {
+				continue
+			}
+			segW := hi - lo
+			// Within source column s, the segment covers local bits
+			// counted from the MSB side: [lo-sLo, hi-sLo). The code is
+			// right-aligned, so the right-shift is the bits below it.
+			srcShift := uint(sHi - hi)
+			dstShift := uint(dHi - hi)
+			segs = append(segs, segment{
+				src:      s,
+				dst:      d,
+				srcShift: srcShift,
+				dstShift: dstShift,
+				mask:     column.Mask(segW),
+			})
+		}
+	}
+	_ = W
+	return &Program{
+		segments:  segs,
+		nRounds:   len(outWidths),
+		inWidths:  inWidths,
+		outWidths: append([]int(nil), outWidths...),
+		desc:      desc,
+	}, nil
+}
+
+func prefixStarts(widths []int) []int {
+	starts := make([]int, len(widths))
+	s := 0
+	for i, w := range widths {
+		starts[i] = s
+		s += w
+	}
+	return starts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FIPCount returns the number of four-instruction-program invocations
+// the compiled program executes per row. It always equals the paper's
+// I_FIP (the union of the two prefix-sum sequences); the property test
+// asserts this.
+func (p *Program) FIPCount() int { return len(p.segments) }
+
+// Run massages the input columns into one key array per round. Rows is
+// the row count; all inputs must have at least that many codes.
+func (p *Program) Run(inputs []Input, rows int) [][]uint64 {
+	out := make([][]uint64, p.nRounds)
+	for d := range out {
+		out[d] = make([]uint64, rows)
+	}
+	p.runRange(inputs, out, 0, rows)
+	return out
+}
+
+// RunParallel is Run with the rows partitioned across workers goroutines
+// (Section 3: each thread massages partitions from every column
+// independently).
+func (p *Program) RunParallel(inputs []Input, rows, workers int) [][]uint64 {
+	out := make([][]uint64, p.nRounds)
+	for d := range out {
+		out[d] = make([]uint64, rows)
+	}
+	if workers < 2 || rows < 1024 {
+		p.runRange(inputs, out, 0, rows)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			p.runRange(inputs, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// runRange executes every segment for rows [lo, hi). The per-segment
+// loop is sequential and branch-free, matching the paper's
+// characterization of the massaging cost.
+func (p *Program) runRange(inputs []Input, out [][]uint64, lo, hi int) {
+	for _, seg := range p.segments {
+		src := inputs[seg.src].Codes
+		dst := out[seg.dst]
+		srcShift, dstShift, mask := seg.srcShift, seg.dstShift, seg.mask
+		if inputs[seg.src].Desc {
+			// Complement-before-stitch for DESC columns: complementing
+			// the full column then extracting equals extracting then
+			// complementing within the segment mask.
+			cmask := column.Mask(inputs[seg.src].Width)
+			for i := lo; i < hi; i++ {
+				v := ((^src[i] & cmask) >> srcShift) & mask
+				dst[i] |= v << dstShift
+			}
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			dst[i] |= ((src[i] >> srcShift) & mask) << dstShift
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package mcsort executes multi-column sorting under a code-massage plan
+// (Figure 2 of the paper): it massages the input columns into round
+// keys, then alternates SIMD sorting, lookup-based reordering, and
+// group-extraction scans, one round per plan entry. It records the
+// per-phase wall time so experiments can reproduce the paper's time
+// breakdowns, and the per-round N_sort / N_group statistics behind
+// Figure 4b.
+package mcsort
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/massage"
+	"repro/internal/mergesort"
+	"repro/internal/plan"
+)
+
+// Timings records where the wall time of a multi-column sort went —
+// the four subcosts of the paper's cost model.
+type Timings struct {
+	Massage time.Duration // forming round keys (Step ① of Fig. 2b)
+	Sort    time.Duration // SIMD-sort invocations
+	Lookup  time.Duration // reordering round keys by the running permutation
+	Scan    time.Duration // extracting group boundaries from sorted keys
+}
+
+// Total returns the summed duration of all phases.
+func (t Timings) Total() time.Duration { return t.Massage + t.Sort + t.Lookup + t.Scan }
+
+// Add accumulates other into t.
+func (t *Timings) Add(other Timings) {
+	t.Massage += other.Massage
+	t.Sort += other.Sort
+	t.Lookup += other.Lookup
+	t.Scan += other.Scan
+}
+
+// RoundStats captures the quantities the paper's Figure 4b tabulates for
+// each round: how many SIMD-sort invocations it made, how many groups the
+// round produced, and the average size of the groups it had to sort.
+type RoundStats struct {
+	NSort      int     // SIMD-sorts invoked (groups of size > 1)
+	NGroup     int     // groups after this round's scan
+	AvgGroupSz float64 // average input group size for this round
+}
+
+// Result is the outcome of a multi-column sort.
+type Result struct {
+	// Perm is the sorted order: Perm[i] is the oid of the i-th smallest
+	// tuple under the sort specification.
+	Perm []uint32
+	// Groups are the boundaries of runs of tuples equal on all sort
+	// columns: group g spans Perm[Groups[g]:Groups[g+1]].
+	Groups []int32
+	// Timings is the per-phase wall-time breakdown.
+	Timings Timings
+	// Rounds holds per-round statistics.
+	Rounds []RoundStats
+}
+
+// Options tunes the execution.
+type Options struct {
+	// Workers parallelizes massaging and the first-round sort when > 1.
+	Workers int
+	// UseRadix replaces the SIMD merge-sort with the stable LSD radix
+	// sort (the paper's Section 7 future work): each round then costs
+	// ⌈w/R⌉ counting passes, so massaged round widths control the pass
+	// count instead of the bank parallelism.
+	UseRadix bool
+	// RadixBits is the radix R (default mergesort.DefaultRadixBits).
+	RadixBits int
+}
+
+// Execute sorts the rows described by inputs according to p. All input
+// columns must have the same length, and the plan's total width must
+// equal the summed input widths.
+func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("mcsort: no input columns")
+	}
+	rows := len(inputs[0].Codes)
+	totalW := 0
+	for i, in := range inputs {
+		if len(in.Codes) != rows {
+			return nil, fmt.Errorf("mcsort: column %d has %d rows, want %d", i, len(in.Codes), rows)
+		}
+		totalW += in.Width
+	}
+	if err := p.Validate(totalW); err != nil {
+		return nil, fmt.Errorf("mcsort: invalid plan %v: %w", p, err)
+	}
+	prog, err := massage.Compile(inputs, p.Widths())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Perm:   make([]uint32, rows),
+		Rounds: make([]RoundStats, len(p.Rounds)),
+	}
+	for i := range res.Perm {
+		res.Perm[i] = uint32(i)
+	}
+	if rows == 0 {
+		res.Groups = []int32{0}
+		return res, nil
+	}
+
+	start := time.Now()
+	var roundKeys [][]uint64
+	if opts.Workers > 1 {
+		roundKeys = prog.RunParallel(inputs, rows, opts.Workers)
+	} else {
+		roundKeys = prog.Run(inputs, rows)
+	}
+	res.Timings.Massage = time.Since(start)
+
+	groups := []int32{0, int32(rows)}
+	scratch := make([]uint64, rows)
+	for r, round := range p.Rounds {
+		keys := roundKeys[r]
+		if r > 0 {
+			// Lookup: reorder this round's keys by the permutation
+			// established so far (random access, the paper's T_lookup).
+			start = time.Now()
+			for i, oid := range res.Perm {
+				scratch[i] = keys[oid]
+			}
+			keys, roundKeys[r] = scratch, keys
+			scratch = roundKeys[r]
+			res.Timings.Lookup += time.Since(start)
+		}
+
+		// Sort each group of tuples tied on all previous rounds. The
+		// first round is one full-table sort, range-partitioned across
+		// workers when threading is enabled; later rounds distribute
+		// the groups across workers.
+		start = time.Now()
+		nSort := 0
+		var sumSz int
+		for g := 0; g+1 < len(groups); g++ {
+			sumSz += int(groups[g+1] - groups[g])
+		}
+		switch {
+		case opts.UseRadix:
+			radixBits := opts.RadixBits
+			if radixBits == 0 {
+				radixBits = mergesort.DefaultRadixBits
+			}
+			for g := 0; g+1 < len(groups); g++ {
+				lo, hi := int(groups[g]), int(groups[g+1])
+				if hi-lo < 2 {
+					continue
+				}
+				mergesort.RadixSort(keys[lo:hi], res.Perm[lo:hi], round.Width, radixBits)
+				nSort++
+			}
+		case r == 0 && opts.Workers > 1:
+			parallelFullSort(round.Bank, keys, res.Perm, opts.Workers)
+			nSort = 1
+		case opts.Workers > 1:
+			nSort = parallelGroupSort(round.Bank, keys, res.Perm, groups, opts.Workers)
+		default:
+			for g := 0; g+1 < len(groups); g++ {
+				lo, hi := int(groups[g]), int(groups[g+1])
+				if hi-lo < 2 {
+					continue
+				}
+				mergesort.Sort(round.Bank, keys[lo:hi], res.Perm[lo:hi])
+				nSort++
+			}
+		}
+		res.Timings.Sort += time.Since(start)
+
+		nInputGroups := len(groups) - 1
+
+		// Scan: refine group boundaries using the freshly sorted keys.
+		start = time.Now()
+		groups = refineGroups(groups, keys)
+		res.Timings.Scan += time.Since(start)
+
+		res.Rounds[r] = RoundStats{
+			NSort:      nSort,
+			NGroup:     len(groups) - 1,
+			AvgGroupSz: float64(sumSz) / float64(nInputGroups),
+		}
+	}
+	res.Groups = groups
+	return res, nil
+}
+
+// refineGroups splits each existing group at positions where the sorted
+// key changes — a single sequential pass (the paper's T_scan).
+func refineGroups(groups []int32, keys []uint64) []int32 {
+	out := make([]int32, 0, len(groups))
+	for g := 0; g+1 < len(groups); g++ {
+		lo, hi := int(groups[g]), int(groups[g+1])
+		out = append(out, int32(lo))
+		for i := lo + 1; i < hi; i++ {
+			if keys[i] != keys[i-1] {
+				out = append(out, int32(i))
+			}
+		}
+	}
+	out = append(out, groups[len(groups)-1])
+	return out
+}
+
+// ColumnAtATime runs the baseline plan P₀ (one round per column).
+func ColumnAtATime(inputs []massage.Input, opts Options) (*Result, error) {
+	widths := make([]int, len(inputs))
+	for i, in := range inputs {
+		widths[i] = in.Width
+	}
+	return Execute(inputs, plan.ColumnAtATime(widths), opts)
+}

@@ -1,0 +1,132 @@
+package mcsort
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mergesort"
+)
+
+// Multi-threaded execution (Section 6.4 of the paper): the first round
+// is range-partitioned by sampled pivots — each worker sorts one key
+// range independently, so concatenating the partitions is already the
+// sorted order (the sampling-based partitioning of Polychroniou & Ross
+// that the paper cites for skew resistance). Later rounds distribute
+// the tied groups across workers.
+
+// parallelSortThreshold is the input size below which threading is not
+// worth the coordination cost.
+const parallelSortThreshold = 1 << 14
+
+// parallelFullSort sorts keys with oids across `workers` goroutines.
+func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
+	n := len(keys)
+	if workers < 2 || n < parallelSortThreshold {
+		mergesort.Sort(bank, keys, oids)
+		return
+	}
+
+	// Sample keys and pick workers-1 pivots.
+	sampleSize := 128 * workers
+	if sampleSize > n {
+		sampleSize = n
+	}
+	sample := make([]uint64, sampleSize)
+	stride := n / sampleSize
+	for i := range sample {
+		sample[i] = keys[i*stride]
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	pivots := make([]uint64, workers-1)
+	for i := range pivots {
+		pivots[i] = sample[(i+1)*sampleSize/workers]
+	}
+
+	// Count, scatter into per-partition regions, then sort in parallel.
+	bucket := func(k uint64) int {
+		lo, hi := 0, len(pivots)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if k < pivots[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	counts := make([]int, workers)
+	bIdx := make([]uint8, n)
+	for i, k := range keys {
+		b := bucket(k)
+		bIdx[i] = uint8(b)
+		counts[b]++
+	}
+	offsets := make([]int, workers+1)
+	for i := 0; i < workers; i++ {
+		offsets[i+1] = offsets[i] + counts[i]
+	}
+	scratchK := make([]uint64, n)
+	scratchO := make([]uint32, n)
+	cursor := append([]int(nil), offsets[:workers]...)
+	for i := 0; i < n; i++ {
+		b := bIdx[i]
+		scratchK[cursor[b]] = keys[i]
+		scratchO[cursor[b]] = oids[i]
+		cursor[b]++
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := offsets[w], offsets[w+1]
+		if hi-lo < 2 {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mergesort.Sort(bank, scratchK[lo:hi], scratchO[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	copy(keys, scratchK)
+	copy(oids, scratchO)
+}
+
+// parallelGroupSort sorts each group [groups[g], groups[g+1]) of keys,
+// spreading groups across workers balanced by total row count.
+func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, workers int) int {
+	nSort := 0
+	type seg struct{ lo, hi int }
+	var work []seg
+	for g := 0; g+1 < len(groups); g++ {
+		lo, hi := int(groups[g]), int(groups[g+1])
+		if hi-lo >= 2 {
+			work = append(work, seg{lo, hi})
+			nSort++
+		}
+	}
+	if workers < 2 || len(work) == 0 {
+		for _, s := range work {
+			mergesort.Sort(bank, keys[s.lo:s.hi], perm[s.lo:s.hi])
+		}
+		return nSort
+	}
+	var wg sync.WaitGroup
+	next := make(chan seg, len(work))
+	for _, s := range work {
+		next <- s
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				mergesort.Sort(bank, keys[s.lo:s.hi], perm[s.lo:s.hi])
+			}
+		}()
+	}
+	wg.Wait()
+	return nSort
+}

@@ -1,0 +1,330 @@
+package mergesort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// verifySorted checks the output is ascending and is a key-preserving
+// permutation of the original pairing.
+func verifySorted(t *testing.T, orig []uint64, keys []uint64, oids []uint32) {
+	t.Helper()
+	if len(keys) != len(orig) {
+		t.Fatalf("length changed: %d vs %d", len(keys), len(orig))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("not sorted at %d: %v > %v", i, keys[i-1], keys[i])
+		}
+	}
+	seen := make([]bool, len(orig))
+	for i, o := range oids {
+		if int(o) >= len(orig) || seen[o] {
+			t.Fatalf("oid %d invalid or duplicated", o)
+		}
+		seen[o] = true
+		if orig[o] != keys[i] {
+			t.Fatalf("oid %d paired with key %v, want %v", o, keys[i], orig[o])
+		}
+	}
+}
+
+func identOids(n int) []uint32 {
+	oids := make([]uint32, n)
+	for i := range oids {
+		oids[i] = uint32(i)
+	}
+	return oids
+}
+
+func randKeys(rng *rand.Rand, n, bits int) []uint64 {
+	keys := make([]uint64, n)
+	mask := ^uint64(0)
+	if bits < 64 {
+		mask = (1 << uint(bits)) - 1
+	}
+	for i := range keys {
+		keys[i] = rng.Uint64() & mask
+	}
+	return keys
+}
+
+var testSizes = []int{0, 1, 2, 3, 5, 15, 16, 17, 23, 24, 31, 32, 33, 63, 64, 65,
+	100, 255, 256, 257, 1000, 4095, 4096, 4097, 10000, 65536}
+
+func TestSortAllBanksSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bank := range Banks {
+		for _, n := range testSizes {
+			keys := randKeys(rng, n, bank)
+			orig := append([]uint64(nil), keys...)
+			oids := identOids(n)
+			Sort(bank, keys, oids)
+			verifySorted(t, orig, keys, oids)
+		}
+	}
+}
+
+func TestSortManyTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, bank := range Banks {
+		for _, domain := range []uint64{1, 2, 3, 7, 50} {
+			n := 5000
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = rng.Uint64() % domain
+			}
+			orig := append([]uint64(nil), keys...)
+			oids := identOids(n)
+			Sort(bank, keys, oids)
+			verifySorted(t, orig, keys, oids)
+		}
+	}
+}
+
+func TestSortPreSortedAndReversed(t *testing.T) {
+	for _, bank := range Banks {
+		for _, n := range []int{100, 1000, 5000} {
+			mask := uint64(1)<<uint(bank) - 1
+			if bank == 64 {
+				mask = ^uint64(0)
+			}
+			asc := make([]uint64, n)
+			for i := range asc {
+				asc[i] = uint64(i) & mask
+			}
+			orig := append([]uint64(nil), asc...)
+			oids := identOids(n)
+			Sort(bank, asc, oids)
+			verifySorted(t, orig, asc, oids)
+
+			desc := make([]uint64, n)
+			for i := range desc {
+				desc[i] = uint64(n-i) & mask
+			}
+			orig = append([]uint64(nil), desc...)
+			oids = identOids(n)
+			Sort(bank, desc, oids)
+			verifySorted(t, orig, desc, oids)
+		}
+	}
+}
+
+func TestSortMaxBoundaryValues(t *testing.T) {
+	// Keys at the top of the bank's domain must not collide with any
+	// internal sentinel handling.
+	rng := rand.New(rand.NewSource(3))
+	for _, bank := range Banks {
+		max := ^uint64(0)
+		if bank < 64 {
+			max = (1 << uint(bank)) - 1
+		}
+		n := 3000
+		keys := make([]uint64, n)
+		for i := range keys {
+			switch rng.Intn(3) {
+			case 0:
+				keys[i] = max
+			case 1:
+				keys[i] = 0
+			default:
+				keys[i] = rng.Uint64() & max
+			}
+		}
+		orig := append([]uint64(nil), keys...)
+		oids := identOids(n)
+		Sort(bank, keys, oids)
+		verifySorted(t, orig, keys, oids)
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	for _, bank := range Banks {
+		bank := bank
+		f := func(raw []uint64) bool {
+			mask := ^uint64(0)
+			if bank < 64 {
+				mask = (1 << uint(bank)) - 1
+			}
+			keys := make([]uint64, len(raw))
+			for i, r := range raw {
+				keys[i] = r & mask
+			}
+			orig := append([]uint64(nil), keys...)
+			oids := identOids(len(keys))
+			Sort(bank, keys, oids)
+			want := append([]uint64(nil), orig...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i := range keys {
+				if keys[i] != want[i] || orig[oids[i]] != keys[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("bank %d: %v", bank, err)
+		}
+	}
+}
+
+// TestSortForcedMultiway shrinks the in-cache run target so phase 3 runs
+// several multiway passes.
+func TestSortForcedMultiway(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, bank := range Banks {
+		n := 50000
+		keys := randKeys(rng, n, bank)
+		orig := append([]uint64(nil), keys...)
+		oids := identOids(n)
+		SortWithParams(bank, keys, oids, params{inCacheElems: 64, fanout: 4})
+		verifySorted(t, orig, keys, oids)
+	}
+}
+
+func TestBatcherNetworkSortsEverything(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		net := batcherNetwork(n)
+		// 0-1 principle: a comparator network sorts all inputs iff it
+		// sorts all 2^n binary sequences.
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			v := make([]int, n)
+			for i := range v {
+				v[i] = (bits >> uint(i)) & 1
+			}
+			for _, c := range net {
+				if v[c[0]] > v[c[1]] {
+					v[c[0]], v[c[1]] = v[c[1]], v[c[0]]
+				}
+			}
+			for i := 1; i < n; i++ {
+				if v[i-1] > v[i] {
+					t.Fatalf("network %d fails on pattern %b", n, bits)
+				}
+			}
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, lanes := range []int{1, 2, 4} {
+		bits := 64 / lanes * 8 // not the key width; just bound the values
+		_ = bits
+		n := 1003
+		keys := randKeys(rng, n, 64/lanes)
+		oids := make([]uint32, n)
+		for i := range oids {
+			oids[i] = rng.Uint32()
+		}
+		kw, ow := pack(keys, oids, lanes)
+		outK := make([]uint64, n)
+		outO := make([]uint32, n)
+		unpack(kw, ow, lanes, outK, outO)
+		for i := range keys {
+			if outK[i] != keys[i] || outO[i] != oids[i] {
+				t.Fatalf("lanes %d: round trip mismatch at %d", lanes, i)
+			}
+		}
+	}
+}
+
+func TestPackedAccessors(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4} {
+		n := 37
+		kw := make([]uint64, n+wordsPerReg)
+		ow := make([]uint64, n+wordsPerReg)
+		width := 64 / lanes
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = 1<<uint(width) - 1
+		}
+		rng := rand.New(rand.NewSource(int64(lanes)))
+		want := make([]uint64, n)
+		wantO := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			want[i] = rng.Uint64() & mask
+			wantO[i] = rng.Uint32()
+			setKeyAt(kw, i, lanes, want[i])
+			setOidAt(ow, i, wantO[i])
+		}
+		for i := 0; i < n; i++ {
+			if keyAt(kw, i, lanes) != want[i] {
+				t.Fatalf("lanes %d key %d mismatch", lanes, i)
+			}
+			if oidAt(ow, i) != wantO[i] {
+				t.Fatalf("lanes %d oid %d mismatch", lanes, i)
+			}
+		}
+	}
+}
+
+func TestLoserTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		nRuns := 1 + rng.Intn(9)
+		var keys []uint64
+		runs := []int{0}
+		for r := 0; r < nRuns; r++ {
+			runLen := rng.Intn(20)
+			run := make([]uint64, runLen)
+			for i := range run {
+				run[i] = rng.Uint64() % 100
+			}
+			sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+			keys = append(keys, run...)
+			runs = append(runs, len(keys))
+		}
+		oids := identOids(len(keys))
+		dstK := make([]uint64, len(keys))
+		dstO := make([]uint32, len(keys))
+		orig := append([]uint64(nil), keys...)
+		multiwayMerge(keys, oids, runs, dstK, dstO)
+		verifySorted(t, orig, dstK, dstO)
+	}
+}
+
+// TestSortMatchesBaseline cross-checks the register sort against the
+// scalar packed baseline on identical inputs.
+func TestSortMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, bank := range []int{16, 32} {
+		n := 20000
+		keys := randKeys(rng, n, bank)
+		k32 := make([]uint32, n)
+		for i := range keys {
+			k32[i] = uint32(keys[i])
+		}
+		oids := identOids(n)
+		oids2 := identOids(n)
+		Sort(bank, keys, oids)
+		SortPacked(k32, oids2)
+		for i := range keys {
+			if keys[i] != uint64(k32[i]) {
+				t.Fatalf("bank %d: key order differs from baseline at %d", bank, i)
+			}
+		}
+	}
+}
+
+func BenchmarkSortBank16_64K(b *testing.B) { benchSort(b, 16, 1<<16) }
+func BenchmarkSortBank32_64K(b *testing.B) { benchSort(b, 32, 1<<16) }
+func BenchmarkSortBank64_64K(b *testing.B) { benchSort(b, 64, 1<<16) }
+
+func benchSort(b *testing.B, bank, n int) {
+	rng := rand.New(rand.NewSource(1))
+	src := randKeys(rng, n, bank)
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, src)
+		for j := range oids {
+			oids[j] = uint32(j)
+		}
+		Sort(bank, keys, oids)
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Melem/s")
+}

@@ -1,0 +1,194 @@
+package mergesort
+
+import "math/bits"
+
+// This file implements the sort path for 16- and 32-bit banks.
+//
+// Real SIMD sorters carry the record id inside the sort element: Kim et
+// al. and Balkesen et al. pack a 32-bit key and a 32-bit rid into one
+// 64-bit lane. We do the same: a sort element is key<<32 | oid in a
+// uint64, compared as a whole (ties broken by oid, which is a valid tie
+// order). The three phases operate on these packed elements with
+// branch-free compare-exchanges.
+//
+// Consistent with footnote 4 of the paper — on AVX2, 16-bit-bank sorts
+// are only slightly faster than 32-bit ones because narrow-bank
+// instructions must be simulated — our 16- and 32-bit bank sorts share
+// this path and differ only in phase parameters; the big parallelism
+// cliff is at 64-bit banks (sort64.go), which cannot pack key and oid
+// into one word and pay double-width moves and emulated compares.
+
+// PackedThresholdBits is the widest key the packed path accepts.
+const PackedThresholdBits = 32
+
+// SortPacked sorts keys (each < 2^32, bank 16 or 32) with their oids in
+// place using the three-phase merge-sort over packed 64-bit elements.
+func SortPacked(keys []uint32, oids []uint32) {
+	sortPacked(keys, oids, defaultParams(4))
+}
+
+func sortPacked(keys []uint32, oids []uint32, p params) {
+	n := len(keys)
+	if n != len(oids) {
+		panic("mergesort: keys and oids length mismatch")
+	}
+	if n < insertionThreshold {
+		insertionSort(keys, oids)
+		return
+	}
+	elems := make([]uint64, n)
+	for i := range elems {
+		elems[i] = uint64(keys[i])<<32 | uint64(oids[i])
+	}
+	sortElems(elems, p)
+	for i, e := range elems {
+		keys[i] = uint32(e >> 32)
+		oids[i] = uint32(e)
+	}
+}
+
+// sortElems sorts packed elements in place.
+func sortElems(elems []uint64, p params) {
+	n := len(elems)
+
+	// Phase 1: branch-free sorting networks over blocks of 4.
+	const v = 4
+	nBlocks := n / v
+	runs := make([]int, 0, n/v+2)
+	for b := 0; b < nBlocks; b++ {
+		sortQuadPacked(elems, b*v)
+		runs = append(runs, b*v)
+	}
+	tail := nBlocks * v
+	if tail < n {
+		insertionSortElems(elems[tail:])
+		runs = append(runs, tail)
+	}
+	runs = append(runs, n)
+
+	buf := make([]uint64, n)
+	src, dst := elems, buf
+
+	// Phase 2: pairwise branch-free binary merging until runs fit half L2.
+	runSize := v
+	for len(runs) > 2 && runSize < p.inCacheElems {
+		runs = mergePassPacked(src, runs, dst)
+		src, dst = dst, src
+		runSize *= 2
+	}
+
+	// Phase 3: multiway loser-tree merging with fanout F.
+	for len(runs) > 2 {
+		runs = mergePassMultiwayPacked(src, runs, p.fanout, dst)
+		src, dst = dst, src
+	}
+
+	if &src[0] != &elems[0] {
+		copy(elems, src)
+	}
+}
+
+func insertionSortElems(elems []uint64) {
+	for i := 1; i < len(elems); i++ {
+		e := elems[i]
+		j := i - 1
+		for j >= 0 && elems[j] > e {
+			elems[j+1] = elems[j]
+			j--
+		}
+		elems[j+1] = e
+	}
+}
+
+// sortQuadPacked sorts elems[i:i+4] with a five-comparator network of
+// branch-free compare-exchanges (min/max via borrow masks, the scalar
+// equivalent of the SIMD sorting-network kernel).
+func sortQuadPacked(elems []uint64, i int) {
+	a, b, c, d := elems[i], elems[i+1], elems[i+2], elems[i+3]
+	a, c = minmaxPacked(a, c)
+	b, d = minmaxPacked(b, d)
+	a, b = minmaxPacked(a, b)
+	c, d = minmaxPacked(c, d)
+	b, c = minmaxPacked(b, c)
+	elems[i], elems[i+1], elems[i+2], elems[i+3] = a, b, c, d
+}
+
+func minmaxPacked(x, y uint64) (mn, mx uint64) {
+	_, borrow := bits.Sub64(x, y, 0) // 1 iff x < y
+	ge := borrow - 1                 // all ones iff x >= y
+	mn = (y & ge) | (x &^ ge)
+	mx = (x & ge) | (y &^ ge)
+	return
+}
+
+// mergePassPacked merges adjacent run pairs from src into dst.
+func mergePassPacked(src []uint64, runs []int, dst []uint64) []int {
+	newRuns := make([]int, 0, len(runs)/2+2)
+	newRuns = append(newRuns, runs[0])
+	i := 0
+	for ; i+2 < len(runs); i += 2 {
+		mergePacked(src, runs[i], runs[i+1], runs[i+2], dst)
+		newRuns = append(newRuns, runs[i+2])
+	}
+	if i+1 < len(runs) {
+		copy(dst[runs[i]:runs[i+1]], src[runs[i]:runs[i+1]])
+		newRuns = append(newRuns, runs[i+1])
+	}
+	return newRuns
+}
+
+// mergePacked merges src[a0:m] and src[m:b1] into dst[a0:b1] with a
+// branch-light loop.
+func mergePacked(src []uint64, a0, m, b1 int, dst []uint64) {
+	i, j, d := a0, m, a0
+	for i < m && j < b1 {
+		ka, kb := src[i], src[j]
+		if ka <= kb {
+			dst[d] = ka
+			i++
+		} else {
+			dst[d] = kb
+			j++
+		}
+		d++
+	}
+	copy(dst[d:], src[i:m])
+	d += m - i
+	copy(dst[d:], src[j:b1])
+}
+
+// Packed multiway merge via loser tree over packed elements.
+
+func mergePassMultiwayPacked(src []uint64, runs []int, fanout int, dst []uint64) []int {
+	newRuns := []int{runs[0]}
+	for lo := 0; lo < len(runs)-1; lo += fanout {
+		hi := lo + fanout
+		if hi > len(runs)-1 {
+			hi = len(runs) - 1
+		}
+		group := runs[lo : hi+1]
+		switch len(group) {
+		case 2:
+			copy(dst[group[0]:group[1]], src[group[0]:group[1]])
+		case 3:
+			mergePacked(src, group[0], group[1], group[2], dst)
+		default:
+			multiwayMergePacked(src, group, dst)
+		}
+		newRuns = append(newRuns, group[len(group)-1])
+	}
+	return newRuns
+}
+
+func multiwayMergePacked(src []uint64, runs []int, dst []uint64) {
+	lt := newLoserTree(src, runs)
+	d := runs[0]
+	for {
+		pos := lt.pop()
+		if pos < 0 {
+			break
+		}
+		dst[d] = src[pos]
+		d++
+	}
+}

@@ -1,0 +1,193 @@
+// Package mergesort implements the paper's SIMD-sort: a three-phase
+// merge-sort after Balkesen et al. ("merge-sort with sorting-network
+// kernel", reference [5] of the paper), one implementation per bank size
+// b ∈ {16, 32, 64}.
+//
+// Phase 1 (in-register sorting) sorts blocks of (64/b)² elements with a
+// lane-parallel sorting network and emits sorted runs of 64/b elements.
+// Phase 2 (in-cache merging) repeatedly merges adjacent runs with SWAR
+// bitonic merge networks until runs reach half the L2 cache. Phase 3
+// (out-of-cache merging) merges the in-cache runs with a loser-tree
+// multiway merge of fanout F, requiring ⌈log_F(runs)⌉ passes — the pass
+// structure the paper's Equation 8 models.
+//
+// Each sort permutes a parallel []uint32 oid array together with the
+// keys, producing the object-identifier permutation the column-store
+// needs for subsequent lookups.
+package mergesort
+
+// Unsigned is the set of key types the sorters operate on; the bank size
+// of a sort is the bit width of its key type.
+type Unsigned interface {
+	~uint16 | ~uint32 | ~uint64
+}
+
+// insertionThreshold is the input size below which the sorters fall back
+// to a scalar insertion sort: sorting-network setup does not pay off for
+// tiny inputs (these correspond to the small tied groups of later rounds,
+// whose fixed cost the paper models as C_overhead).
+const insertionThreshold = 24
+
+// insertionSort sorts keys (and oids) in place.
+func insertionSort[K Unsigned](keys []K, oids []uint32) {
+	for i := 1; i < len(keys); i++ {
+		k, o := keys[i], oids[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1], oids[j+1] = keys[j], oids[j]
+			j--
+		}
+		keys[j+1], oids[j+1] = k, o
+	}
+}
+
+// scalarMerge merges src[a0:a1] and src[b0:b1] (both ascending) into dst
+// starting at d, returning the next free dst index.
+func scalarMerge[K Unsigned](srcK []K, srcO []uint32, a0, a1, b0, b1 int, dstK []K, dstO []uint32, d int) int {
+	i, j := a0, b0
+	for i < a1 && j < b1 {
+		if srcK[i] <= srcK[j] {
+			dstK[d], dstO[d] = srcK[i], srcO[i]
+			i++
+		} else {
+			dstK[d], dstO[d] = srcK[j], srcO[j]
+			j++
+		}
+		d++
+	}
+	for i < a1 {
+		dstK[d], dstO[d] = srcK[i], srcO[i]
+		i, d = i+1, d+1
+	}
+	for j < b1 {
+		dstK[d], dstO[d] = srcK[j], srcO[j]
+		j, d = j+1, d+1
+	}
+	return d
+}
+
+// loserTree is a tournament tree over k run cursors, used by the
+// out-of-cache multiway merge. Internal nodes store the loser of the
+// sub-tournament; the overall winner is at node 0.
+type loserTree[K Unsigned] struct {
+	tree   []int // node -> run index of the loser (winner at tree[0])
+	heads  []int // run -> cursor
+	ends   []int // run -> exclusive end
+	keys   []K
+	k      int
+	kPow2  int
+	winner int
+}
+
+// newLoserTree builds the tree over runs given by boundaries: run r spans
+// [runs[r], runs[r+1]). The tree is seeded with a bottom-up tournament:
+// each internal node keeps the loser of its sub-tournament and the overall
+// winner is cached separately.
+func newLoserTree[K Unsigned](keys []K, runs []int) *loserTree[K] {
+	k := len(runs) - 1
+	kPow2 := 1
+	for kPow2 < k {
+		kPow2 *= 2
+	}
+	lt := &loserTree[K]{
+		tree:  make([]int, kPow2),
+		heads: make([]int, k),
+		ends:  make([]int, k),
+		keys:  keys,
+		k:     k,
+		kPow2: kPow2,
+	}
+	for r := 0; r < k; r++ {
+		lt.heads[r], lt.ends[r] = runs[r], runs[r+1]
+	}
+	winners := make([]int, 2*kPow2)
+	for i := 0; i < kPow2; i++ {
+		if i < k {
+			winners[kPow2+i] = i
+		} else {
+			winners[kPow2+i] = -1
+		}
+	}
+	for node := kPow2 - 1; node >= 1; node-- {
+		a, b := winners[2*node], winners[2*node+1]
+		if lt.beats(a, b) {
+			winners[node], lt.tree[node] = a, b
+		} else {
+			winners[node], lt.tree[node] = b, a
+		}
+	}
+	lt.winner = winners[1]
+	return lt
+}
+
+// beats reports whether run a wins against run b: exhausted or absent runs
+// always lose, and ties go to a (any tie order is acceptable).
+func (lt *loserTree[K]) beats(a, b int) bool {
+	if a < 0 || lt.heads[a] >= lt.ends[a] {
+		return false
+	}
+	if b < 0 || lt.heads[b] >= lt.ends[b] {
+		return true
+	}
+	return lt.keys[lt.heads[a]] <= lt.keys[lt.heads[b]]
+}
+
+// pop removes and returns the position of the globally smallest head,
+// then replays the winner's leaf-to-root path. It returns -1 when all
+// runs are exhausted.
+func (lt *loserTree[K]) pop() int {
+	w := lt.winner
+	if w < 0 || lt.heads[w] >= lt.ends[w] {
+		return -1
+	}
+	pos := lt.heads[w]
+	lt.heads[w]++
+	cur := w
+	for node := (lt.kPow2 + w) / 2; node >= 1; node /= 2 {
+		if lt.beats(lt.tree[node], cur) {
+			lt.tree[node], cur = cur, lt.tree[node]
+		}
+	}
+	lt.winner = cur
+	return pos
+}
+
+// multiwayMerge merges all runs (boundaries in runs) from src into dst.
+func multiwayMerge[K Unsigned](srcK []K, srcO []uint32, runs []int, dstK []K, dstO []uint32) {
+	if len(runs) == 2 {
+		scalarMerge(srcK, srcO, runs[0], runs[1], runs[1], runs[1], dstK, dstO, runs[0])
+		return
+	}
+	lt := newLoserTree(srcK, runs)
+	d := runs[0]
+	for {
+		pos := lt.pop()
+		if pos < 0 {
+			break
+		}
+		dstK[d], dstO[d] = srcK[pos], srcO[pos]
+		d++
+	}
+}
+
+// mergePassMultiway runs one out-of-cache pass: it merges consecutive
+// groups of up to fanout runs from src into dst and returns the new run
+// boundaries. src and dst must not alias.
+func mergePassMultiway[K Unsigned](srcK []K, srcO []uint32, runs []int, fanout int, dstK []K, dstO []uint32) []int {
+	newRuns := []int{runs[0]}
+	for lo := 0; lo < len(runs)-1; lo += fanout {
+		hi := lo + fanout
+		if hi > len(runs)-1 {
+			hi = len(runs) - 1
+		}
+		group := runs[lo : hi+1]
+		if len(group) == 2 { // single run: copy through
+			copy(dstK[group[0]:group[1]], srcK[group[0]:group[1]])
+			copy(dstO[group[0]:group[1]], srcO[group[0]:group[1]])
+		} else {
+			multiwayMerge(srcK, srcO, group, dstK, dstO)
+		}
+		newRuns = append(newRuns, group[len(group)-1])
+	}
+	return newRuns
+}

@@ -1,0 +1,140 @@
+package mergesort
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// params bundles the architecture-dependent knobs of a sort.
+type params struct {
+	inCacheElems int // run length (elements) at which phase 2 stops
+	fanout       int // multiway merge fanout F of phase 3
+}
+
+// DefaultFanout is the out-of-cache merge fanout F used when callers do
+// not override it.
+const DefaultFanout = 8
+
+// defaultParams derives the phase parameters from the cache hierarchy:
+// phase 2 stops when a run fills half the L2 cache (the paper's M_L2/2),
+// where an element occupies keyBytes of key plus a 4-byte oid.
+func defaultParams(keyBytes int) params {
+	caches := hw.Detect()
+	elems := int(caches.L2/2) / (keyBytes + 4)
+	if elems < 64 {
+		elems = 64
+	}
+	return params{inCacheElems: elems, fanout: DefaultFanout}
+}
+
+// Banks supported by the SIMD-sort, matching the paper (footnote 4
+// excludes 8-bit banks).
+var Banks = []int{16, 32, 64}
+
+// MinBank is b_min of the paper — the narrowest available bank, used by
+// the plan-search round bound ⌊2(W−1)/b_min⌋+1.
+const MinBank = 16
+
+// Sort sorts keys (each value < 2^bank) together with their oids in
+// place, using the three-phase SIMD merge-sort with b-bit banks. The
+// caller picks the bank; narrower banks give higher data-level
+// parallelism (V = 256/b lanes per register).
+func Sort(bank int, keys []uint64, oids []uint32) {
+	SortWithParams(bank, keys, oids, defaultParams(bank/8))
+}
+
+// SortWithParams is Sort with explicit phase parameters (used by tests
+// and by calibration, which must control the in-cache run target).
+func SortWithParams(bank int, keys []uint64, oids []uint32, p params) {
+	n := len(keys)
+	if n != len(oids) {
+		panic("mergesort: keys and oids length mismatch")
+	}
+	if n < insertionThreshold {
+		insertionSort(keys, oids)
+		return
+	}
+	var (
+		lanes     int
+		v         int
+		blockSort func(kw, ow []uint64, e int)
+		mergeRuns func(srcK, srcO []uint64, a0, a1, b0, b1 int, dstK, dstO []uint64, d int)
+	)
+	switch bank {
+	case 16:
+		lanes, v, blockSort, mergeRuns = 4, 16, blockSort16, vecMergeRuns16
+	case 32:
+		lanes, v, blockSort, mergeRuns = 2, 8, blockSort32, vecMergeRuns32
+	case 64:
+		lanes, v, blockSort, mergeRuns = 1, 4, blockSort64, vecMergeRuns64
+	default:
+		panic(fmt.Sprintf("mergesort: unsupported bank size %d", bank))
+	}
+
+	kw, ow := pack(keys, oids, lanes)
+
+	// Phase 1: in-register sorting of V×V blocks into runs of V.
+	block := v * v
+	nBlocks := n / block
+	runs := make([]int, 0, n/v+2)
+	for b := 0; b < nBlocks; b++ {
+		blockSort(kw, ow, b*block)
+		for r := 0; r < v; r++ {
+			runs = append(runs, b*block+r*v)
+		}
+	}
+	tail := nBlocks * block
+	if tail < n {
+		packedInsertionSort(kw, ow, lanes, tail, n)
+		runs = append(runs, tail)
+	}
+	runs = append(runs, n)
+
+	kw2 := make([]uint64, len(kw))
+	ow2 := make([]uint64, len(ow))
+	srcK, srcO, dstK, dstO := kw, ow, kw2, ow2
+
+	// Phase 2: pairwise register merging until runs fit half L2.
+	runSize := v
+	for len(runs) > 2 && runSize < p.inCacheElems {
+		runs = mergePassVec(srcK, srcO, lanes, runs, dstK, dstO, mergeRuns)
+		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
+		runSize *= 2
+	}
+
+	// Phase 3: multiway loser-tree merging over packed data, fanout F.
+	for len(runs) > 2 {
+		runs = mergePassMultiwayVec(srcK, srcO, lanes, runs, p.fanout, dstK, dstO)
+		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
+	}
+	unpack(srcK, srcO, lanes, keys, oids)
+}
+
+// mergePassVec merges adjacent run pairs from src into dst with the
+// register streaming kernel and returns the new run boundaries.
+func mergePassVec(srcK, srcO []uint64, lanes int, runs []int, dstK, dstO []uint64,
+	mergeRuns func(srcK, srcO []uint64, a0, a1, b0, b1 int, dstK, dstO []uint64, d int)) []int {
+	newRuns := make([]int, 0, len(runs)/2+2)
+	newRuns = append(newRuns, runs[0])
+	i := 0
+	for ; i+2 < len(runs); i += 2 {
+		mergeRuns(srcK, srcO, runs[i], runs[i+1], runs[i+1], runs[i+2], dstK, dstO, runs[i])
+		newRuns = append(newRuns, runs[i+2])
+	}
+	if i+1 < len(runs) { // odd run out: copy through
+		copyPackedRange(srcK, srcO, lanes, runs[i], runs[i+1], dstK, dstO)
+		newRuns = append(newRuns, runs[i+1])
+	}
+	return newRuns
+}
+
+// copyPackedRange copies elements [lo, hi) between packed arrays. The
+// interior words are block-copied; the (possibly shared) boundary words
+// go element-wise.
+func copyPackedRange(srcK, srcO []uint64, lanes, lo, hi int, dstK, dstO []uint64) {
+	for i := lo; i < hi; i++ {
+		setKeyAt(dstK, i, lanes, keyAt(srcK, i, lanes))
+		setOidAt(dstO, i, oidAt(srcO, i))
+	}
+}

@@ -1,0 +1,171 @@
+// Package plan defines code-massage plans: how the W bits of the
+// concatenated sort columns are partitioned into sorting rounds, and
+// which SIMD bank size each round uses (Section 3 of the paper).
+//
+// A plan is written {R₁: w₁/[b₁], R₂: w₂/[b₂], …}: round i sorts a
+// wᵢ-bit key with a bᵢ-bit-bank SIMD-sort. The original column-at-a-time
+// plan P₀ has one round per input column.
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Banks are the available SIMD bank sizes; like the paper (footnote 4),
+// 8-bit banks are excluded.
+var Banks = []int{16, 32, 64}
+
+// MinBank is b_min, the narrowest available bank.
+const MinBank = 16
+
+// MaxWidth is the widest sortable round key (the maximum AVX2 bank).
+const MaxWidth = 64
+
+// Round is one round of sorting: a Width-bit key sorted with a Bank-bit
+// bank SIMD-sort.
+type Round struct {
+	Width int
+	Bank  int
+}
+
+// Plan is a sequence of sorting rounds covering all W bits of the
+// concatenated input columns.
+type Plan struct {
+	Rounds []Round
+}
+
+// MinBankFor returns the narrowest bank that holds a w-bit key.
+func MinBankFor(w int) int {
+	switch {
+	case w <= 16:
+		return 16
+	case w <= 32:
+		return 32
+	case w <= 64:
+		return 64
+	default:
+		return 0 // unsortable in one round
+	}
+}
+
+// ColumnAtATime returns P₀ for the given column widths: one round per
+// column, each with its minimal bank.
+func ColumnAtATime(widths []int) Plan {
+	rounds := make([]Round, len(widths))
+	for i, w := range widths {
+		rounds[i] = Round{Width: w, Bank: MinBankFor(w)}
+	}
+	return Plan{Rounds: rounds}
+}
+
+// FromWidths builds a plan from round widths, assigning each round its
+// minimal bank.
+func FromWidths(widths []int) Plan {
+	return ColumnAtATime(widths)
+}
+
+// TotalWidth returns the number of key bits the plan covers.
+func (p Plan) TotalWidth() int {
+	w := 0
+	for _, r := range p.Rounds {
+		w += r.Width
+	}
+	return w
+}
+
+// Widths returns the per-round key widths.
+func (p Plan) Widths() []int {
+	ws := make([]int, len(p.Rounds))
+	for i, r := range p.Rounds {
+		ws[i] = r.Width
+	}
+	return ws
+}
+
+// Validate checks the plan covers exactly totalWidth bits, every round
+// fits its bank, and every bank is available.
+func (p Plan) Validate(totalWidth int) error {
+	if len(p.Rounds) == 0 {
+		return fmt.Errorf("plan has no rounds")
+	}
+	sum := 0
+	for i, r := range p.Rounds {
+		if r.Width < 1 {
+			return fmt.Errorf("round %d: width %d < 1", i+1, r.Width)
+		}
+		valid := false
+		for _, b := range Banks {
+			if r.Bank == b {
+				valid = true
+			}
+		}
+		if !valid {
+			return fmt.Errorf("round %d: bank %d not available", i+1, r.Bank)
+		}
+		if r.Width > r.Bank {
+			return fmt.Errorf("round %d: width %d exceeds bank %d", i+1, r.Width, r.Bank)
+		}
+		sum += r.Width
+	}
+	if sum != totalWidth {
+		return fmt.Errorf("plan covers %d bits, want %d", sum, totalWidth)
+	}
+	return nil
+}
+
+// MaxRounds returns the paper's Lemma 2 bound on the number of rounds
+// worth considering: ⌊2(W−1)/b_min⌋ + 1. Plans with more rounds are
+// dominated by plans with fewer.
+func MaxRounds(totalWidth int) int {
+	if totalWidth <= 1 {
+		return 1
+	}
+	return 2*(totalWidth-1)/MinBank + 1
+}
+
+// IFIP returns the number of invocations of the four-instruction program
+// (shift, mask, bitwise-or, shift) needed to massage input columns of
+// widths inWidths into round keys of widths outWidths: the cardinality of
+// the union of the two prefix-sum sequences (Section 4, T_massage).
+func IFIP(inWidths, outWidths []int) int {
+	sums := make(map[int]struct{})
+	s := 0
+	for _, w := range inWidths {
+		s += w
+		sums[s] = struct{}{}
+	}
+	s = 0
+	for _, w := range outWidths {
+		s += w
+		sums[s] = struct{}{}
+	}
+	return len(sums)
+}
+
+// Equal reports whether two plans have identical rounds.
+func (p Plan) Equal(q Plan) bool {
+	if len(p.Rounds) != len(q.Rounds) {
+		return false
+	}
+	for i := range p.Rounds {
+		if p.Rounds[i] != q.Rounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the plan in the paper's notation.
+func (p Plan) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, r := range p.Rounds {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "R%d: %d/[%d]", i+1, r.Width, r.Bank)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+package plan
+
+import "testing"
+
+func TestColumnAtATime(t *testing.T) {
+	// The paper's running example: order_date (12-bit) and retail_price
+	// (17-bit) sort as {R1: 12/[16], R2: 17/[32]}.
+	p := ColumnAtATime([]int{12, 17})
+	want := Plan{Rounds: []Round{{12, 16}, {17, 32}}}
+	if !p.Equal(want) {
+		t.Errorf("got %v, want %v", p, want)
+	}
+}
+
+func TestMinBankFor(t *testing.T) {
+	cases := []struct{ w, want int }{
+		{1, 16}, {16, 16}, {17, 32}, {32, 32}, {33, 64}, {64, 64}, {65, 0},
+	}
+	for _, c := range cases {
+		if got := MinBankFor(c.w); got != c.want {
+			t.Errorf("MinBankFor(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Plan{Rounds: []Round{{18, 32}, {32, 32}}}
+	if err := good.Validate(50); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if err := good.Validate(49); err == nil {
+		t.Error("wrong total width accepted")
+	}
+	bad := Plan{Rounds: []Round{{33, 32}}}
+	if err := bad.Validate(33); err == nil {
+		t.Error("width exceeding bank accepted")
+	}
+	badBank := Plan{Rounds: []Round{{8, 8}}}
+	if err := badBank.Validate(8); err == nil {
+		t.Error("8-bit bank accepted (excluded per footnote 4)")
+	}
+	empty := Plan{}
+	if err := empty.Validate(0); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	// The paper's example: W = 17+30+12 = 59 gives ⌊2·58/16⌋+1 = 8.
+	if got := MaxRounds(59); got != 8 {
+		t.Errorf("MaxRounds(59) = %d, want 8", got)
+	}
+	if got := MaxRounds(1); got != 1 {
+		t.Errorf("MaxRounds(1) = %d, want 1", got)
+	}
+	// W=2: ⌊2/16⌋+1 = 1.
+	if got := MaxRounds(2); got != 1 {
+		t.Errorf("MaxRounds(2) = %d, want 1", got)
+	}
+}
+
+func TestIFIP(t *testing.T) {
+	// The paper's worked example (Section 4): massaging 17+33 into
+	// 18+32 has I_FIP = |{17,50} ∪ {18,50}| = 3.
+	if got := IFIP([]int{17, 33}, []int{18, 32}); got != 3 {
+		t.Errorf("IFIP = %d, want 3", got)
+	}
+	// Ex4: 48+48 into 32+32+32 = |{48,96} ∪ {32,64,96}| = 4.
+	if got := IFIP([]int{48, 48}, []int{32, 32, 32}); got != 4 {
+		t.Errorf("IFIP Ex4 = %d, want 4", got)
+	}
+	// Identity massage: I_FIP = number of columns.
+	if got := IFIP([]int{10, 20}, []int{10, 20}); got != 2 {
+		t.Errorf("identity IFIP = %d, want 2", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := Plan{Rounds: []Round{{17, 32}, {30, 32}, {12, 16}}}
+	want := "{R1: 17/[32], R2: 30/[32], R3: 12/[16]}"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTotalWidthAndWidths(t *testing.T) {
+	p := Plan{Rounds: []Round{{18, 32}, {32, 32}}}
+	if p.TotalWidth() != 50 {
+		t.Errorf("TotalWidth = %d", p.TotalWidth())
+	}
+	ws := p.Widths()
+	if len(ws) != 2 || ws[0] != 18 || ws[1] != 32 {
+		t.Errorf("Widths = %v", ws)
+	}
+}

@@ -1,0 +1,147 @@
+// Package planner searches the code-massage plan space (Section 5 of the
+// paper). It provides three search strategies over the same cost model:
+//
+//   - ROGA, the paper's round-based greedy algorithm (Algorithm 1);
+//   - RRS, a recursive-random-search baseline, the comparison point of
+//     the paper's Table 1;
+//   - an exhaustive enumerator (sampled above a budget) that serves as
+//     the "perfect cost model" oracle of Figure 7 and the rank metric.
+//
+// The plan space for an ORDER BY over columns of total width W is the set
+// of integer compositions of W (2^(W−1) plans); GROUP BY and PARTITION BY
+// additionally permute the column order (m! larger).
+package planner
+
+import (
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/plan"
+)
+
+// ClauseKind distinguishes sorts with a fixed column order (ORDER BY)
+// from those free to permute columns (GROUP BY, PARTITION BY).
+type ClauseKind int
+
+const (
+	OrderBy ClauseKind = iota
+	GroupBy
+	PartitionBy
+)
+
+// FreeOrder reports whether the clause may reorder its columns.
+func (k ClauseKind) FreeOrder() bool { return k != OrderBy }
+
+// Choice is a plan selected by a search strategy: the column order it
+// assumes and the round partition, with the model's cost estimate.
+type Choice struct {
+	// ColOrder maps round-partition positions to the original column
+	// indices: the concatenation sorted is C[ColOrder[0]]‖C[ColOrder[1]]‖….
+	ColOrder []int
+	Plan     plan.Plan
+	Est      float64 // estimated T_mcs in nanoseconds
+}
+
+// identityOrder returns [0, 1, …, m).
+func identityOrder(m int) []int {
+	p := make([]int, m)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// DefaultRho is the paper's recommended time threshold ρ = 0.1%.
+const DefaultRho = 0.001
+
+// Search bundles the inputs every strategy consumes.
+type Search struct {
+	Model *costmodel.Model
+	Stats costmodel.Stats // column stats in clause order
+	Kind  ClauseKind
+	// Rho is the time threshold ρ: the search stops once its elapsed
+	// time exceeds Rho × the estimated cost of the best plan so far.
+	// Zero means DefaultRho; negative means no threshold (N/S).
+	Rho float64
+	// FixedTail pins the last FixedTail columns in place when the
+	// clause kind would otherwise permute them: a window function's
+	// ORDER BY column must remain the final sort key of its
+	// PARTITION BY sort.
+	FixedTail int
+}
+
+// freePrefix returns how many leading columns the search may permute.
+func (s *Search) freePrefix() int {
+	m := len(s.Stats.Cols)
+	if !s.Kind.FreeOrder() {
+		return 0
+	}
+	free := m - s.FixedTail
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+func (s *Search) rho() float64 {
+	if s.Rho == 0 {
+		return DefaultRho
+	}
+	return s.Rho
+}
+
+// stopwatch implements the ρ-threshold early stop of Algorithm 1.
+type stopwatch struct {
+	start time.Time
+	rho   float64
+}
+
+// expired reports whether the elapsed time exceeds ρ × bestEstNS.
+// A negative ρ disables the threshold.
+func (sw *stopwatch) expired(bestEstNS float64) bool {
+	if sw.rho < 0 {
+		return false
+	}
+	return float64(time.Since(sw.start).Nanoseconds()) > sw.rho*bestEstNS
+}
+
+// baseline returns the column-at-a-time plan P₀ in clause order.
+func (s *Search) baseline() Choice {
+	widths := make([]int, len(s.Stats.Cols))
+	for i, c := range s.Stats.Cols {
+		widths[i] = c.Width
+	}
+	p0 := plan.ColumnAtATime(widths)
+	return Choice{
+		ColOrder: identityOrder(len(widths)),
+		Plan:     p0,
+		Est:      s.Model.TMCS(p0, s.Stats),
+	}
+}
+
+// permutations yields every permutation of 0..m-1 in lexicographic
+// succession starting from identity, calling f until it returns false.
+func permutations(m int, f func(perm []int) bool) {
+	perm := identityOrder(m)
+	for {
+		if !f(perm) {
+			return
+		}
+		// Next lexicographic permutation.
+		i := m - 2
+		for i >= 0 && perm[i] >= perm[i+1] {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		j := m - 1
+		for perm[j] <= perm[i] {
+			j--
+		}
+		perm[i], perm[j] = perm[j], perm[i]
+		for l, r := i+1, m-1; l < r; l, r = l+1, r-1 {
+			perm[l], perm[r] = perm[r], perm[l]
+		}
+	}
+}

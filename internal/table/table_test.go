@@ -1,0 +1,76 @@
+package table
+
+import (
+	"testing"
+
+	"repro/internal/column"
+)
+
+func TestAddAndCol(t *testing.T) {
+	tbl := New("t", 4)
+	c := column.FromCodes("a", 3, []uint64{1, 2, 3, 4})
+	if err := tbl.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Col("a")
+	if err != nil || got != c {
+		t.Fatalf("Col: %v %v", got, err)
+	}
+	if _, err := tbl.Col("missing"); err == nil {
+		t.Error("missing column accepted")
+	}
+	if err := tbl.Add(c); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	short := column.FromCodes("b", 3, []uint64{1})
+	if err := tbl.Add(short); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestByteSliceCached(t *testing.T) {
+	tbl := New("t", 3)
+	tbl.MustAdd(column.FromCodes("a", 9, []uint64{100, 200, 300}))
+	bs1, err := tbl.ByteSlice("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs2, _ := tbl.ByteSlice("a")
+	if bs1 != bs2 {
+		t.Error("ByteSlice not cached")
+	}
+	for i, want := range []uint64{100, 200, 300} {
+		if bs1.Lookup(i) != want {
+			t.Errorf("row %d: %d", i, bs1.Lookup(i))
+		}
+	}
+}
+
+func TestStatsCachedAndCorrect(t *testing.T) {
+	tbl := New("t", 8)
+	tbl.MustAdd(column.FromCodes("a", 3, []uint64{0, 1, 2, 3, 4, 5, 6, 7}))
+	st1, err := tbl.Stats("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.PrefixDistinct[3] != 8 {
+		t.Errorf("full-width distinct = %v, want 8", st1.PrefixDistinct[3])
+	}
+	st2, _ := tbl.Stats("a")
+	if &st1.PrefixDistinct[0] != &st2.PrefixDistinct[0] {
+		t.Error("stats not cached")
+	}
+	if _, err := tbl.Stats("missing"); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestColumnsListing(t *testing.T) {
+	tbl := New("t", 1)
+	tbl.MustAdd(column.FromCodes("x", 1, []uint64{0}))
+	tbl.MustAdd(column.FromCodes("y", 1, []uint64{1}))
+	names := tbl.Columns()
+	if len(names) != 2 {
+		t.Fatalf("Columns = %v", names)
+	}
+}

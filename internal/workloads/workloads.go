@@ -1,0 +1,236 @@
+// Package workloads defines the evaluation workloads of Section 6: the
+// nine multi-column-sorting TPC-H queries (on uniform and zipf-skewed
+// data), the four TPC-DS PARTITION BY queries, and the five queries on
+// the airline dataset (Table 5). Each query is expressed over the
+// generated WideTables in the engine's declarative form; the paper's SQL
+// is quoted in the comments.
+//
+// Queries whose ORDER BY pins the sort column order (e.g. Q1, Q9, Q18)
+// run as OrderBy; queries ordered only by an aggregate (Q3, Q10, Q16,
+// Q67) leave the GROUP BY column order free, which multiplies the plan
+// space by m! exactly as Section 5 describes.
+package workloads
+
+import (
+	"repro/internal/byteslice"
+	"repro/internal/engine"
+	"repro/internal/planner"
+	"repro/internal/table"
+)
+
+// Item is one evaluated query bound to its table.
+type Item struct {
+	ID    string
+	Table *table.Table
+	Query engine.Query
+}
+
+// TPCHQueries returns the nine eligible TPC-H queries over the given
+// WideTable (uniform or skewed). Filter constants are codes in the
+// generated domains, chosen for paper-like selectivities.
+func TPCHQueries(t *table.Table, suffix string) []Item {
+	q := func(id string, query engine.Query) Item {
+		query.ID = id + suffix
+		return Item{ID: query.ID, Table: t, Query: query}
+	}
+	return []Item{
+		// Q1: SELECT … FROM lineitem WHERE l_shipdate <= date GROUP BY
+		// l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus.
+		q("tpch.q1", engine.Query{
+			Kind:     planner.OrderBy,
+			SortCols: []engine.SortCol{{Name: "l_returnflag"}, {Name: "l_linestatus"}},
+			Filters:  []engine.Filter{{Col: "l_shipdate", Op: byteslice.LE, Const: 2300}},
+			Agg:      &engine.Agg{Kind: engine.Sum, Col: "l_extendedprice"},
+		}),
+		// Q2: … ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+		// WHERE p_size = 15 ….
+		q("tpch.q2", engine.Query{
+			Kind: planner.OrderBy,
+			SortCols: []engine.SortCol{
+				{Name: "s_acctbal", Desc: true}, {Name: "supp_nation"},
+				{Name: "s_name"}, {Name: "p_partkey"},
+			},
+			Filters: []engine.Filter{{Col: "p_size", Op: byteslice.EQ, Const: 15}},
+		}),
+		// Q3: … WHERE c_mktsegment = 'BUILDING' AND dates … GROUP BY
+		// l_orderkey, o_orderdate, o_shippriority ORDER BY revenue DESC.
+		q("tpch.q3", engine.Query{
+			Kind: planner.GroupBy,
+			SortCols: []engine.SortCol{
+				{Name: "l_orderkey"}, {Name: "o_orderdate"}, {Name: "o_shippriority"},
+			},
+			Filters: []engine.Filter{
+				{Col: "c_mktsegment", Op: byteslice.EQ, Const: 1},
+				{Col: "l_shipdate", Op: byteslice.GT, Const: 1200},
+			},
+			Agg:        &engine.Agg{Kind: engine.Sum, Col: "l_extendedprice"},
+			OrderByAgg: true,
+		}),
+		// Q7: … GROUP BY supp_nation, cust_nation, l_year ORDER BY the
+		// same columns, shipdate between two years.
+		q("tpch.q7", engine.Query{
+			Kind: planner.OrderBy,
+			SortCols: []engine.SortCol{
+				{Name: "supp_nation"}, {Name: "cust_nation"}, {Name: "l_year"},
+			},
+			Filters: []engine.Filter{{Col: "l_shipdate", Between: true, Lo: 1096, Hi: 1826}},
+			Agg:     &engine.Agg{Kind: engine.Sum, Col: "l_extendedprice"},
+		}),
+		// Q9: … GROUP BY nation, o_year ORDER BY nation, o_year DESC
+		// WHERE p_name LIKE '%green%' (p_type range as the proxy filter).
+		q("tpch.q9", engine.Query{
+			Kind:     planner.OrderBy,
+			SortCols: []engine.SortCol{{Name: "supp_nation"}, {Name: "o_year", Desc: true}},
+			Filters:  []engine.Filter{{Col: "p_type", Op: byteslice.LT, Const: 30}},
+			Agg:      &engine.Agg{Kind: engine.Sum, Col: "l_extendedprice"},
+		}),
+		// Q10: … GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name,
+		// c_address, c_comment ORDER BY revenue DESC (m = 7, the paper's
+		// largest TPC-H clause).
+		q("tpch.q10", engine.Query{
+			Kind: planner.GroupBy,
+			SortCols: []engine.SortCol{
+				{Name: "c_custkey"}, {Name: "c_name"}, {Name: "c_acctbal"},
+				{Name: "c_phone"}, {Name: "n_name"}, {Name: "c_address"},
+				{Name: "c_comment"},
+			},
+			Filters: []engine.Filter{
+				{Col: "o_orderdate", Between: true, Lo: 800, Hi: 892},
+				{Col: "l_returnflag", Op: byteslice.EQ, Const: 2},
+			},
+			Agg:        &engine.Agg{Kind: engine.Sum, Col: "l_extendedprice"},
+			OrderByAgg: true,
+		}),
+		// Q13 (first stage): GROUP BY c_custkey counting orders; the
+		// ORDER BY custdist DESC, c_count DESC multi-column sort runs on
+		// the tiny derived table (see RunQ13 and Figure 1's discussion).
+		q("tpch.q13", engine.Query{
+			Kind:       planner.GroupBy,
+			SortCols:   []engine.SortCol{{Name: "c_custkey"}},
+			Agg:        &engine.Agg{Kind: engine.Count},
+			OrderByAgg: true,
+		}),
+		// Q16: … GROUP BY p_brand, p_type, p_size ORDER BY supplier_cnt
+		// DESC, … WHERE p_size <> 15 (the Figure 7 query, m = 3).
+		q("tpch.q16", engine.Query{
+			Kind: planner.GroupBy,
+			SortCols: []engine.SortCol{
+				{Name: "p_brand"}, {Name: "p_type"}, {Name: "p_size"},
+			},
+			Filters:    []engine.Filter{{Col: "p_size", Op: byteslice.NEQ, Const: 15}},
+			Agg:        &engine.Agg{Kind: engine.Count},
+			OrderByAgg: true,
+		}),
+		// Q18: … GROUP BY c_name, c_custkey, o_orderkey, o_orderdate,
+		// o_totalprice ORDER BY o_totalprice DESC, o_orderdate — the
+		// ORDER BY pins two leading columns, the rest are grouping keys.
+		q("tpch.q18", engine.Query{
+			Kind: planner.OrderBy,
+			SortCols: []engine.SortCol{
+				{Name: "o_totalprice", Desc: true}, {Name: "o_orderdate"},
+				{Name: "c_name"}, {Name: "c_custkey"}, {Name: "l_orderkey"},
+			},
+			Filters: []engine.Filter{{Col: "l_quantity", Op: byteslice.GE, Const: 30}},
+			Agg:     &engine.Agg{Kind: engine.Sum, Col: "l_quantity"},
+		}),
+	}
+}
+
+// TPCDSQueries returns the four evaluated TPC-DS queries (all carrying
+// PARTITION BY windows; Q67's rollup grouping is the widest clause).
+func TPCDSQueries(t *table.Table) []Item {
+	q := func(id string, query engine.Query) Item {
+		query.ID = id
+		return Item{ID: id, Table: t, Query: query}
+	}
+	return []Item{
+		// Q36: RANK() OVER (PARTITION BY i_category, i_class ORDER BY
+		// gross margin) for one year.
+		q("tpcds.q36", engine.Query{
+			Kind:     planner.PartitionBy,
+			SortCols: []engine.SortCol{{Name: "i_category"}, {Name: "i_class"}},
+			Window:   &engine.Window{OrderCol: "ss_net_profit", Desc: true},
+			Filters:  []engine.Filter{{Col: "d_year", Op: byteslice.EQ, Const: 3}},
+		}),
+		// Q53: RANK over manufacturer/quarter sales.
+		q("tpcds.q53", engine.Query{
+			Kind:     planner.PartitionBy,
+			SortCols: []engine.SortCol{{Name: "i_manufact_id"}, {Name: "d_qoy"}},
+			Window:   &engine.Window{OrderCol: "ss_sales_price"},
+		}),
+		// Q67: GROUP BY rollup over i_category, i_class, i_brand,
+		// d_year, d_qoy, d_moy, s_store_sk, ranked by sum sales — the
+		// seven-column grouping is the multi-column sort.
+		q("tpcds.q67", engine.Query{
+			Kind: planner.GroupBy,
+			SortCols: []engine.SortCol{
+				{Name: "i_category"}, {Name: "i_class"}, {Name: "i_brand"},
+				{Name: "d_year"}, {Name: "d_qoy"}, {Name: "d_moy"},
+				{Name: "s_store_sk"},
+			},
+			Agg:        &engine.Agg{Kind: engine.Sum, Col: "ss_sales_price"},
+			OrderByAgg: true,
+		}),
+		// Q89: RANK over category/brand/company monthly sales deviation.
+		q("tpcds.q89", engine.Query{
+			Kind: planner.PartitionBy,
+			SortCols: []engine.SortCol{
+				{Name: "i_category"}, {Name: "i_brand"}, {Name: "s_company_id"},
+			},
+			Window:  &engine.Window{OrderCol: "ss_sales_price"},
+			Filters: []engine.Filter{{Col: "d_year", Op: byteslice.EQ, Const: 2}},
+		}),
+	}
+}
+
+// AirlineQueries returns the five real-workload queries of Table 5.
+func AirlineQueries(ticket, market *table.Table) []Item {
+	return []Item{
+		// A1: SELECT … FROM Ticket WHERE OriginStateName = 'Texas'
+		// ORDER BY DollarCred, FarePerMile.
+		{ID: "real.q1", Table: ticket, Query: engine.Query{
+			ID:       "real.q1",
+			Kind:     planner.OrderBy,
+			SortCols: []engine.SortCol{{Name: "DollarCred"}, {Name: "FarePerMile"}},
+			Filters:  []engine.Filter{{Col: "OriginStateName", Op: byteslice.EQ, Const: 43}},
+		}},
+		// A2: RANK() OVER (PARTITION BY OriginAirportID, DistanceGroup
+		// ORDER BY Passengers) WHERE ItinGeoType = 1.
+		{ID: "real.q2", Table: ticket, Query: engine.Query{
+			ID:       "real.q2",
+			Kind:     planner.PartitionBy,
+			SortCols: []engine.SortCol{{Name: "OriginAirportID"}, {Name: "DistanceGroup"}},
+			Window:   &engine.Window{OrderCol: "Passengers"},
+			Filters:  []engine.Filter{{Col: "ItinGeoType", Op: byteslice.EQ, Const: 1}},
+		}},
+		// A3: GROUP BY RPCarrier, OriginState, RoundTrip, DistanceGroup
+		// with AVG(Passengers).
+		{ID: "real.q3", Table: ticket, Query: engine.Query{
+			ID:   "real.q3",
+			Kind: planner.GroupBy,
+			SortCols: []engine.SortCol{
+				{Name: "RPCarrier"}, {Name: "OriginStateName"},
+				{Name: "RoundTrip"}, {Name: "DistanceGroup"},
+			},
+			Agg: &engine.Agg{Kind: engine.Avg, Col: "Passengers"},
+		}},
+		// A4: GROUP BY OriginAirportID, DestAirportID with AVG(MktFare)
+		// WHERE OpCarrier = 'B6'.
+		{ID: "real.q4", Table: market, Query: engine.Query{
+			ID:       "real.q4",
+			Kind:     planner.GroupBy,
+			SortCols: []engine.SortCol{{Name: "OriginAirportID"}, {Name: "DestAirportID"}},
+			Filters:  []engine.Filter{{Col: "OpCarrier", Op: byteslice.EQ, Const: 5}},
+			Agg:      &engine.Agg{Kind: engine.Avg, Col: "MktFare"},
+		}},
+		// A5: RANK() OVER (PARTITION BY OpCarrier, ItinGeoType ORDER BY
+		// MktFare) WHERE MktDistanceGroup = 1.
+		{ID: "real.q5", Table: market, Query: engine.Query{
+			ID:       "real.q5",
+			Kind:     planner.PartitionBy,
+			SortCols: []engine.SortCol{{Name: "OpCarrier"}, {Name: "ItinGeoType"}},
+			Window:   &engine.Window{OrderCol: "MktFare"},
+			Filters:  []engine.Filter{{Col: "MktDistanceGroup", Op: byteslice.EQ, Const: 1}},
+		}},
+	}
+}

@@ -1,0 +1,207 @@
+// Package mcs is the public API of the multi-column sorting library: a
+// Go reproduction of "Fast Multi-Column Sorting in Main-Memory
+// Column-Stores" (Xu, Feng, Lo — SIGMOD 2016).
+//
+// The entry point is Sort: give it the encoded sort columns (codes,
+// widths, directions) and it plans and executes a multi-column sort,
+// returning the sorted permutation of object identifiers and the tied
+// groups. With massaging enabled (the default), a cost-based search
+// (ROGA) first chooses how to repartition the columns' bits into
+// sorting rounds — stitching columns together or borrowing bits between
+// them — to minimize the total SIMD sorting time.
+//
+//	cols := []mcs.Column{
+//	    {Codes: dates, Width: 12},
+//	    {Codes: prices, Width: 17, Desc: true},
+//	}
+//	res, err := mcs.Sort(cols, nil)
+//	// res.Perm is the sorted oid order; res.Plan what was executed.
+//
+// The heavy lifting lives in the internal packages; this package wires
+// them together and re-exports the types a caller needs to name.
+package mcs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/massage"
+	"repro/internal/mcsort"
+	"repro/internal/plan"
+	"repro/internal/planner"
+)
+
+// Column is one sort key column: fixed-width codes (each < 2^Width, as
+// produced by the colstore encoders) and its sort direction.
+type Column struct {
+	Codes []uint64
+	Width int
+	Desc  bool
+}
+
+// Plan is a code-massage plan: how the concatenated key bits are
+// partitioned into sorting rounds, in the paper's {R₁: w/[b], …}
+// notation.
+type Plan = plan.Plan
+
+// Round is one sorting round of a Plan.
+type Round = plan.Round
+
+// Clause tells the planner whether the column order is fixed (OrderBy)
+// or free to permute (GroupBy, PartitionBy) — free order multiplies the
+// plan space by m!.
+type Clause = planner.ClauseKind
+
+// Clause kinds.
+const (
+	OrderBy     = planner.OrderBy
+	GroupBy     = planner.GroupBy
+	PartitionBy = planner.PartitionBy
+)
+
+// Model is the calibrated architecture-aware cost model.
+type Model = costmodel.Model
+
+// Timings is the per-phase wall-time breakdown of a sort.
+type Timings = mcsort.Timings
+
+// Options tunes Sort. The zero value (or nil) means: massaging on,
+// ORDER BY semantics, ρ = 0.1%, process-wide calibrated model,
+// single-threaded.
+type Options struct {
+	// Massaging disables the plan search when false: the columns are
+	// sorted column-at-a-time (the baseline P₀ of the paper).
+	Massaging *bool
+	// Clause selects the planner's freedom; defaults to OrderBy.
+	Clause Clause
+	// Rho is the plan-search time threshold ρ (default 0.001 = 0.1%).
+	Rho float64
+	// Model overrides the cost model (default: calibrate once per
+	// process, or load the profile named by MCS_CALIBRATION).
+	Model *Model
+	// Plan skips the search entirely and executes the given plan.
+	Plan *Plan
+	// Workers parallelizes massaging when > 1.
+	Workers int
+}
+
+// Result of a multi-column sort.
+type Result struct {
+	// Perm is the sorted order: Perm[i] is the oid (input row index) of
+	// the i-th tuple under the sort.
+	Perm []uint32
+	// Groups bound the runs of tuples equal on every sort column:
+	// group g is Perm[Groups[g]:Groups[g+1]].
+	Groups []int32
+	// Plan is the executed massage plan; ColOrder the column
+	// permutation chosen for free-order clauses (identity for OrderBy).
+	Plan     Plan
+	ColOrder []int
+	// Timings breaks down where the time went.
+	Timings Timings
+	// Estimated is the model's cost estimate of the chosen plan in
+	// nanoseconds (0 when massaging was off or a plan was supplied).
+	Estimated float64
+}
+
+// Sort sorts rows by the given columns (lexicographically, honoring each
+// column's direction) and returns the permutation and tie groups.
+func Sort(cols []Column, opts *Options) (*Result, error) {
+	if len(cols) == 0 {
+		return nil, errors.New("mcs: no sort columns")
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	n := len(cols[0].Codes)
+	inputs := make([]massage.Input, len(cols))
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		if c.Width < 1 || c.Width > 64 {
+			return nil, fmt.Errorf("mcs: column %d width %d out of range [1,64]", i, c.Width)
+		}
+		if len(c.Codes) != n {
+			return nil, fmt.Errorf("mcs: column %d has %d rows, want %d", i, len(c.Codes), n)
+		}
+		inputs[i] = massage.Input{Codes: c.Codes, Width: c.Width, Desc: c.Desc}
+		widths[i] = c.Width
+	}
+
+	choice := planner.Choice{ColOrder: identity(len(cols)), Plan: plan.ColumnAtATime(widths)}
+	switch {
+	case o.Plan != nil:
+		choice.Plan = *o.Plan
+	case o.Massaging == nil || *o.Massaging:
+		model := o.Model
+		if model == nil {
+			model = costmodel.Default()
+		}
+		cols2 := make([][]uint64, len(inputs))
+		for i := range inputs {
+			cols2[i] = sample(inputs[i].Codes)
+		}
+		st := costmodel.CollectStats(cols2, widths)
+		st.N = n
+		choice = planner.ROGA(&planner.Search{
+			Model: model, Stats: st, Kind: o.Clause, Rho: o.Rho,
+		})
+	}
+
+	ordered := make([]massage.Input, len(inputs))
+	for i, c := range choice.ColOrder {
+		ordered[i] = inputs[c]
+	}
+	mres, err := mcsort.Execute(ordered, choice.Plan, mcsort.Options{Workers: o.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Perm:      mres.Perm,
+		Groups:    mres.Groups,
+		Plan:      choice.Plan,
+		ColOrder:  choice.ColOrder,
+		Timings:   mres.Timings,
+		Estimated: choice.Est,
+	}, nil
+}
+
+// ColumnAtATime returns the baseline plan P₀ for the column widths.
+func ColumnAtATime(widths []int) Plan { return plan.ColumnAtATime(widths) }
+
+// Calibrate measures this machine and returns a cost model; expensive
+// (a few seconds), so reuse the result or persist it with Model.Save.
+func Calibrate() *Model { return costmodel.Calibrate(costmodel.CalOptions{}) }
+
+// LoadModel reads a model saved with Model.Save.
+func LoadModel(path string) (*Model, error) { return costmodel.Load(path) }
+
+// statsSampleLimit bounds the rows inspected when collecting planning
+// statistics; beyond this, prefix-distinct profiles change little.
+const statsSampleLimit = 1 << 16
+
+func sample(codes []uint64) []uint64 {
+	if len(codes) > statsSampleLimit {
+		return codes[:statsSampleLimit]
+	}
+	return codes
+}
+
+func identity(m int) []int {
+	p := make([]int, m)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Off and On are convenience pointers for Options.Massaging.
+var (
+	offValue = false
+	onValue  = true
+	// Off disables code massaging (column-at-a-time baseline).
+	Off = &offValue
+	// On enables code massaging explicitly (it is also the default).
+	On = &onValue
+)
