@@ -5,19 +5,33 @@
 //	mcsbench -exp fig3a                 # one experiment
 //	mcsbench -exp all -quick            # the whole evaluation, reduced
 //	mcsbench -exp fig8 -tablerows 200000
+//	mcsbench -exp fig8 -metrics json    # obs metrics snapshot on stdout
+//	mcsbench -exp all -trace            # per-experiment trace on stderr
+//	mcsbench -exp all -debug-addr :6060 # live pprof + expvar
 //
 // Experiment ids: fig1, fig3a, fig3b, fig3c, fig4a, fig4b, fig5, fig7,
 // tab1, tab2, fig8, fig9, fig10, fig12.
+//
+// Observability (docs/observability.md): -trace and -metrics enable the
+// internal/obs subsystem, which records per-phase sort timings, massage
+// op counts, plan-search statistics, and the engine's
+// predicted-vs-measured cost per query. -debug-addr serves
+// net/http/pprof and expvar (the obs snapshot is published as the
+// "obs" expvar at /debug/vars).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,8 +42,33 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		quick     = flag.Bool("quick", false, "reduced populations and scales")
 		calPath   = flag.String("calibration", "", "load a saved calibration profile instead of calibrating")
+		metrics   = flag.String("metrics", "", "emit an obs metrics snapshot on stdout at exit: json | text")
+		trace     = flag.Bool("trace", false, "print the cumulative obs trace to stderr after each experiment")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	switch *metrics {
+	case "", "json", "text":
+	default:
+		fmt.Fprintf(os.Stderr, "mcsbench: -metrics must be 'json' or 'text', got %q\n", *metrics)
+		os.Exit(2)
+	}
+	if *metrics != "" || *trace || *debugAddr != "" {
+		obs.Enable()
+	}
+	if *debugAddr != "" {
+		obs.PublishExpvar("obs")
+		// Touch expvar so its /debug/vars handler is registered even if
+		// the import graph changes.
+		_ = expvar.Get("obs")
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsbench: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "mcsbench: pprof at http://%s/debug/pprof, metrics at /debug/vars\n", *debugAddr)
+	}
 
 	cfg := experiments.Config{
 		Rows:      *rows,
@@ -64,5 +103,25 @@ func main() {
 		}
 		fmt.Println(rep.String())
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *trace {
+			fmt.Fprintf(os.Stderr, "-- obs trace after %s (cumulative) --\n", id)
+			if err := obs.WriteText(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "mcsbench: obs trace: %v\n", err)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	switch *metrics {
+	case "json":
+		if err := obs.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	case "text":
+		if err := obs.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

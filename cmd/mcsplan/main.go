@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 )
@@ -30,8 +31,18 @@ func main() {
 		clause       = flag.String("clause", "orderby", "orderby | groupby | partitionby")
 		rho          = flag.Float64("rho", planner.DefaultRho, "search time threshold (negative = unbounded)")
 		seed         = flag.Int64("seed", 1, "generator seed")
+		metrics      = flag.String("metrics", "", "emit an obs metrics snapshot (search counters) at exit: json | text")
 	)
 	flag.Parse()
+	switch *metrics {
+	case "", "json", "text":
+	default:
+		fmt.Fprintf(os.Stderr, "mcsplan: -metrics must be 'json' or 'text', got %q\n", *metrics)
+		os.Exit(2)
+	}
+	if *metrics != "" {
+		obs.Enable()
+	}
 
 	widths, err := parseInts(*widthsFlag)
 	if err != nil || len(widths) == 0 {
@@ -94,6 +105,19 @@ func main() {
 	rrs := planner.RRS(s, *seed)
 	fmt.Printf("RRS pick:              %-40s est %8.2f ms (order %v)\n",
 		rrs.Plan, rrs.Est/1e6, rrs.ColOrder)
+
+	switch *metrics {
+	case "json":
+		fmt.Println()
+		if err := obs.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsplan: metrics: %v\n", err)
+		}
+	case "text":
+		fmt.Println()
+		if err := obs.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsplan: metrics: %v\n", err)
+		}
+	}
 }
 
 // baseline mirrors the planner's internal baseline (P0 in clause order).

@@ -15,9 +15,21 @@ import (
 	"repro/internal/massage"
 	"repro/internal/mcsort"
 	"repro/internal/mergesort"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/table"
+)
+
+// Cost-model accuracy observability: every massaged execution records
+// the planner's predicted T_mcs next to the measured one, per query and
+// in aggregate, so predicted-vs-measured divergence is a first-class
+// metric (`mcsbench -metrics`). Writes are no-ops until obs.Enable().
+var (
+	obsQueries        = obs.NewCounter("engine.queries")
+	obsPredictedNS    = obs.NewCounter("engine.predicted_mcs_ns")
+	obsMeasuredNS     = obs.NewCounter("engine.measured_mcs_ns")
+	obsPredOverMeasMi = obs.NewGauge("engine.pred_over_meas_x1000")
 )
 
 // SortCol names one column of the multi-column sort clause.
@@ -106,6 +118,21 @@ type Result struct {
 	ColOrder []int
 	// Rows is the row count after filtering.
 	Rows int
+	// PredictedMCS is the cost model's estimated T_mcs for the chosen
+	// plan in nanoseconds (0 when no estimate was produced, e.g. with
+	// massaging off). Compare against Timing.MCS.Total() for the
+	// predicted-vs-measured accuracy of the model.
+	PredictedMCS float64
+}
+
+// CostRatio returns predicted/measured T_mcs, or 0 when either side is
+// missing.
+func (r *Result) CostRatio() float64 {
+	meas := float64(r.Timing.MCS.Total())
+	if r.PredictedMCS <= 0 || meas <= 0 {
+		return 0
+	}
+	return r.PredictedMCS / meas
 }
 
 // Options tunes an execution.
@@ -199,6 +226,8 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("%s: %w", q.ID, err)
 	}
 	res.Timing.MCS = mres.Timings
+	res.PredictedMCS = choice.Est
+	recordCostAccuracy(q.ID, choice.Est, mres.Timings.Total())
 
 	// 5. Consume the sorted output.
 	if q.Window != nil {
@@ -220,6 +249,29 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 		res.Timing.PostSort = time.Since(start)
 	}
 	return res, nil
+}
+
+// recordCostAccuracy publishes one query's predicted and measured
+// multi-column-sort cost. The aggregate ratio gauge is recomputed from
+// the running totals so `pred_over_meas_x1000` always reflects every
+// query so far (1000 = perfectly calibrated model).
+func recordCostAccuracy(queryID string, predictedNS float64, measured time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	obsQueries.Inc()
+	if predictedNS <= 0 || measured <= 0 {
+		return
+	}
+	obsPredictedNS.Add(int64(predictedNS))
+	obsMeasuredNS.Add(int64(measured))
+	if m := obsMeasuredNS.Value(); m > 0 {
+		obsPredOverMeasMi.Set(obsPredictedNS.Value() * 1000 / m)
+	}
+	if queryID != "" {
+		obs.NewCounter("engine.query."+queryID+".predicted_mcs_ns").Add(int64(predictedNS))
+		obs.NewCounter("engine.query."+queryID+".measured_mcs_ns").Add(int64(measured))
+	}
 }
 
 // MaterializeSortInputs runs a query's filter and materialization stages

@@ -17,6 +17,20 @@ import (
 	"sync"
 
 	"repro/internal/column"
+	"repro/internal/obs"
+)
+
+// Massage observability: stitch/borrow structure at compile time, FIP
+// invocations and bytes moved at run time. All writes are no-ops until
+// obs.Enable(); the runtime counters are bumped once per runRange call
+// (never inside the per-row loop).
+var (
+	obsCompiles   = obs.NewCounter("massage.compiles")
+	obsSegments   = obs.NewCounter("massage.segments_compiled")
+	obsStitchOps  = obs.NewCounter("massage.stitch_ops")
+	obsBorrowOps  = obs.NewCounter("massage.borrow_ops")
+	obsFIPOps     = obs.NewCounter("massage.fip_ops")
+	obsBytesMoved = obs.NewCounter("massage.bytes_moved")
 )
 
 // Input describes one sort column: its codes, width, and direction.
@@ -107,6 +121,24 @@ func Compile(inputs []Input, outWidths []int) (*Program, error) {
 		}
 	}
 	_ = W
+	obsCompiles.Inc()
+	obsSegments.Add(int64(len(segs)))
+	if obs.Enabled() {
+		// Stitches: a round fed by s source columns merged s-1 of them.
+		// Borrows: a column split across d rounds lent bits d-1 times.
+		srcPerRound := make(map[int]int, len(outWidths))
+		dstPerCol := make(map[int]int, len(inputs))
+		for _, sg := range segs {
+			srcPerRound[sg.dst]++
+			dstPerCol[sg.src]++
+		}
+		for _, s := range srcPerRound {
+			obsStitchOps.Add(int64(s - 1))
+		}
+		for _, d := range dstPerCol {
+			obsBorrowOps.Add(int64(d - 1))
+		}
+	}
 	return &Program{
 		segments:  segs,
 		nRounds:   len(outWidths),
@@ -187,6 +219,13 @@ func (p *Program) RunParallel(inputs []Input, rows, workers int) [][]uint64 {
 // loop is sequential and branch-free, matching the paper's
 // characterization of the massaging cost.
 func (p *Program) runRange(inputs []Input, out [][]uint64, lo, hi int) {
+	if rows := int64(hi - lo); rows > 0 {
+		nSeg := int64(len(p.segments))
+		obsFIPOps.Add(nSeg * rows)
+		// Each segment reads one uint64 code and read-modify-writes one
+		// uint64 key per row.
+		obsBytesMoved.Add(nSeg * rows * 16)
+	}
 	for _, seg := range p.segments {
 		src := inputs[seg.src].Codes
 		dst := out[seg.dst]

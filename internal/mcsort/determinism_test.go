@@ -1,0 +1,168 @@
+package mcsort
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/massage"
+	"repro/internal/plan"
+)
+
+// The parallel first-round sort must be a pure function of its input:
+// the same (keys, oids) must come out whatever the worker count, or
+// results would depend on GOMAXPROCS and plans could not be compared
+// across runs. Ties make this hard — range partitioning changes which
+// worker sorts which tied run — so parallelFullSort canonicalizes tie
+// order. These tests pin that property, including the skewed-pivot edge
+// case where every sampled key is identical.
+
+// workerCounts spans the sequential path, the partitioned path, and
+// more workers than distinct partitions can keep busy.
+var workerCounts = []int{1, 2, 4, 8}
+
+func runFullSort(bank, workers int, keys []uint64) ([]uint64, []uint32) {
+	k := append([]uint64(nil), keys...)
+	o := make([]uint32, len(k))
+	for i := range o {
+		o[i] = uint32(i)
+	}
+	parallelFullSort(bank, k, o, workers)
+	return k, o
+}
+
+func checkDeterministic(t *testing.T, name string, bank int, keys []uint64) {
+	t.Helper()
+	baseK, baseO := runFullSort(bank, workerCounts[0], keys)
+	for i := 1; i < len(keys); i++ {
+		if baseK[i] < baseK[i-1] {
+			t.Fatalf("%s bank %d: output not sorted at %d", name, bank, i)
+		}
+	}
+	for _, w := range workerCounts[1:] {
+		k, o := runFullSort(bank, w, keys)
+		for i := range k {
+			if k[i] != baseK[i] {
+				t.Fatalf("%s bank %d: keys diverge at %d for workers=%d: %d vs %d",
+					name, bank, i, w, k[i], baseK[i])
+			}
+			if o[i] != baseO[i] {
+				t.Fatalf("%s bank %d: oids diverge at %d for workers=%d: %d vs %d (key %d)",
+					name, bank, i, w, o[i], baseO[i], k[i])
+			}
+		}
+	}
+}
+
+func TestParallelFullSortDeterministicAcrossWorkers(t *testing.T) {
+	// Above parallelSortThreshold so the partitioned path actually runs.
+	const n = parallelSortThreshold * 3
+	rng := rand.New(rand.NewSource(11))
+	for _, bank := range []int{16, 32, 64} {
+		mask := ^uint64(0)
+		if bank < 64 {
+			mask = uint64(1)<<uint(bank) - 1
+		}
+		cases := map[string][]uint64{
+			"uniform":   make([]uint64, n),
+			"lowcard":   make([]uint64, n),
+			"presorted": make([]uint64, n),
+		}
+		for i := 0; i < n; i++ {
+			cases["uniform"][i] = rng.Uint64() & mask
+			// 17 distinct values: every partition is dominated by ties.
+			cases["lowcard"][i] = uint64(rng.Intn(17)) & mask
+			cases["presorted"][i] = uint64(i) & mask
+		}
+		for name, keys := range cases {
+			checkDeterministic(t, name, bank, keys)
+		}
+	}
+}
+
+// TestParallelFullSortSkewedPivots pins the edge case the pivot sampler
+// can hit on heavily skewed data: every sampled key equal (so all
+// pivots coincide and one partition receives everything), and the
+// stride sampling seeing only the majority value of a 99%-skewed input.
+func TestParallelFullSortSkewedPivots(t *testing.T) {
+	const n = parallelSortThreshold * 2
+	for _, bank := range []int{16, 32, 64} {
+		allEqual := make([]uint64, n)
+		for i := range allEqual {
+			allEqual[i] = 42
+		}
+		checkDeterministic(t, "allequal", bank, allEqual)
+
+		// All-equal ties must canonicalize to the identity permutation.
+		_, o := runFullSort(bank, 4, allEqual)
+		for i := range o {
+			if o[i] != uint32(i) {
+				t.Fatalf("bank %d: all-equal oids not canonical at %d: %d", bank, i, o[i])
+			}
+		}
+
+		skewed := make([]uint64, n)
+		rng := rand.New(rand.NewSource(13))
+		for i := range skewed {
+			if rng.Intn(100) == 0 {
+				skewed[i] = uint64(rng.Intn(1000))
+			} else {
+				skewed[i] = 7 // the value every sample likely lands on
+			}
+		}
+		checkDeterministic(t, "skew99", bank, skewed)
+	}
+}
+
+// TestExecuteDeterministicAcrossWorkers lifts the property to the whole
+// multi-round sort: Perm and Groups must be identical for any Workers.
+func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
+	const rows = parallelSortThreshold * 2
+	rng := rand.New(rand.NewSource(17))
+	inputs := []massage.Input{
+		{Codes: make([]uint64, rows), Width: 9},
+		{Codes: make([]uint64, rows), Width: 13, Desc: true},
+	}
+	for i := 0; i < rows; i++ {
+		inputs[0].Codes[i] = uint64(rng.Intn(64))   // tie-heavy leading column
+		inputs[1].Codes[i] = uint64(rng.Intn(4096)) // refines within groups
+	}
+	p := plan.Plan{Rounds: []plan.Round{{Width: 9, Bank: 16}, {Width: 13, Bank: 16}}}
+
+	var baseline *Result
+	for _, w := range workerCounts {
+		res, err := Execute(inputs, p, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if len(res.Perm) != len(baseline.Perm) || len(res.Groups) != len(baseline.Groups) {
+			t.Fatalf("workers=%d: shape differs", w)
+		}
+		for i := range res.Perm {
+			if res.Perm[i] != baseline.Perm[i] {
+				t.Fatalf("workers=%d: Perm diverges at %d", w, i)
+			}
+		}
+		for i := range res.Groups {
+			if res.Groups[i] != baseline.Groups[i] {
+				t.Fatalf("workers=%d: Groups diverge at %d", w, i)
+			}
+		}
+	}
+}
+
+func ExampleExecute_deterministic() {
+	inputs := []massage.Input{{Codes: []uint64{3, 1, 3, 1}, Width: 2}}
+	p := plan.Plan{Rounds: []plan.Round{{Width: 2, Bank: 16}}}
+	for _, w := range []int{1, 4} {
+		res, _ := Execute(inputs, p, Options{Workers: w})
+		fmt.Println(res.Perm)
+	}
+	// Output:
+	// [1 3 0 2]
+	// [1 3 0 2]
+}

@@ -13,7 +13,22 @@ import (
 
 	"repro/internal/massage"
 	"repro/internal/mergesort"
+	"repro/internal/obs"
 	"repro/internal/plan"
+)
+
+// Per-phase observability: the four subcosts the cost model predicts,
+// plus per-round sort/group counters. Writes are no-ops until
+// obs.Enable().
+var (
+	obsExecutes    = obs.NewCounter("mcsort.executes")
+	obsRoundsRun   = obs.NewCounter("mcsort.rounds")
+	obsGroupSorts  = obs.NewCounter("mcsort.group_sorts")
+	obsGroupsFinal = obs.NewGauge("mcsort.groups_final")
+	obsMassageT    = obs.NewTimer("mcsort.phase_massage")
+	obsSortT       = obs.NewTimer("mcsort.phase_sort")
+	obsLookupT     = obs.NewTimer("mcsort.phase_lookup")
+	obsScanT       = obs.NewTimer("mcsort.phase_scan")
 )
 
 // Timings records where the wall time of a multi-column sort went —
@@ -107,6 +122,7 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 		return res, nil
 	}
 
+	obsExecutes.Inc()
 	start := time.Now()
 	var roundKeys [][]uint64
 	if opts.Workers > 1 {
@@ -115,6 +131,7 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 		roundKeys = prog.Run(inputs, rows)
 	}
 	res.Timings.Massage = time.Since(start)
+	obsMassageT.Add(res.Timings.Massage)
 
 	groups := []int32{0, int32(rows)}
 	scratch := make([]uint64, rows)
@@ -129,7 +146,9 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 			}
 			keys, roundKeys[r] = scratch, keys
 			scratch = roundKeys[r]
-			res.Timings.Lookup += time.Since(start)
+			d := time.Since(start)
+			res.Timings.Lookup += d
+			obsLookupT.Add(d)
 		}
 
 		// Sort each group of tuples tied on all previous rounds. The
@@ -156,9 +175,15 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 				mergesort.RadixSort(keys[lo:hi], res.Perm[lo:hi], round.Width, radixBits)
 				nSort++
 			}
-		case r == 0 && opts.Workers > 1:
-			parallelFullSort(round.Bank, keys, res.Perm, opts.Workers)
-			nSort = 1
+		case r == 0:
+			// Full-table sort. Always routed through parallelFullSort
+			// (which degrades to a single sorted run for Workers < 2) so
+			// tie canonicalization makes the permutation byte-identical
+			// across worker counts.
+			if rows >= 2 {
+				parallelFullSort(round.Bank, keys, res.Perm, opts.Workers)
+				nSort = 1
+			}
 		case opts.Workers > 1:
 			nSort = parallelGroupSort(round.Bank, keys, res.Perm, groups, opts.Workers)
 		default:
@@ -171,14 +196,19 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 				nSort++
 			}
 		}
-		res.Timings.Sort += time.Since(start)
+		d := time.Since(start)
+		res.Timings.Sort += d
+		obsSortT.Add(d)
+		obsGroupSorts.Add(int64(nSort))
 
 		nInputGroups := len(groups) - 1
 
 		// Scan: refine group boundaries using the freshly sorted keys.
 		start = time.Now()
 		groups = refineGroups(groups, keys)
-		res.Timings.Scan += time.Since(start)
+		d = time.Since(start)
+		res.Timings.Scan += d
+		obsScanT.Add(d)
 
 		res.Rounds[r] = RoundStats{
 			NSort:      nSort,
@@ -186,6 +216,8 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 			AvgGroupSz: float64(sumSz) / float64(nInputGroups),
 		}
 	}
+	obsRoundsRun.Add(int64(len(p.Rounds)))
+	obsGroupsFinal.Set(int64(len(groups) - 1))
 	res.Groups = groups
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/mergesort"
+	"repro/internal/obs"
 )
 
 // Multi-threaded execution (Section 6.4 of the paper): the first round
@@ -13,18 +14,36 @@ import (
 // sorted order (the sampling-based partitioning of Polychroniou & Ross
 // that the paper cites for skew resistance). Later rounds distribute
 // the tied groups across workers.
+//
+// Determinism: mergesort leaves the relative order of equal keys
+// unspecified, and the partition boundaries depend on the worker count,
+// so the raw concatenation would order tied oids differently for
+// different worker counts. Every path therefore canonicalizes ties
+// (oids ascending within each equal-key run), making the (keys, oids)
+// output byte-identical for any `workers` value — the property the
+// determinism test asserts and that keeps multi-round sorts
+// reproducible across machines.
 
 // parallelSortThreshold is the input size below which threading is not
 // worth the coordination cost.
 const parallelSortThreshold = 1 << 14
+
+var (
+	obsParallelSorts  = obs.NewCounter("mcsort.parallel_full_sorts")
+	obsPartitionMax   = obs.NewGauge("mcsort.partition_rows_max")
+	obsImbalanceX1000 = obs.NewGauge("mcsort.partition_imbalance_x1000")
+	obsWorkerSegments = obs.NewCounter("mcsort.worker_segments")
+)
 
 // parallelFullSort sorts keys with oids across `workers` goroutines.
 func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
 	n := len(keys)
 	if workers < 2 || n < parallelSortThreshold {
 		mergesort.Sort(bank, keys, oids)
+		canonicalizeTies(keys, oids)
 		return
 	}
+	obsParallelSorts.Inc()
 
 	// Sample keys and pick workers-1 pivots.
 	sampleSize := 128 * workers
@@ -76,6 +95,21 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
 		cursor[b]++
 	}
 
+	if obs.Enabled() {
+		maxPart := 0
+		for _, c := range counts {
+			if c > maxPart {
+				maxPart = c
+			}
+		}
+		obsPartitionMax.SetMax(int64(maxPart))
+		// Imbalance: busiest partition relative to the ideal n/workers
+		// share, ×1000 (1000 = perfectly balanced).
+		obsImbalanceX1000.Set(int64(maxPart) * int64(workers) * 1000 / int64(n))
+	}
+
+	// Equal keys always land in the same partition, so per-partition
+	// canonicalization composes to a canonical whole.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := offsets[w], offsets[w+1]
@@ -86,11 +120,39 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			mergesort.Sort(bank, scratchK[lo:hi], scratchO[lo:hi])
+			canonicalizeTies(scratchK[lo:hi], scratchO[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()
 	copy(keys, scratchK)
 	copy(oids, scratchO)
+}
+
+// canonicalizeTies sorts the oids of every equal-key run ascending, so
+// the output order no longer depends on how the sort broke ties. Runs
+// already in ascending oid order (the common case for stable paths) are
+// detected with a linear scan and skipped.
+func canonicalizeTies(keys []uint64, oids []uint32) {
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		if j-i > 1 && !oidsAscending(oids[i:j]) {
+			run := oids[i:j]
+			sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+		}
+		i = j
+	}
+}
+
+func oidsAscending(oids []uint32) bool {
+	for i := 1; i < len(oids); i++ {
+		if oids[i] < oids[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // parallelGroupSort sorts each group [groups[g], groups[g+1]) of keys,
@@ -106,6 +168,7 @@ func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, w
 			nSort++
 		}
 	}
+	obsWorkerSegments.Add(int64(len(work)))
 	if workers < 2 || len(work) == 0 {
 		for _, s := range work {
 			mergesort.Sort(bank, keys[s.lo:s.hi], perm[s.lo:s.hi])

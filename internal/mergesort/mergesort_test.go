@@ -179,7 +179,7 @@ func TestSortForcedMultiway(t *testing.T) {
 		keys := randKeys(rng, n, bank)
 		orig := append([]uint64(nil), keys...)
 		oids := identOids(n)
-		SortWithParams(bank, keys, oids, params{inCacheElems: 64, fanout: 4})
+		SortWithParams(bank, keys, oids, Params{InCacheElems: 64, Fanout: 4})
 		verifySorted(t, orig, keys, oids)
 	}
 }

@@ -27,7 +27,7 @@ func SortPacked(keys []uint32, oids []uint32) {
 	sortPacked(keys, oids, defaultParams(4))
 }
 
-func sortPacked(keys []uint32, oids []uint32, p params) {
+func sortPacked(keys []uint32, oids []uint32, p Params) {
 	n := len(keys)
 	if n != len(oids) {
 		panic("mergesort: keys and oids length mismatch")
@@ -48,7 +48,7 @@ func sortPacked(keys []uint32, oids []uint32, p params) {
 }
 
 // sortElems sorts packed elements in place.
-func sortElems(elems []uint64, p params) {
+func sortElems(elems []uint64, p Params) {
 	n := len(elems)
 
 	// Phase 1: branch-free sorting networks over blocks of 4.
@@ -71,7 +71,7 @@ func sortElems(elems []uint64, p params) {
 
 	// Phase 2: pairwise branch-free binary merging until runs fit half L2.
 	runSize := v
-	for len(runs) > 2 && runSize < p.inCacheElems {
+	for len(runs) > 2 && runSize < p.InCacheElems {
 		runs = mergePassPacked(src, runs, dst)
 		src, dst = dst, src
 		runSize *= 2
@@ -79,7 +79,7 @@ func sortElems(elems []uint64, p params) {
 
 	// Phase 3: multiway loser-tree merging with fanout F.
 	for len(runs) > 2 {
-		runs = mergePassMultiwayPacked(src, runs, p.fanout, dst)
+		runs = mergePassMultiwayPacked(src, runs, p.Fanout, dst)
 		src, dst = dst, src
 	}
 

@@ -10,9 +10,16 @@ package mergesort
 // The implementation is a stable LSD counting sort over (key, oid)
 // pairs; stability is what makes it usable round-by-round.
 
+import "repro/internal/obs"
+
 // DefaultRadixBits is the radix R used when callers do not override it.
 // 8 bits (256 buckets) keeps the counting arrays L1-resident.
 const DefaultRadixBits = 8
+
+var (
+	obsRadixSorts  = obs.NewCounter("mergesort.radix_sorts")
+	obsRadixPasses = obs.NewCounter("mergesort.radix_passes")
+)
 
 // RadixSort sorts keys (values < 2^width) with their oids in place,
 // using LSD counting passes of radixBits each. It is stable.
@@ -44,6 +51,8 @@ func RadixSort(keys []uint64, oids []uint32, width, radixBits int) {
 	srcK, srcO, dstK, dstO := keys, oids, bufK, bufO
 	count := make([]int, buckets+1)
 
+	obsRadixSorts.Inc()
+	passes := 0
 	for shift := 0; shift < width; shift += radixBits {
 		for i := range count {
 			count[i] = 0
@@ -67,7 +76,9 @@ func RadixSort(keys []uint64, oids []uint32, width, radixBits int) {
 			count[b]++
 		}
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
+		passes++
 	}
+	obsRadixPasses.Add(int64(passes))
 	if &srcK[0] != &keys[0] {
 		copy(keys, srcK)
 		copy(oids, srcO)

@@ -2,14 +2,20 @@ package mergesort
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 )
 
-// params bundles the architecture-dependent knobs of a sort.
-type params struct {
-	inCacheElems int // run length (elements) at which phase 2 stops
-	fanout       int // multiway merge fanout F of phase 3
+// Params bundles the architecture-dependent knobs of a sort. External
+// callers (calibration, experiments, tests in other packages) use it to
+// pin the phase boundaries instead of the cache-derived defaults.
+type Params struct {
+	// InCacheElems is the run length (elements) at which phase 2 stops.
+	InCacheElems int
+	// Fanout is the multiway merge fanout F of phase 3.
+	Fanout int
 }
 
 // DefaultFanout is the out-of-cache merge fanout F used when callers do
@@ -19,14 +25,18 @@ const DefaultFanout = 8
 // defaultParams derives the phase parameters from the cache hierarchy:
 // phase 2 stops when a run fills half the L2 cache (the paper's M_L2/2),
 // where an element occupies keyBytes of key plus a 4-byte oid.
-func defaultParams(keyBytes int) params {
+func defaultParams(keyBytes int) Params {
 	caches := hw.Detect()
 	elems := int(caches.L2/2) / (keyBytes + 4)
 	if elems < 64 {
 		elems = 64
 	}
-	return params{inCacheElems: elems, fanout: DefaultFanout}
+	return Params{InCacheElems: elems, Fanout: DefaultFanout}
 }
+
+// DefaultParams returns the cache-derived phase parameters for keys of
+// the given byte width — the same defaults Sort uses.
+func DefaultParams(keyBytes int) Params { return defaultParams(keyBytes) }
 
 // Banks supported by the SIMD-sort, matching the paper (footnote 4
 // excludes 8-bit banks).
@@ -35,6 +45,22 @@ var Banks = []int{16, 32, 64}
 // MinBank is b_min of the paper — the narrowest available bank, used by
 // the plan-search round bound ⌊2(W−1)/b_min⌋+1.
 const MinBank = 16
+
+// Per-phase instrumentation. All writes are no-ops until obs.Enable();
+// time.Now() is only reached behind an obs.Enabled() check, so the
+// disabled overhead is a handful of atomic loads per Sort call (never
+// per element).
+var (
+	obsSorts          = obs.NewCounter("mergesort.sorts")
+	obsElems          = obs.NewCounter("mergesort.elements")
+	obsInsertionSorts = obs.NewCounter("mergesort.insertion_sorts")
+	obsPhase1         = obs.NewTimer("mergesort.phase1_inregister")
+	obsPhase2         = obs.NewTimer("mergesort.phase2_incache")
+	obsPhase3         = obs.NewTimer("mergesort.phase3_multiway")
+	obsPhase2Passes   = obs.NewCounter("mergesort.phase2_merge_passes")
+	obsPhase3Passes   = obs.NewCounter("mergesort.phase3_merge_passes")
+	obsFanout         = obs.NewGauge("mergesort.phase3_fanout")
+)
 
 // Sort sorts keys (each value < 2^bank) together with their oids in
 // place, using the three-phase SIMD merge-sort with b-bit banks. The
@@ -46,12 +72,15 @@ func Sort(bank int, keys []uint64, oids []uint32) {
 
 // SortWithParams is Sort with explicit phase parameters (used by tests
 // and by calibration, which must control the in-cache run target).
-func SortWithParams(bank int, keys []uint64, oids []uint32, p params) {
+func SortWithParams(bank int, keys []uint64, oids []uint32, p Params) {
 	n := len(keys)
 	if n != len(oids) {
 		panic("mergesort: keys and oids length mismatch")
 	}
+	obsSorts.Inc()
+	obsElems.Add(int64(n))
 	if n < insertionThreshold {
+		obsInsertionSorts.Inc()
 		insertionSort(keys, oids)
 		return
 	}
@@ -72,6 +101,12 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p params) {
 		panic(fmt.Sprintf("mergesort: unsupported bank size %d", bank))
 	}
 
+	tracing := obs.Enabled()
+	var t0 time.Time
+	if tracing {
+		t0 = time.Now()
+	}
+
 	kw, ow := pack(keys, oids, lanes)
 
 	// Phase 1: in-register sorting of V×V blocks into runs of V.
@@ -90,6 +125,10 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p params) {
 		runs = append(runs, tail)
 	}
 	runs = append(runs, n)
+	if tracing {
+		obsPhase1.Add(time.Since(t0))
+		t0 = time.Now()
+	}
 
 	kw2 := make([]uint64, len(kw))
 	ow2 := make([]uint64, len(ow))
@@ -97,18 +136,34 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p params) {
 
 	// Phase 2: pairwise register merging until runs fit half L2.
 	runSize := v
-	for len(runs) > 2 && runSize < p.inCacheElems {
+	passes := 0
+	for len(runs) > 2 && runSize < p.InCacheElems {
 		runs = mergePassVec(srcK, srcO, lanes, runs, dstK, dstO, mergeRuns)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
 		runSize *= 2
+		passes++
+	}
+	if tracing {
+		obsPhase2.Add(time.Since(t0))
+		obsPhase2Passes.Add(int64(passes))
+		t0 = time.Now()
 	}
 
 	// Phase 3: multiway loser-tree merging over packed data, fanout F.
+	passes = 0
 	for len(runs) > 2 {
-		runs = mergePassMultiwayVec(srcK, srcO, lanes, runs, p.fanout, dstK, dstO)
+		runs = mergePassMultiwayVec(srcK, srcO, lanes, runs, p.Fanout, dstK, dstO)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
+		passes++
 	}
 	unpack(srcK, srcO, lanes, keys, oids)
+	if tracing {
+		obsPhase3.Add(time.Since(t0))
+		obsPhase3Passes.Add(int64(passes))
+		if passes > 0 {
+			obsFanout.Set(int64(p.Fanout))
+		}
+	}
 }
 
 // mergePassVec merges adjacent run pairs from src into dst with the

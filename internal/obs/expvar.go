@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry snapshot as an expvar variable
+// under the given name (served at /debug/vars by any HTTP server using
+// the default mux). Safe to call more than once; only the first name
+// wins.
+func PublishExpvar(name string) {
+	publishOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any { return Snapshot() }))
+	})
+}

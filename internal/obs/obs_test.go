@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs f with instrumentation on and restores the previous
+// state (tests share the process-global switch).
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	was := Enabled()
+	Enable()
+	defer func() {
+		if !was {
+			Disable()
+		}
+	}()
+	f()
+}
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	Disable()
+	Reset()
+	c := NewCounter("test.disabled.counter")
+	g := NewGauge("test.disabled.gauge")
+	tm := NewTimer("test.disabled.timer")
+
+	c.Inc()
+	c.Add(100)
+	g.Set(42)
+	g.SetMax(99)
+	sp := tm.Start()
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tm.Add(time.Second)
+
+	if v := c.Value(); v != 0 {
+		t.Errorf("disabled counter recorded %d", v)
+	}
+	if v := g.Value(); v != 0 {
+		t.Errorf("disabled gauge recorded %d", v)
+	}
+	if n, tot := tm.Count(), tm.Total(); n != 0 || tot != 0 {
+		t.Errorf("disabled timer recorded count=%d total=%v", n, tot)
+	}
+	r := Snapshot()
+	for _, cs := range r.Counters {
+		if cs.Value != 0 {
+			t.Errorf("snapshot counter %s = %d after disabled-only updates", cs.Name, cs.Value)
+		}
+	}
+}
+
+func TestRegistryDedupsByName(t *testing.T) {
+	withEnabled(t, func() {
+		Reset()
+		a := NewCounter("test.dedup")
+		b := NewCounter("test.dedup")
+		if a != b {
+			t.Fatal("NewCounter returned distinct instances for one name")
+		}
+		a.Inc()
+		if b.Value() != 1 {
+			t.Fatal("increments not shared across re-registration")
+		}
+	})
+}
+
+func TestCountersRaceSafeUnderConcurrentIncrement(t *testing.T) {
+	withEnabled(t, func() {
+		Reset()
+		c := NewCounter("test.concurrent.counter")
+		g := NewGauge("test.concurrent.gauge")
+		tm := NewTimer("test.concurrent.timer")
+		const workers, per = 8, 10000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					c.Inc()
+					g.SetMax(int64(w*per + i))
+					tm.Add(time.Nanosecond)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if v := c.Value(); v != workers*per {
+			t.Errorf("counter = %d, want %d", v, workers*per)
+		}
+		if v := g.Value(); v != workers*per-1 {
+			t.Errorf("max gauge = %d, want %d", v, workers*per-1)
+		}
+		if n := tm.Count(); n != workers*per {
+			t.Errorf("timer count = %d, want %d", n, workers*per)
+		}
+	})
+}
+
+// TestSpanNestingSumsToParent nests two child timers inside a parent
+// span and checks the hierarchy invariant: the children's total never
+// exceeds the parent's, and (since the parent does nothing else) covers
+// most of it.
+func TestSpanNestingSumsToParent(t *testing.T) {
+	withEnabled(t, func() {
+		Reset()
+		parent := NewTimer("test.nest.parent")
+		child1 := NewTimer("test.nest.child1")
+		child2 := NewTimer("test.nest.child2")
+
+		ps := parent.Start()
+		for i := 0; i < 3; i++ {
+			s := child1.Start()
+			time.Sleep(4 * time.Millisecond)
+			s.End()
+			s = child2.Start()
+			time.Sleep(2 * time.Millisecond)
+			s.End()
+		}
+		ps.End()
+
+		childSum := child1.Total() + child2.Total()
+		if childSum > parent.Total() {
+			t.Errorf("children total %v exceeds parent total %v", childSum, parent.Total())
+		}
+		// The parent span contains nothing but the child spans, so the
+		// gap is only span bookkeeping; allow a generous scheduler
+		// tolerance for loaded CI machines.
+		if ratio := float64(childSum) / float64(parent.Total()); ratio < 0.3 {
+			t.Errorf("children cover only %.0f%% of parent; want most of it", 100*ratio)
+		}
+	})
+}
+
+// TestSnapshotConsistentMidUpdate takes snapshots while writers are
+// mid-flight and checks that every observed value is sane: counters are
+// monotonic across snapshots, timer averages lie between observed span
+// bounds, and the final snapshot equals the ground truth.
+func TestSnapshotConsistentMidUpdate(t *testing.T) {
+	withEnabled(t, func() {
+		Reset()
+		c := NewCounter("test.snap.counter")
+		tm := NewTimer("test.snap.timer")
+		const workers, per = 4, 5000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					c.Inc()
+					tm.Add(10 * time.Nanosecond)
+				}
+			}()
+		}
+		var lastCount, lastTimer int64
+		for i := 0; i < 200; i++ {
+			r := Snapshot()
+			for _, cs := range r.Counters {
+				if cs.Name == "test.snap.counter" {
+					if cs.Value < lastCount {
+						t.Fatalf("counter went backwards: %d -> %d", lastCount, cs.Value)
+					}
+					lastCount = cs.Value
+				}
+			}
+			for _, ts := range r.Timers {
+				if ts.Name == "test.snap.timer" {
+					if ts.Count < lastTimer {
+						t.Fatalf("timer count went backwards: %d -> %d", lastTimer, ts.Count)
+					}
+					lastTimer = ts.Count
+					if ts.Count > 0 && ts.MaxNS != 10 {
+						t.Fatalf("timer max = %dns, want 10ns", ts.MaxNS)
+					}
+				}
+			}
+		}
+		wg.Wait()
+		if v := c.Value(); v != workers*per {
+			t.Fatalf("final counter = %d, want %d", v, workers*per)
+		}
+		if tot := tm.Total(); tot != time.Duration(workers*per*10) {
+			t.Fatalf("final timer total = %v, want %v", tot, time.Duration(workers*per*10))
+		}
+	})
+}
+
+func TestResetZeroesEverything(t *testing.T) {
+	withEnabled(t, func() {
+		c := NewCounter("test.reset.counter")
+		tm := NewTimer("test.reset.timer")
+		g := NewGauge("test.reset.gauge")
+		c.Add(5)
+		tm.Add(time.Millisecond)
+		g.Set(7)
+		Reset()
+		if c.Value() != 0 || tm.Count() != 0 || tm.Total() != 0 || g.Value() != 0 {
+			t.Error("Reset left residual values")
+		}
+	})
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	withEnabled(t, func() {
+		Reset()
+		NewCounter("test.json.counter").Add(3)
+		NewTimer("test.json.timer").Add(2 * time.Millisecond)
+		NewGauge("test.json.gauge").Set(-4)
+
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var r Report
+		if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		found := false
+		for _, cs := range r.Counters {
+			if cs.Name == "test.json.counter" && cs.Value == 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("counter missing from JSON round trip")
+		}
+
+		buf.Reset()
+		if err := WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "test.json.counter") {
+			t.Error("counter missing from text output")
+		}
+	})
+}

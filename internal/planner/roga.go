@@ -4,7 +4,20 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/internal/plan"
+)
+
+// Plan-search observability. Writes are no-ops until obs.Enable().
+var (
+	obsSearches      = obs.NewCounter("planner.searches")
+	obsOrders        = obs.NewCounter("planner.orders_considered")
+	obsRoundCounts   = obs.NewCounter("planner.round_counts_considered")
+	obsPlansCosted   = obs.NewCounter("planner.plans_costed")
+	obsSearchExpired = obs.NewCounter("planner.searches_expired")
+	obsChosenCostNS  = obs.NewGauge("planner.chosen_cost_ns")
+	obsChosenRounds  = obs.NewGauge("planner.chosen_rounds")
+	obsSearchT       = obs.NewTimer("planner.roga_search")
 )
 
 // ROGA runs the paper's round-based greedy plan search (Algorithm 1):
@@ -15,23 +28,30 @@ import (
 // the whole search repeats per column permutation. The ρ stopwatch
 // bounds the search time relative to the best plan found so far.
 func ROGA(s *Search) Choice {
+	obsSearches.Inc()
+	span := obsSearchT.Start()
+	defer span.End()
 	sw := &stopwatch{start: time.Now(), rho: s.rho()}
 	best := s.baseline()
 	m := len(s.Stats.Cols)
 
 	tryOrder := func(order []int) bool {
+		obsOrders.Inc()
 		st := s.Stats.Permute(order)
 		W := st.TotalWidth()
 		maxK := plan.MaxRounds(W)
 		for k := 1; k <= maxK; k++ {
+			obsRoundCounts.Inc()
 			done := forEachBankCombo(k, W, func(banks []int) bool {
 				if sw.expired(best.Est) {
+					obsSearchExpired.Inc()
 					return false
 				}
 				p, ok := greedyAssign(s, st, W, banks)
 				if !ok {
 					return true
 				}
+				obsPlansCosted.Inc()
 				if est := s.Model.TMCS(p, st); est < best.Est {
 					best = Choice{
 						ColOrder: append([]int(nil), order...),
@@ -56,6 +76,8 @@ func ROGA(s *Search) Choice {
 	} else {
 		tryOrder(identityOrder(m))
 	}
+	obsChosenCostNS.Set(int64(best.Est))
+	obsChosenRounds.Set(int64(len(best.Plan.Rounds)))
 	return best
 }
 
