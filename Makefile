@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: test race fuzz-smoke bench bench-regress bench-baseline
+
+test:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mcsort/... ./internal/mergesort/... ./internal/massage/... ./internal/engine/... ./internal/obs/...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzMergesortSort -fuzztime=30s ./internal/mergesort/
+	$(GO) test -fuzz=FuzzRadixSort -fuzztime=20s ./internal/mergesort/
+	$(GO) test -fuzz=FuzzParallelMerge -fuzztime=30s ./internal/mergesort/
+	$(GO) test -fuzz=FuzzMassageRoundTrip -fuzztime=30s ./internal/massage/
+
+# Human-readable worker-scaling numbers for the fixed 1M-row workload.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkPipeline1Mx4 -benchtime 3x .
+
+# CI gate: emit BENCH_pr2.json and fail on a >5% normalized
+# single-thread regression against bench/baseline_pr2.json.
+bench-regress:
+	BENCH_REGRESS=1 $(GO) test -run TestBenchRegression -v -timeout 20m .
+
+# Regenerate the committed baseline (run on a quiet machine).
+bench-baseline:
+	BENCH_REGRESS=1 BENCH_BASELINE_WRITE=1 $(GO) test -run TestBenchRegression -v -timeout 20m .

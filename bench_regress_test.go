@@ -1,0 +1,242 @@
+// Benchmark-regression harness for the parallel MCS pipeline: a fixed
+// 1M-row, 4-column sort measured at workers 1/2/4/8.
+//
+// Two entry points share the measurement code:
+//
+//   - BenchmarkPipeline1Mx4 — ordinary `go test -bench` benchmarks, one
+//     sub-benchmark per worker count (`make bench-regress` runs them).
+//   - TestBenchRegression — the CI gate. Enabled by BENCH_REGRESS=1, it
+//     emits BENCH_pr2.json and fails if single-thread throughput
+//     regressed more than benchTolerance against bench/baseline_pr2.json.
+//
+// Raw nanoseconds are not portable across machines, so the gate compares
+// a *normalized* figure: the pipeline's single-thread time divided by
+// the time of a reference single-column mergesort.Sort over the same
+// rows, measured in the same process. Both numerator and denominator
+// move together with machine speed; the ratio only moves when the
+// pipeline itself gets slower. BENCH_BASELINE_WRITE=1 regenerates the
+// committed baseline.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/massage"
+	"repro/internal/mcsort"
+	"repro/internal/mergesort"
+	"repro/internal/plan"
+)
+
+const (
+	benchRows      = 1 << 20
+	benchReps      = 3
+	benchTolerance = 0.05
+	benchBaseline  = "bench/baseline_pr2.json"
+	benchOutput    = "BENCH_pr2.json"
+)
+
+var (
+	benchWidths  = []int{12, 16, 8, 20}
+	benchPlan    = plan.Plan{Rounds: []plan.Round{{Width: 28, Bank: 32}, {Width: 28, Bank: 32}}}
+	benchWorkers = []int{1, 2, 4, 8}
+)
+
+// benchInputs builds the fixed 1M-row, 4-column workload (seeded, so
+// every run and every machine sorts identical data).
+func benchInputs() []massage.Input {
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([]massage.Input, len(benchWidths))
+	for i, w := range benchWidths {
+		codes := make([]uint64, benchRows)
+		mask := uint64(1)<<uint(w) - 1
+		for j := range codes {
+			codes[j] = rng.Uint64() & mask
+		}
+		inputs[i] = massage.Input{Codes: codes, Width: w}
+	}
+	return inputs
+}
+
+// measurePipeline returns the best-of-reps wall time of the full sort at
+// the given worker count, plus the resulting permutation for the
+// cross-worker identity check.
+func measurePipeline(tb testing.TB, inputs []massage.Input, workers, reps int) (time.Duration, []uint32) {
+	tb.Helper()
+	best := time.Duration(0)
+	var perm []uint32
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		res, err := mcsort.Execute(inputs, benchPlan, mcsort.Options{Workers: workers})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		d := time.Since(t0)
+		if best == 0 || d < best {
+			best = d
+		}
+		perm = res.Perm
+	}
+	return best, perm
+}
+
+// measureReference times the machine-speed yardstick: one sequential
+// single-column SIMD merge-sort over the same row count at the plan's
+// bank width.
+func measureReference(reps int) time.Duration {
+	rng := rand.New(rand.NewSource(11))
+	src := make([]uint64, benchRows)
+	for i := range src {
+		src[i] = rng.Uint64() & (uint64(1)<<28 - 1)
+	}
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		keys := append([]uint64(nil), src...)
+		oids := make([]uint32, benchRows)
+		for i := range oids {
+			oids[i] = uint32(i)
+		}
+		t0 := time.Now()
+		mergesort.Sort(32, keys, oids)
+		d := time.Since(t0)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// benchRun is one row of BENCH_pr2.json.
+type benchRun struct {
+	Workers    int     `json:"workers"`
+	Ns         int64   `json:"ns"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	SpeedupX   float64 `json:"speedup_vs_1"`
+}
+
+// benchReport is the emitted BENCH_pr2.json document.
+type benchReport struct {
+	Benchmark    string     `json:"benchmark"`
+	Rows         int        `json:"rows"`
+	Widths       []int      `json:"widths"`
+	Plan         string     `json:"plan"`
+	ReferenceNs  int64      `json:"reference_ns"`
+	Runs         []benchRun `json:"runs"`
+	NormSingleTh float64    `json:"normalized_single_thread"`
+}
+
+// benchBaselineDoc is the committed regression baseline.
+type benchBaselineDoc struct {
+	NormSingleTh float64 `json:"normalized_single_thread"`
+	Tolerance    float64 `json:"tolerance"`
+	Note         string  `json:"note"`
+}
+
+func BenchmarkPipeline1Mx4(b *testing.B) {
+	inputs := benchInputs()
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mcsort.Execute(inputs, benchPlan, mcsort.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(benchRows * 8)
+		})
+	}
+}
+
+func TestBenchRegression(t *testing.T) {
+	if os.Getenv("BENCH_REGRESS") == "" {
+		t.Skip("set BENCH_REGRESS=1 to run the benchmark-regression gate")
+	}
+	inputs := benchInputs()
+
+	rep := benchReport{
+		Benchmark: "mcs_1m_4col",
+		Rows:      benchRows,
+		Widths:    benchWidths,
+		Plan:      benchPlan.String(),
+	}
+	rep.ReferenceNs = measureReference(benchReps).Nanoseconds()
+
+	var basePerm []uint32
+	var singleNs int64
+	for _, w := range benchWorkers {
+		d, perm := measurePipeline(t, inputs, w, benchReps)
+		if basePerm == nil {
+			basePerm = perm
+			singleNs = d.Nanoseconds()
+		} else {
+			for i := range perm {
+				if perm[i] != basePerm[i] {
+					t.Fatalf("workers=%d: Perm diverges from workers=1 at %d", w, i)
+				}
+			}
+		}
+		rep.Runs = append(rep.Runs, benchRun{
+			Workers:    w,
+			Ns:         d.Nanoseconds(),
+			RowsPerSec: float64(benchRows) / (float64(d.Nanoseconds()) / 1e9),
+			SpeedupX:   float64(singleNs) / float64(d.Nanoseconds()),
+		})
+	}
+	rep.NormSingleTh = float64(singleNs) / float64(rep.ReferenceNs)
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPath := os.Getenv("BENCH_OUT")
+	if outPath == "" {
+		outPath = benchOutput
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: normalized single-thread %.3f (pipeline %.1fms, reference %.1fms)",
+		outPath, rep.NormSingleTh, float64(singleNs)/1e6, float64(rep.ReferenceNs)/1e6)
+
+	if os.Getenv("BENCH_BASELINE_WRITE") != "" {
+		doc := benchBaselineDoc{
+			NormSingleTh: rep.NormSingleTh,
+			Tolerance:    benchTolerance,
+			Note:         "1M-row 4-col pipeline single-thread time over the single-column reference sort; regenerate with BENCH_REGRESS=1 BENCH_BASELINE_WRITE=1",
+		}
+		b, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("bench", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchBaseline, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote baseline %s", benchBaseline)
+		return
+	}
+
+	raw, err := os.ReadFile(benchBaseline)
+	if err != nil {
+		t.Fatalf("no committed baseline (%v); run with BENCH_BASELINE_WRITE=1 to create one", err)
+	}
+	var base benchBaselineDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	tol := base.Tolerance
+	if tol == 0 {
+		tol = benchTolerance
+	}
+	if rep.NormSingleTh > base.NormSingleTh*(1+tol) {
+		t.Fatalf("single-thread regression: normalized %.3f vs baseline %.3f (+%.1f%% > %.0f%% tolerance)",
+			rep.NormSingleTh, base.NormSingleTh,
+			100*(rep.NormSingleTh/base.NormSingleTh-1), 100*tol)
+	}
+	t.Logf("within tolerance: normalized %.3f vs baseline %.3f", rep.NormSingleTh, base.NormSingleTh)
+}

@@ -41,6 +41,7 @@ func main() {
 		tableRows = flag.Int("tablerows", 60_000, "WideTable rows per workload")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		quick     = flag.Bool("quick", false, "reduced populations and scales")
+		workers   = flag.Int("workers", 1, "worker goroutines for engine passes (plan measurements stay sequential)")
 		calPath   = flag.String("calibration", "", "load a saved calibration profile instead of calibrating")
 		metrics   = flag.String("metrics", "", "emit an obs metrics snapshot on stdout at exit: json | text")
 		trace     = flag.Bool("trace", false, "print the cumulative obs trace to stderr after each experiment")
@@ -75,6 +76,7 @@ func main() {
 		TableRows: *tableRows,
 		Seed:      *seed,
 		Quick:     *quick,
+		Workers:   *workers,
 	}
 	if *calPath != "" {
 		m, err := costmodel.Load(*calPath)

@@ -6,6 +6,7 @@
 //	mcsplan -widths 12,17
 //	mcsplan -widths 17,33 -distinct 8192,8192 -rows 16777216
 //	mcsplan -widths 5,8,6 -clause groupby
+//	mcsplan -widths 12,17 -execute -workers 4   # run the ROGA pick too
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/datagen"
+	"repro/internal/massage"
+	"repro/internal/mcsort"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planner"
@@ -32,6 +35,8 @@ func main() {
 		rho          = flag.Float64("rho", planner.DefaultRho, "search time threshold (negative = unbounded)")
 		seed         = flag.Int64("seed", 1, "generator seed")
 		metrics      = flag.String("metrics", "", "emit an obs metrics snapshot (search counters) at exit: json | text")
+		execute      = flag.Bool("execute", false, "generate -rows rows and execute the ROGA pick")
+		workers      = flag.Int("workers", 1, "worker goroutines for -execute (output is identical for any value)")
 	)
 	flag.Parse()
 	switch *metrics {
@@ -105,6 +110,31 @@ func main() {
 	rrs := planner.RRS(s, *seed)
 	fmt.Printf("RRS pick:              %-40s est %8.2f ms (order %v)\n",
 		rrs.Plan, rrs.Est/1e6, rrs.ColOrder)
+
+	if *execute {
+		inputs := make([]massage.Input, len(widths))
+		for _, c := range roga.ColOrder {
+			inputs[c] = massage.Input{
+				Codes: datagen.Uniform(rng, *rows, widths[c], distinct[c]).Codes,
+				Width: widths[c],
+			}
+		}
+		ordered := make([]massage.Input, len(inputs))
+		for i, c := range roga.ColOrder {
+			ordered[i] = inputs[c]
+		}
+		res, err := mcsort.Execute(ordered, roga.Plan, mcsort.Options{Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsplan: execute: %v\n", err)
+			os.Exit(1)
+		}
+		t := res.Timings
+		fmt.Printf("executed (workers=%d): total %8.2f ms  (massage %.2f, sort %.2f, lookup %.2f, scan %.2f), %d groups\n",
+			*workers, float64(t.Total().Nanoseconds())/1e6,
+			float64(t.Massage.Nanoseconds())/1e6, float64(t.Sort.Nanoseconds())/1e6,
+			float64(t.Lookup.Nanoseconds())/1e6, float64(t.Scan.Nanoseconds())/1e6,
+			len(res.Groups)-1)
+	}
 
 	switch *metrics {
 	case "json":

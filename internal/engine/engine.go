@@ -141,7 +141,13 @@ type Options struct {
 	Massaging bool
 	Model     *costmodel.Model
 	Rho       float64
-	Workers   int
+	// Workers parallelizes the whole pipeline when > 1: materialization
+	// gathers, massaging, every sorting round, and the aggregation
+	// scan. Results are byte-identical for any value.
+	Workers int
+	// SortParams overrides the sorter's phase parameters and parallel
+	// thresholds (tests force the parallel paths on small inputs).
+	SortParams *mergesort.Params
 	// PlanOverride skips the search and uses the given choice.
 	PlanOverride *planner.Choice
 }
@@ -200,9 +206,7 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("%s: %w", q.ID, err)
 		}
 		codes := make([]uint64, len(rows))
-		for j, r := range rows {
-			codes[j] = bs.Lookup(int(r))
-		}
+		gatherParallel(codes, rows, bs.Lookup, opts.Workers)
 		inputs[i] = massage.Input{Codes: codes, Width: bs.Width, Desc: sc.Desc}
 	}
 	res.Timing.Materialize = time.Since(start)
@@ -221,7 +225,7 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 	for i, c := range choice.ColOrder {
 		ordered[i] = inputs[c]
 	}
-	mres, err := mcsort.Execute(ordered, choice.Plan, mcsort.Options{Workers: opts.Workers})
+	mres, err := mcsort.Execute(ordered, choice.Plan, mcsort.Options{Workers: opts.Workers, SortParams: opts.SortParams})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", q.ID, err)
 	}
@@ -237,7 +241,7 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 		return res, nil
 	}
 	start = time.Now()
-	if err := aggregate(res, t, q, inputs, rows, mres); err != nil {
+	if err := aggregate(res, t, q, inputs, rows, mres, opts.Workers); err != nil {
 		return nil, err
 	}
 	res.Timing.Aggregate = time.Since(start)
@@ -269,8 +273,8 @@ func recordCostAccuracy(queryID string, predictedNS float64, measured time.Durat
 		obsPredOverMeasMi.Set(obsPredictedNS.Value() * 1000 / m)
 	}
 	if queryID != "" {
-		obs.NewCounter("engine.query."+queryID+".predicted_mcs_ns").Add(int64(predictedNS))
-		obs.NewCounter("engine.query."+queryID+".measured_mcs_ns").Add(int64(measured))
+		obs.NewCounter("engine.query." + queryID + ".predicted_mcs_ns").Add(int64(predictedNS))
+		obs.NewCounter("engine.query." + queryID + ".measured_mcs_ns").Add(int64(measured))
 	}
 }
 
@@ -278,7 +282,8 @@ func recordCostAccuracy(queryID string, predictedNS float64, measured time.Durat
 // only, returning the multi-column-sort inputs (in clause order, with
 // the window order column appended for window queries). Plan-space
 // experiments use this to execute many plans over identical inputs.
-func MaterializeSortInputs(t *table.Table, q Query) ([]massage.Input, error) {
+// The gathers are chunked across workers when workers > 1.
+func MaterializeSortInputs(t *table.Table, q Query, workers int) ([]massage.Input, error) {
 	var rows []uint32
 	if len(q.Filters) > 0 {
 		var acc *byteslice.BitVector
@@ -321,9 +326,7 @@ func MaterializeSortInputs(t *table.Table, q Query) ([]massage.Input, error) {
 			return nil, err
 		}
 		codes := make([]uint64, len(rows))
-		for j, r := range rows {
-			codes[j] = bs.Lookup(int(r))
-		}
+		gatherParallel(codes, rows, bs.Lookup, workers)
 		inputs[i] = massage.Input{Codes: codes, Width: bs.Width, Desc: sc.Desc}
 	}
 	return inputs, nil
@@ -368,8 +371,10 @@ func choosePlan(t *table.Table, q Query, sortCols []SortCol, inputs []massage.In
 	return choice, time.Since(start), nil
 }
 
-// aggregate computes per-group keys and the aggregate.
-func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, rows []uint32, mres *mcsort.Result) error {
+// aggregate computes per-group keys and the aggregate, scanning group
+// ranges across workers (each group's output slot is owned by exactly
+// one worker).
+func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, rows []uint32, mres *mcsort.Result, workers int) error {
 	nGroups := len(mres.Groups) - 1
 	res.GroupKeys = make([][]uint64, nGroups)
 	res.Aggregates = make([]uint64, nGroups)
@@ -382,7 +387,7 @@ func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, row
 		}
 		aggBS = bs
 	}
-	for g := 0; g < nGroups; g++ {
+	forEachGroupParallel(nGroups, workers, func(g int) {
 		lo, hi := int(mres.Groups[g]), int(mres.Groups[g+1])
 		rep := mres.Perm[lo] // any row of the group carries its keys
 		keys := make([]uint64, len(inputs))
@@ -403,7 +408,7 @@ func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, row
 			}
 		}
 		res.Aggregates[g] = acc
-	}
+	})
 	return nil
 }
 

@@ -1,0 +1,84 @@
+// Parallel gather/scatter passes of the engine: ByteSlice-Lookup
+// materialization (a gather through the selection vector) and the
+// per-group aggregation scan are chunked across workers when
+// Options.Workers > 1. Chunks are output-contiguous and aligned to
+// 64-byte cache lines, so workers never share a store line; all shared
+// inputs (ByteSlices, the permutation, the selection vector) are
+// read-only during the pass.
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+var (
+	obsGatherRows = obs.NewCounter("engine.parallel_gather_rows")
+	obsAggGroups  = obs.NewCounter("engine.parallel_agg_groups")
+)
+
+// gatherMinRows is the selection size below which the gather runs
+// sequentially.
+const gatherMinRows = 4096
+
+// lineAlign is 8 uint64 — one 64-byte cache line of output.
+const lineAlign = 8
+
+// gatherParallel fills codes[j] = lookup(rows[j]) for every selected
+// row, chunked across workers.
+func gatherParallel(codes []uint64, rows []uint32, lookup func(int) uint64, workers int) {
+	n := len(rows)
+	if workers < 2 || n < gatherMinRows {
+		for j, r := range rows {
+			codes[j] = lookup(int(r))
+		}
+		return
+	}
+	obsGatherRows.Add(int64(n))
+	chunk := ((n+workers-1)/workers + lineAlign - 1) / lineAlign * lineAlign
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				codes[j] = lookup(int(rows[j]))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// forEachGroupParallel runs fn(g) for every group 0 ≤ g < nGroups,
+// distributing contiguous group ranges across workers. fn must only
+// write state owned by its group.
+func forEachGroupParallel(nGroups, workers int, fn func(g int)) {
+	if workers < 2 || nGroups < 2*workers {
+		for g := 0; g < nGroups; g++ {
+			fn(g)
+		}
+		return
+	}
+	obsAggGroups.Add(int64(nGroups))
+	chunk := (nGroups + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < nGroups; lo += chunk {
+		hi := lo + chunk
+		if hi > nGroups {
+			hi = nGroups
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for g := lo; g < hi; g++ {
+				fn(g)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -32,6 +32,11 @@ type Config struct {
 	Model *costmodel.Model
 	// Quick trims plan populations and repetitions for CI-speed runs.
 	Quick bool
+	// Workers parallelizes the engine passes around the experiments
+	// (materialization gathers, query execution). Plan *measurements*
+	// stay sequential regardless, so measured times remain comparable
+	// to the sequentially calibrated cost model.
+	Workers int
 }
 
 func (c *Config) defaults() {

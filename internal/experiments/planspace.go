@@ -30,7 +30,7 @@ func populationBudget(cfg Config) int {
 
 // queryPlanSpace prepares a query's sort inputs, statistics, and search.
 func queryPlanSpace(cfg Config, item workloads.Item) ([]massage.Input, *planner.Search, error) {
-	inputs, err := engine.MaterializeSortInputs(item.Table, item.Query)
+	inputs, err := engine.MaterializeSortInputs(item.Table, item.Query, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -15,6 +15,8 @@ package massage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/column"
 	"repro/internal/obs"
@@ -25,12 +27,13 @@ import (
 // obs.Enable(); the runtime counters are bumped once per runRange call
 // (never inside the per-row loop).
 var (
-	obsCompiles   = obs.NewCounter("massage.compiles")
-	obsSegments   = obs.NewCounter("massage.segments_compiled")
-	obsStitchOps  = obs.NewCounter("massage.stitch_ops")
-	obsBorrowOps  = obs.NewCounter("massage.borrow_ops")
-	obsFIPOps     = obs.NewCounter("massage.fip_ops")
-	obsBytesMoved = obs.NewCounter("massage.bytes_moved")
+	obsCompiles    = obs.NewCounter("massage.compiles")
+	obsSegments    = obs.NewCounter("massage.segments_compiled")
+	obsStitchOps   = obs.NewCounter("massage.stitch_ops")
+	obsBorrowOps   = obs.NewCounter("massage.borrow_ops")
+	obsFIPOps      = obs.NewCounter("massage.fip_ops")
+	obsBytesMoved  = obs.NewCounter("massage.bytes_moved")
+	obsParEffX1000 = obs.NewGauge("massage.parallel_efficiency_x1000")
 )
 
 // Input describes one sort column: its codes, width, and direction.
@@ -189,29 +192,65 @@ func (p *Program) Run(inputs []Input, rows int) [][]uint64 {
 	return out
 }
 
+// parallelMinRows is the row count below which RunParallel runs
+// sequentially: a FIP pass over fewer rows finishes faster than the
+// goroutine handoff.
+const parallelMinRows = 1024
+
+// chunkAlign aligns parallel chunk boundaries to whole 64-byte cache
+// lines of the uint64 key arrays, so no two workers' read-modify-write
+// streams (dst[i] |= …) share a line.
+const chunkAlign = 8
+
 // RunParallel is Run with the rows partitioned across workers goroutines
 // (Section 3: each thread massages partitions from every column
-// independently).
+// independently). Chunk boundaries respect cache lines, and the
+// massage.parallel_efficiency_x1000 gauge reports how busy the workers
+// collectively were when tracing is on.
 func (p *Program) RunParallel(inputs []Input, rows, workers int) [][]uint64 {
 	out := make([][]uint64, p.nRounds)
 	for d := range out {
 		out[d] = make([]uint64, rows)
 	}
-	if workers < 2 || rows < 1024 {
+	if workers < 2 || rows < parallelMinRows {
 		p.runRange(inputs, out, 0, rows)
 		return out
 	}
+	tracing := obs.Enabled()
+	var wall time.Time
+	if tracing {
+		wall = time.Now()
+	}
+	var busy atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
+	chunk := ((rows+workers-1)/workers + chunkAlign - 1) / chunkAlign * chunkAlign
+	nChunks := 0
 	for lo := 0; lo < rows; lo += chunk {
 		hi := min(lo+chunk, rows)
+		nChunks++
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var t0 time.Time
+			if tracing {
+				t0 = time.Now()
+			}
 			p.runRange(inputs, out, lo, hi)
+			if tracing {
+				busy.Add(int64(time.Since(t0)))
+			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if tracing {
+		if wall2 := time.Since(wall); wall2 > 0 && nChunks > 0 {
+			w := workers
+			if nChunks < w {
+				w = nChunks
+			}
+			obsParEffX1000.Set(busy.Load() * 1000 / (int64(wall2) * int64(w)))
+		}
+	}
 	return out
 }
 

@@ -6,41 +6,54 @@ import (
 	"testing"
 
 	"repro/internal/massage"
+	"repro/internal/mergesort"
 	"repro/internal/plan"
 )
 
-// The parallel first-round sort must be a pure function of its input:
-// the same (keys, oids) must come out whatever the worker count, or
-// results would depend on GOMAXPROCS and plans could not be compared
-// across runs. Ties make this hard — range partitioning changes which
-// worker sorts which tied run — so parallelFullSort canonicalizes tie
-// order. These tests pin that property, including the skewed-pivot edge
-// case where every sampled key is identical.
+// The parallel sort paths must be pure functions of their input: the
+// same (keys, oids) must come out whatever the worker count, or results
+// would depend on GOMAXPROCS and plans could not be compared across
+// runs. Ties make this hard — range partitioning, rank-split merging,
+// and group scheduling all change which worker sorts which tied run —
+// so every path canonicalizes tie order. These tests pin that property,
+// including the skewed-pivot edge case where every sampled key is
+// identical (which now routes to the rank-split cooperative sort).
 
-// workerCounts spans the sequential path, the partitioned path, and
-// more workers than distinct partitions can keep busy.
-var workerCounts = []int{1, 2, 4, 8}
+// workerCounts spans the sequential path, the partitioned path, an odd
+// worker count (uneven chunk alignment), and more workers than distinct
+// partitions can keep busy.
+var workerCounts = []int{1, 2, 3, 4, 8}
 
-func runFullSort(bank, workers int, keys []uint64) ([]uint64, []uint32) {
+// forcedParams lowers the parallel thresholds so the parallel paths run
+// on test-sized inputs (the satellite fix: constants route through
+// mergesort.Params instead of a hard-coded 16K floor).
+func forcedParams(bank int) mergesort.Params {
+	p := mergesort.DefaultParams(bank / 8)
+	p.ParallelThreshold = 256
+	p.PivotSamplePerWorker = 16
+	return p
+}
+
+func runFullSort(bank, workers int, keys []uint64, p mergesort.Params) ([]uint64, []uint32) {
 	k := append([]uint64(nil), keys...)
 	o := make([]uint32, len(k))
 	for i := range o {
 		o[i] = uint32(i)
 	}
-	parallelFullSort(bank, k, o, workers)
+	parallelFullSort(bank, k, o, workers, p)
 	return k, o
 }
 
-func checkDeterministic(t *testing.T, name string, bank int, keys []uint64) {
+func checkDeterministic(t *testing.T, name string, bank int, keys []uint64, p mergesort.Params) {
 	t.Helper()
-	baseK, baseO := runFullSort(bank, workerCounts[0], keys)
+	baseK, baseO := runFullSort(bank, workerCounts[0], keys, p)
 	for i := 1; i < len(keys); i++ {
 		if baseK[i] < baseK[i-1] {
 			t.Fatalf("%s bank %d: output not sorted at %d", name, bank, i)
 		}
 	}
 	for _, w := range workerCounts[1:] {
-		k, o := runFullSort(bank, w, keys)
+		k, o := runFullSort(bank, w, keys, p)
 		for i := range k {
 			if k[i] != baseK[i] {
 				t.Fatalf("%s bank %d: keys diverge at %d for workers=%d: %d vs %d",
@@ -54,47 +67,75 @@ func checkDeterministic(t *testing.T, name string, bank int, keys []uint64) {
 	}
 }
 
+// adversarialKeys builds the input battery: uniform, tie-heavy low
+// cardinality, pre-sorted, reverse-sorted, all-equal, and zipf-skewed.
+func adversarialKeys(n, bank int, seed int64) map[string][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	mask := ^uint64(0)
+	if bank < 64 {
+		mask = uint64(1)<<uint(bank) - 1
+	}
+	zipf := rand.NewZipf(rng, 1.2, 1.3, uint64(n/2+1))
+	cases := map[string][]uint64{
+		"uniform":  make([]uint64, n),
+		"lowcard":  make([]uint64, n),
+		"sorted":   make([]uint64, n),
+		"reverse":  make([]uint64, n),
+		"allequal": make([]uint64, n),
+		"zipf":     make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		cases["uniform"][i] = rng.Uint64() & mask
+		// 17 distinct values: every partition is dominated by ties.
+		cases["lowcard"][i] = uint64(rng.Intn(17)) & mask
+		cases["sorted"][i] = uint64(i) & mask
+		cases["reverse"][i] = uint64(n-i) & mask
+		cases["allequal"][i] = 42
+		cases["zipf"][i] = zipf.Uint64() & mask
+	}
+	return cases
+}
+
 func TestParallelFullSortDeterministicAcrossWorkers(t *testing.T) {
-	// Above parallelSortThreshold so the partitioned path actually runs.
-	const n = parallelSortThreshold * 3
-	rng := rand.New(rand.NewSource(11))
+	const n = 6000 // well above the forced threshold, fast to repeat
 	for _, bank := range []int{16, 32, 64} {
-		mask := ^uint64(0)
-		if bank < 64 {
-			mask = uint64(1)<<uint(bank) - 1
-		}
-		cases := map[string][]uint64{
-			"uniform":   make([]uint64, n),
-			"lowcard":   make([]uint64, n),
-			"presorted": make([]uint64, n),
-		}
-		for i := 0; i < n; i++ {
-			cases["uniform"][i] = rng.Uint64() & mask
-			// 17 distinct values: every partition is dominated by ties.
-			cases["lowcard"][i] = uint64(rng.Intn(17)) & mask
-			cases["presorted"][i] = uint64(i) & mask
-		}
-		for name, keys := range cases {
-			checkDeterministic(t, name, bank, keys)
+		p := forcedParams(bank)
+		for name, keys := range adversarialKeys(n, bank, 11) {
+			checkDeterministic(t, name, bank, keys, p)
 		}
 	}
 }
 
+// TestParallelFullSortDefaultThreshold keeps one case at the production
+// threshold so the default-sized parallel path stays covered.
+func TestParallelFullSortDefaultThreshold(t *testing.T) {
+	p := mergesort.DefaultParams(2)
+	n := p.ParallelThreshold * 3
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 16))
+	}
+	checkDeterministic(t, "uniform16", 16, keys, p)
+}
+
 // TestParallelFullSortSkewedPivots pins the edge case the pivot sampler
 // can hit on heavily skewed data: every sampled key equal (so all
-// pivots coincide and one partition receives everything), and the
+// pivots coincide and one partition would receive everything — the
+// skew fallback reroutes to the rank-split cooperative sort), and the
 // stride sampling seeing only the majority value of a 99%-skewed input.
 func TestParallelFullSortSkewedPivots(t *testing.T) {
-	const n = parallelSortThreshold * 2
+	const n = 4096
 	for _, bank := range []int{16, 32, 64} {
+		p := forcedParams(bank)
 		allEqual := make([]uint64, n)
 		for i := range allEqual {
 			allEqual[i] = 42
 		}
-		checkDeterministic(t, "allequal", bank, allEqual)
+		checkDeterministic(t, "allequal", bank, allEqual, p)
 
 		// All-equal ties must canonicalize to the identity permutation.
-		_, o := runFullSort(bank, 4, allEqual)
+		_, o := runFullSort(bank, 4, allEqual, p)
 		for i := range o {
 			if o[i] != uint32(i) {
 				t.Fatalf("bank %d: all-equal oids not canonical at %d: %d", bank, i, o[i])
@@ -110,46 +151,109 @@ func TestParallelFullSortSkewedPivots(t *testing.T) {
 				skewed[i] = 7 // the value every sample likely lands on
 			}
 		}
-		checkDeterministic(t, "skew99", bank, skewed)
+		checkDeterministic(t, "skew99", bank, skewed, p)
+	}
+}
+
+// execPlans is the plan battery the whole-sort determinism tests run:
+// the plain column-at-a-time plan and two massaged plans — a stitched
+// plan (both columns merged into one round) and a borrow plan (the
+// round boundary cuts through column 1, lending 3 of its bits to the
+// second round).
+func execPlans() map[string]plan.Plan {
+	return map[string]plan.Plan{
+		"column-at-a-time": {Rounds: []plan.Round{{Width: 9, Bank: 16}, {Width: 13, Bank: 16}}},
+		"stitched":         {Rounds: []plan.Round{{Width: 22, Bank: 32}}},
+		"borrow":           {Rounds: []plan.Round{{Width: 6, Bank: 16}, {Width: 16, Bank: 16}}},
 	}
 }
 
 // TestExecuteDeterministicAcrossWorkers lifts the property to the whole
-// multi-round sort: Perm and Groups must be identical for any Workers.
+// multi-round sort — massaged (stitch+borrow) plans included, not just
+// plain column-at-a-time: Perm and Groups must be identical for any
+// Workers over every adversarial distribution.
 func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
-	const rows = parallelSortThreshold * 2
-	rng := rand.New(rand.NewSource(17))
+	const rows = 4096
+	sp := forcedParams(16)
+	for dist, leading := range adversarialKeys(rows, 9, 17) {
+		rng := rand.New(rand.NewSource(19))
+		inputs := []massage.Input{
+			{Codes: make([]uint64, rows), Width: 9},
+			{Codes: make([]uint64, rows), Width: 13, Desc: true},
+		}
+		mask9 := uint64(1)<<9 - 1
+		for i := 0; i < rows; i++ {
+			inputs[0].Codes[i] = leading[i] & mask9 // adversarial leading column
+			inputs[1].Codes[i] = uint64(rng.Intn(4096))
+		}
+		for planName, p := range execPlans() {
+			var baseline *Result
+			for _, w := range workerCounts {
+				res, err := Execute(inputs, p, Options{Workers: w, SortParams: &sp})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", dist, planName, w, err)
+				}
+				if baseline == nil {
+					baseline = res
+					continue
+				}
+				if len(res.Perm) != len(baseline.Perm) || len(res.Groups) != len(baseline.Groups) {
+					t.Fatalf("%s/%s workers=%d: shape differs", dist, planName, w)
+				}
+				for i := range res.Perm {
+					if res.Perm[i] != baseline.Perm[i] {
+						t.Fatalf("%s/%s workers=%d: Perm diverges at %d", dist, planName, w, i)
+					}
+				}
+				for i := range res.Groups {
+					if res.Groups[i] != baseline.Groups[i] {
+						t.Fatalf("%s/%s workers=%d: Groups diverge at %d", dist, planName, w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecutePlansAgree pins that all plans over the same inputs produce
+// the same Perm and Groups (massaging must not change the sort result),
+// at every worker count.
+func TestExecutePlansAgree(t *testing.T) {
+	const rows = 2048
+	sp := forcedParams(16)
+	rng := rand.New(rand.NewSource(23))
 	inputs := []massage.Input{
 		{Codes: make([]uint64, rows), Width: 9},
 		{Codes: make([]uint64, rows), Width: 13, Desc: true},
 	}
 	for i := 0; i < rows; i++ {
-		inputs[0].Codes[i] = uint64(rng.Intn(64))   // tie-heavy leading column
-		inputs[1].Codes[i] = uint64(rng.Intn(4096)) // refines within groups
+		inputs[0].Codes[i] = uint64(rng.Intn(32))
+		inputs[1].Codes[i] = uint64(rng.Intn(64))
 	}
-	p := plan.Plan{Rounds: []plan.Round{{Width: 9, Bank: 16}, {Width: 13, Bank: 16}}}
-
 	var baseline *Result
-	for _, w := range workerCounts {
-		res, err := Execute(inputs, p, Options{Workers: w})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", w, err)
-		}
-		if baseline == nil {
-			baseline = res
-			continue
-		}
-		if len(res.Perm) != len(baseline.Perm) || len(res.Groups) != len(baseline.Groups) {
-			t.Fatalf("workers=%d: shape differs", w)
-		}
-		for i := range res.Perm {
-			if res.Perm[i] != baseline.Perm[i] {
-				t.Fatalf("workers=%d: Perm diverges at %d", w, i)
+	var baseName string
+	for planName, p := range execPlans() {
+		for _, w := range workerCounts {
+			res, err := Execute(inputs, p, Options{Workers: w, SortParams: &sp})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", planName, w, err)
 			}
-		}
-		for i := range res.Groups {
-			if res.Groups[i] != baseline.Groups[i] {
-				t.Fatalf("workers=%d: Groups diverge at %d", w, i)
+			if baseline == nil {
+				baseline, baseName = res, planName
+				continue
+			}
+			for i := range res.Perm {
+				if res.Perm[i] != baseline.Perm[i] {
+					t.Fatalf("%s vs %s workers=%d: Perm diverges at %d", planName, baseName, w, i)
+				}
+			}
+			if len(res.Groups) != len(baseline.Groups) {
+				t.Fatalf("%s vs %s workers=%d: group count differs", planName, baseName, w)
+			}
+			for i := range res.Groups {
+				if res.Groups[i] != baseline.Groups[i] {
+					t.Fatalf("%s vs %s workers=%d: Groups diverge at %d", planName, baseName, w, i)
+				}
 			}
 		}
 	}

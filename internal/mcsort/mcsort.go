@@ -76,7 +76,11 @@ type Result struct {
 
 // Options tunes the execution.
 type Options struct {
-	// Workers parallelizes massaging and the first-round sort when > 1.
+	// Workers parallelizes every phase when > 1: massaging, the
+	// range-partitioned first-round sort, the group-distributed later
+	// rounds (with cooperative rank-split sorting of dominant groups),
+	// and the lookup/permute passes. Output is byte-identical for any
+	// value — every sort path canonicalizes ties.
 	Workers int
 	// UseRadix replaces the SIMD merge-sort with the stable LSD radix
 	// sort (the paper's Section 7 future work): each round then costs
@@ -85,6 +89,34 @@ type Options struct {
 	UseRadix bool
 	// RadixBits is the radix R (default mergesort.DefaultRadixBits).
 	RadixBits int
+	// SortParams overrides the cache-derived mergesort phase parameters
+	// and the parallel-path thresholds. Zero fields keep their
+	// defaults; tests lower ParallelThreshold to exercise the parallel
+	// paths on small inputs.
+	SortParams *mergesort.Params
+}
+
+// sortParams resolves the effective phase parameters for a round's
+// bank: the cache-derived defaults overlaid with any non-zero fields of
+// the caller's override.
+func (o Options) sortParams(bank int) mergesort.Params {
+	p := mergesort.DefaultParams(bank / 8)
+	if o.SortParams == nil {
+		return p
+	}
+	if o.SortParams.InCacheElems > 0 {
+		p.InCacheElems = o.SortParams.InCacheElems
+	}
+	if o.SortParams.Fanout > 0 {
+		p.Fanout = o.SortParams.Fanout
+	}
+	if o.SortParams.ParallelThreshold > 0 {
+		p.ParallelThreshold = o.SortParams.ParallelThreshold
+	}
+	if o.SortParams.PivotSamplePerWorker > 0 {
+		p.PivotSamplePerWorker = o.SortParams.PivotSamplePerWorker
+	}
+	return p
 }
 
 // Execute sorts the rows described by inputs according to p. All input
@@ -137,13 +169,13 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 	scratch := make([]uint64, rows)
 	for r, round := range p.Rounds {
 		keys := roundKeys[r]
+		sp := opts.sortParams(round.Bank)
 		if r > 0 {
 			// Lookup: reorder this round's keys by the permutation
-			// established so far (random access, the paper's T_lookup).
+			// established so far (random access, the paper's T_lookup),
+			// output-chunked across workers.
 			start = time.Now()
-			for i, oid := range res.Perm {
-				scratch[i] = keys[oid]
-			}
+			parallelPermute(scratch, keys, res.Perm, opts.Workers)
 			keys, roundKeys[r] = scratch, keys
 			scratch = roundKeys[r]
 			d := time.Since(start)
@@ -163,6 +195,10 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 		}
 		switch {
 		case opts.UseRadix:
+			// The LSD radix sort is stable, so ties keep the running
+			// permutation's order — oid-ascending by induction (round 0
+			// starts from the identity, and every other path
+			// canonicalizes) — and the output is already canonical.
 			radixBits := opts.RadixBits
 			if radixBits == 0 {
 				radixBits = mergesort.DefaultRadixBits
@@ -181,20 +217,14 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 			// tie canonicalization makes the permutation byte-identical
 			// across worker counts.
 			if rows >= 2 {
-				parallelFullSort(round.Bank, keys, res.Perm, opts.Workers)
+				parallelFullSort(round.Bank, keys, res.Perm, opts.Workers, sp)
 				nSort = 1
 			}
-		case opts.Workers > 1:
-			nSort = parallelGroupSort(round.Bank, keys, res.Perm, groups, opts.Workers)
 		default:
-			for g := 0; g+1 < len(groups); g++ {
-				lo, hi := int(groups[g]), int(groups[g+1])
-				if hi-lo < 2 {
-					continue
-				}
-				mergesort.Sort(round.Bank, keys[lo:hi], res.Perm[lo:hi])
-				nSort++
-			}
+			// Later rounds: the tied groups are distributed across the
+			// worker pool (sequential for Workers < 2), every group
+			// canonicalized.
+			nSort = parallelGroupSort(round.Bank, keys, res.Perm, groups, opts.Workers, sp)
 		}
 		d := time.Since(start)
 		res.Timings.Sort += d

@@ -3,50 +3,66 @@ package mcsort
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/mergesort"
 	"repro/internal/obs"
 )
 
-// Multi-threaded execution (Section 6.4 of the paper): the first round
-// is range-partitioned by sampled pivots — each worker sorts one key
-// range independently, so concatenating the partitions is already the
-// sorted order (the sampling-based partitioning of Polychroniou & Ross
-// that the paper cites for skew resistance). Later rounds distribute
-// the tied groups across workers.
+// Multi-threaded execution (Section 6.4 of the paper), now for every
+// round. The first round is range-partitioned by sampled pivots — each
+// worker sorts one key range independently, so concatenating the
+// partitions is already the sorted order (the sampling-based
+// partitioning of Polychroniou & Ross that the paper cites for skew
+// resistance). When the sample-based partitioning collapses (heavily
+// skewed data where most sampled keys are equal), the round falls back
+// to mergesort's chunk-sort + cooperative pivot-split merge, whose load
+// balance is rank-based and therefore immune to value skew. Later
+// rounds distribute the tied groups across a bounded worker pool,
+// largest-group-first with dynamic (work-stealing-style) scheduling so
+// zipf-skewed group sizes stay balanced; groups big enough to dominate
+// a round are instead sorted cooperatively by all workers.
 //
 // Determinism: mergesort leaves the relative order of equal keys
-// unspecified, and the partition boundaries depend on the worker count,
-// so the raw concatenation would order tied oids differently for
-// different worker counts. Every path therefore canonicalizes ties
-// (oids ascending within each equal-key run), making the (keys, oids)
-// output byte-identical for any `workers` value — the property the
-// determinism test asserts and that keeps multi-round sorts
-// reproducible across machines.
-
-// parallelSortThreshold is the input size below which threading is not
-// worth the coordination cost.
-const parallelSortThreshold = 1 << 14
+// unspecified, and the partition/chunk boundaries depend on the worker
+// count, so raw output would order tied oids differently for different
+// worker counts. Every sort path — sequential included — therefore
+// canonicalizes ties (oids ascending within each equal-key run), making
+// the (keys, oids) output byte-identical for any `Workers` value — the
+// property the determinism battery asserts and that keeps multi-round
+// sorts reproducible across machines.
 
 var (
 	obsParallelSorts  = obs.NewCounter("mcsort.parallel_full_sorts")
+	obsSkewFallbacks  = obs.NewCounter("mcsort.partition_skew_fallbacks")
 	obsPartitionMax   = obs.NewGauge("mcsort.partition_rows_max")
 	obsImbalanceX1000 = obs.NewGauge("mcsort.partition_imbalance_x1000")
 	obsWorkerSegments = obs.NewCounter("mcsort.worker_segments")
+	obsCoopGroupSorts = obs.NewCounter("mcsort.cooperative_group_sorts")
+	obsParEffX1000    = obs.NewGauge("mcsort.parallel_efficiency_x1000")
 )
 
-// parallelFullSort sorts keys with oids across `workers` goroutines.
-func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
+// parallelFullSort sorts keys with oids across `workers` goroutines and
+// canonicalizes ties. p supplies the phase parameters and the parallel
+// thresholds (routed through mergesort.Params so tests can force the
+// parallel paths on small inputs).
+func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int, p mergesort.Params) {
 	n := len(keys)
-	if workers < 2 || n < parallelSortThreshold {
-		mergesort.Sort(bank, keys, oids)
+	if workers < 2 || n < p.ParallelThreshold {
+		mergesort.SortWithParams(bank, keys, oids, p)
 		canonicalizeTies(keys, oids)
 		return
 	}
 	obsParallelSorts.Inc()
+	tracing := obs.Enabled()
+	var wall time.Time
+	if tracing {
+		wall = time.Now()
+	}
 
 	// Sample keys and pick workers-1 pivots.
-	sampleSize := 128 * workers
+	sampleSize := p.PivotSamplePerWorker * workers
 	if sampleSize > n {
 		sampleSize = n
 	}
@@ -81,6 +97,25 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
 		bIdx[i] = uint8(b)
 		counts[b]++
 	}
+
+	// Skew fallback: when the sampled pivots fail to split the input
+	// (most keys equal, so one partition swallows nearly everything),
+	// range partitioning would serialize on one worker. The rank-based
+	// chunk-sort + cooperative merge balances perfectly regardless of
+	// the key distribution, so use it instead.
+	maxPart := 0
+	for _, c := range counts {
+		if c > maxPart {
+			maxPart = c
+		}
+	}
+	if maxPart*workers > 2*n {
+		obsSkewFallbacks.Inc()
+		mergesort.ParallelSortWithParams(bank, keys, oids, p, workers)
+		canonicalizeTies(keys, oids)
+		return
+	}
+
 	offsets := make([]int, workers+1)
 	for i := 0; i < workers; i++ {
 		offsets[i+1] = offsets[i] + counts[i]
@@ -95,13 +130,7 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
 		cursor[b]++
 	}
 
-	if obs.Enabled() {
-		maxPart := 0
-		for _, c := range counts {
-			if c > maxPart {
-				maxPart = c
-			}
-		}
+	if tracing {
 		obsPartitionMax.SetMax(int64(maxPart))
 		// Imbalance: busiest partition relative to the ideal n/workers
 		// share, ×1000 (1000 = perfectly balanced).
@@ -110,6 +139,7 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
 
 	// Equal keys always land in the same partition, so per-partition
 	// canonicalization composes to a canonical whole.
+	var busy atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := offsets[w], offsets[w+1]
@@ -119,13 +149,23 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			mergesort.Sort(bank, scratchK[lo:hi], scratchO[lo:hi])
+			var t0 time.Time
+			if tracing {
+				t0 = time.Now()
+			}
+			mergesort.SortWithParams(bank, scratchK[lo:hi], scratchO[lo:hi], p)
 			canonicalizeTies(scratchK[lo:hi], scratchO[lo:hi])
+			if tracing {
+				busy.Add(int64(time.Since(t0)))
+			}
 		}(lo, hi)
 	}
 	wg.Wait()
 	copy(keys, scratchK)
 	copy(oids, scratchO)
+	if tracing {
+		recordParallelEfficiency(busy.Load(), time.Since(wall), workers)
+	}
 }
 
 // canonicalizeTies sorts the oids of every equal-key run ascending, so
@@ -155,41 +195,129 @@ func oidsAscending(oids []uint32) bool {
 	return true
 }
 
-// parallelGroupSort sorts each group [groups[g], groups[g+1]) of keys,
-// spreading groups across workers balanced by total row count.
-func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, workers int) int {
+// parallelGroupSort sorts each group [groups[g], groups[g+1]) of keys
+// across workers and canonicalizes ties in every group. Groups large
+// enough to starve the pool (≥ p.ParallelThreshold) are sorted
+// cooperatively by all workers with the rank-split parallel sort; the
+// rest are drained largest-first from a shared queue, so zipf-skewed
+// group populations stay balanced without static assignment.
+func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, workers int, p mergesort.Params) int {
 	nSort := 0
 	type seg struct{ lo, hi int }
-	var work []seg
+	var big, small []seg
 	for g := 0; g+1 < len(groups); g++ {
 		lo, hi := int(groups[g]), int(groups[g+1])
-		if hi-lo >= 2 {
-			work = append(work, seg{lo, hi})
-			nSort++
+		if hi-lo < 2 {
+			continue
+		}
+		nSort++
+		if workers > 1 && hi-lo >= p.ParallelThreshold {
+			big = append(big, seg{lo, hi})
+		} else {
+			small = append(small, seg{lo, hi})
 		}
 	}
-	obsWorkerSegments.Add(int64(len(work)))
-	if workers < 2 || len(work) == 0 {
-		for _, s := range work {
-			mergesort.Sort(bank, keys[s.lo:s.hi], perm[s.lo:s.hi])
+	obsWorkerSegments.Add(int64(len(big) + len(small)))
+	if workers < 2 {
+		for _, s := range small {
+			mergesort.SortWithParams(bank, keys[s.lo:s.hi], perm[s.lo:s.hi], p)
+			canonicalizeTies(keys[s.lo:s.hi], perm[s.lo:s.hi])
 		}
 		return nSort
 	}
-	var wg sync.WaitGroup
-	next := make(chan seg, len(work))
-	for _, s := range work {
-		next <- s
+	tracing := obs.Enabled()
+	var wall time.Time
+	if tracing {
+		wall = time.Now()
 	}
-	close(next)
-	for w := 0; w < workers; w++ {
+	var busy atomic.Int64
+
+	// Dominant groups: all workers cooperate on one group at a time.
+	for _, s := range big {
+		obsCoopGroupSorts.Inc()
+		mergesort.ParallelSortWithParams(bank, keys[s.lo:s.hi], perm[s.lo:s.hi], p, workers)
+		canonicalizeTies(keys[s.lo:s.hi], perm[s.lo:s.hi])
+	}
+
+	// Remaining groups: largest first, claimed dynamically — an idle
+	// worker steals the next-biggest pending group, which bounds the
+	// finish-time imbalance by the last (smallest) group.
+	if len(small) > 0 {
+		sort.Slice(small, func(i, j int) bool {
+			return small[i].hi-small[i].lo > small[j].hi-small[j].lo
+		})
+		var next atomic.Int64
+		nw := workers
+		if nw > len(small) {
+			nw = len(small)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var t0 time.Time
+				if tracing {
+					t0 = time.Now()
+				}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(small) {
+						break
+					}
+					s := small[i]
+					mergesort.SortWithParams(bank, keys[s.lo:s.hi], perm[s.lo:s.hi], p)
+					canonicalizeTies(keys[s.lo:s.hi], perm[s.lo:s.hi])
+				}
+				if tracing {
+					busy.Add(int64(time.Since(t0)))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if tracing {
+		recordParallelEfficiency(busy.Load(), time.Since(wall), workers)
+	}
+	return nSort
+}
+
+// parallelPermute computes dst[i] = src[perm[i]] across workers — the
+// lookup/reorder pass of each later round (the paper's T_lookup). The
+// output is chunked on cache-line boundaries (8 uint64 per line); reads
+// are random either way.
+func parallelPermute(dst, src []uint64, perm []uint32, workers int) {
+	n := len(perm)
+	const align = 8
+	if workers < 2 || n < align*workers {
+		for i, oid := range perm {
+			dst[i] = src[oid]
+		}
+		return
+	}
+	chunk := (n/workers + align - 1) / align * align
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for s := range next {
-				mergesort.Sort(bank, keys[s.lo:s.hi], perm[s.lo:s.hi])
+			for i := lo; i < hi; i++ {
+				dst[i] = src[perm[i]]
 			}
-		}()
+		}(lo, hi)
 	}
 	wg.Wait()
-	return nSort
+}
+
+// recordParallelEfficiency publishes busy/(workers × wall) ×1000 for
+// the sort phase (1000 = all workers busy for the whole wall time).
+func recordParallelEfficiency(busyNS int64, wall time.Duration, workers int) {
+	if wall <= 0 || workers < 1 {
+		return
+	}
+	obsParEffX1000.Set(busyNS * 1000 / (int64(wall) * int64(workers)))
 }

@@ -50,7 +50,7 @@ func FuzzMergesortSort(f *testing.F) {
 	f.Add(uint16(0), []byte{})
 	f.Add(uint16(1), []byte{1})
 	f.Add(uint16(2), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 254})
-	f.Add(uint16(0), make([]byte, 517))            // all-zero: one giant tie run
+	f.Add(uint16(0), make([]byte, 517)) // all-zero: one giant tie run
 	f.Add(uint16(1), []byte("the quick brown fox jumps over the lazy dog, twice: the quick brown fox jumps over the lazy dog"))
 	seed := make([]byte, 4096)
 	for i := range seed {

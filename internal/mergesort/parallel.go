@@ -1,0 +1,481 @@
+package mergesort
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Multi-threaded sorting and merging (Section 6.4 of the paper). The
+// sequential sorter leaves the out-of-cache multiway merge on one core;
+// this file parallelizes it: workers cooperatively merge K sorted runs
+// by splitting the *output* into equal ranges with a multisequence
+// selection (pivot-split merge tree), so every worker merges its
+// co-partition of all runs independently. Unlike range partitioning,
+// the split is by output rank, so the load balance is perfect whatever
+// the key distribution — heavily skewed (zipf, all-equal) inputs cost
+// the same as uniform ones.
+//
+// Everything operates on the packed register representation (lanes
+// elements per 64-bit word, b ∈ {16, 32, 64}); data is packed once,
+// merged packed, and unpacked once, exactly like the sequential path.
+//
+// Determinism contract: ParallelMerge is stable by run index — ties
+// between runs resolve to the lower-index run, and the selection cuts
+// equal keys by the same rule — so its output is byte-identical for
+// every worker count, including 1. ParallelSort guarantees the sorted
+// key order but (like Sort) leaves the relative order of equal keys
+// unspecified; callers that need a canonical permutation canonicalize
+// ties afterwards (internal/mcsort does).
+
+var (
+	obsParSorts       = obs.NewCounter("mergesort.parallel_sorts")
+	obsParMerges      = obs.NewCounter("mergesort.parallel_merges")
+	obsParWorkers     = obs.NewGauge("mergesort.parallel_workers")
+	obsParEffX1000    = obs.NewGauge("mergesort.parallel_efficiency_x1000")
+	obsParMergeElems  = obs.NewCounter("mergesort.parallel_merge_elements")
+	obsParSelectProbe = obs.NewCounter("mergesort.parallel_select_probes")
+)
+
+// mergeAlign is the element alignment of worker output boundaries: a
+// multiple of every lane count (4, 2, 1) and of the two-oids-per-word
+// packing, so no two workers ever read-modify-write the same packed
+// word. 8 elements also spans a full 64-byte cache line of oids, which
+// keeps false sharing off the store streams.
+const mergeAlign = 8
+
+// ParallelSort sorts keys (each value < 2^bank) with their oids in
+// place across `workers` goroutines using the cache-derived parameters.
+func ParallelSort(bank int, keys []uint64, oids []uint32, workers int) {
+	ParallelSortWithParams(bank, keys, oids, defaultParams(bank/8), workers)
+}
+
+// ParallelSortWithParams splits the input into worker chunks, sorts the
+// chunks concurrently with the three-phase sort, and then cooperatively
+// multiway-merges the sorted chunks. Inputs below p.ParallelThreshold
+// (or workers < 2) take the sequential path.
+func ParallelSortWithParams(bank int, keys []uint64, oids []uint32, p Params, workers int) {
+	n := len(keys)
+	if n != len(oids) {
+		panic("mergesort: keys and oids length mismatch")
+	}
+	p = p.withParallelDefaults()
+	if workers < 2 || n < p.ParallelThreshold || n < insertionThreshold {
+		SortWithParams(bank, keys, oids, p)
+		return
+	}
+	k := kernelsFor(bank)
+
+	// Chunk boundaries are aligned to whole in-register blocks (v*v
+	// elements) so chunk sorts never share a packed word and phase 1
+	// operates on register-aligned block starts.
+	blockSz := k.v * k.v
+	chunk := (n/workers + blockSz - 1) / blockSz * blockSz
+	if chunk < blockSz {
+		chunk = blockSz
+	}
+	bounds := []int{0}
+	for lo := chunk; lo < n; lo += chunk {
+		bounds = append(bounds, lo)
+	}
+	bounds = append(bounds, n)
+	if len(bounds) < 3 {
+		SortWithParams(bank, keys, oids, p)
+		return
+	}
+
+	obsParSorts.Inc()
+	obsParWorkers.Set(int64(workers))
+	tracing := obs.Enabled()
+	var wall time.Time
+	if tracing {
+		wall = time.Now()
+	}
+
+	kw, ow := pack(keys, oids, k.lanes)
+	kw2 := make([]uint64, len(kw))
+	ow2 := make([]uint64, len(ow))
+
+	var busy atomic64
+	var wg sync.WaitGroup
+	for c := 0; c+1 < len(bounds); c++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var t0 time.Time
+			if tracing {
+				t0 = time.Now()
+			}
+			sortPackedChunk(kw, ow, kw2, ow2, k, lo, hi, p)
+			if tracing {
+				busy.add(int64(time.Since(t0)))
+			}
+		}(bounds[c], bounds[c+1])
+	}
+	wg.Wait()
+
+	// Cooperative multiway merge of the sorted chunks into the scratch
+	// arrays, then a parallel unpack back into the caller's slices.
+	parallelMergePacked(kw, ow, kw2, ow2, k.lanes, bank, bounds, workers, &busy, tracing)
+	parallelUnpack(kw2, ow2, k.lanes, keys, oids, workers)
+
+	if tracing {
+		recordEfficiency(busy.load(), time.Since(wall), workers)
+	}
+}
+
+// ParallelMerge merges the pre-sorted runs of keys/oids bounded by runs
+// (runs[0]=0 … runs[len-1]=len(keys)) in place across workers
+// goroutines, stable by run index. The output is byte-identical for
+// every worker count — the sequential oracle is workers=1.
+func ParallelMerge(bank int, keys []uint64, oids []uint32, runs []int, workers int) {
+	n := len(keys)
+	if n != len(oids) {
+		panic("mergesort: keys and oids length mismatch")
+	}
+	if len(runs) < 2 || runs[0] != 0 || runs[len(runs)-1] != n {
+		panic("mergesort: invalid run boundaries")
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i] < runs[i-1] {
+			panic("mergesort: run boundaries not ascending")
+		}
+	}
+	if len(runs) == 2 {
+		return // single run: already sorted
+	}
+	k := kernelsFor(bank)
+	tracing := obs.Enabled()
+	var wall time.Time
+	if tracing {
+		wall = time.Now()
+	}
+	kw, ow := pack(keys, oids, k.lanes)
+	kw2 := make([]uint64, len(kw))
+	ow2 := make([]uint64, len(ow))
+	var busy atomic64
+	parallelMergePacked(kw, ow, kw2, ow2, k.lanes, bank, runs, workers, &busy, tracing)
+	parallelUnpack(kw2, ow2, k.lanes, keys, oids, workers)
+	if tracing && workers > 1 {
+		recordEfficiency(busy.load(), time.Since(wall), workers)
+	}
+}
+
+// sortPackedChunk runs the three phases on elements [lo, hi) of the
+// packed arrays, leaving the sorted range in (kw, ow). lo must start a
+// whole in-register block.
+func sortPackedChunk(kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Params) {
+	if hi-lo < 2 {
+		return
+	}
+	// Phase 1: in-register block sorts.
+	blockSz := k.v * k.v
+	runs := make([]int, 0, (hi-lo)/k.v+2)
+	b := lo
+	for ; b+blockSz <= hi; b += blockSz {
+		k.blockSort(kw, ow, b)
+		for r := 0; r < k.v; r++ {
+			runs = append(runs, b+r*k.v)
+		}
+	}
+	if b < hi {
+		packedInsertionSort(kw, ow, k.lanes, b, hi)
+		runs = append(runs, b)
+	}
+	runs = append(runs, hi)
+
+	srcK, srcO, dstK, dstO := kw, ow, kw2, ow2
+	inPrimary := true
+
+	// Phase 2: pairwise register merging until runs fit half L2.
+	runSize := k.v
+	for len(runs) > 2 && runSize < p.InCacheElems {
+		runs = mergePassVec(srcK, srcO, k.lanes, runs, dstK, dstO, k.mergeRuns)
+		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
+		inPrimary = !inPrimary
+		runSize *= 2
+	}
+	// Phase 3: multiway loser-tree merging, fanout F.
+	for len(runs) > 2 {
+		runs = mergePassMultiwayVec(srcK, srcO, k.lanes, runs, p.Fanout, dstK, dstO)
+		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
+		inPrimary = !inPrimary
+	}
+	if !inPrimary {
+		copyPackedRange(srcK, srcO, k.lanes, lo, hi, kw, ow)
+	}
+}
+
+// parallelMergePacked merges the sorted runs of (kw, ow) into (dstK,
+// dstO). The output range is cut into one aligned slice per worker by
+// rank; a multisequence selection finds, for each output boundary, the
+// matching cut in every run, and each worker then merges its
+// co-partition with a run-index-stable loser tree.
+func parallelMergePacked(kw, ow, dstK, dstO []uint64, lanes, bank int, runs []int, workers int, busy *atomic64, tracing bool) {
+	total := runs[len(runs)-1] - runs[0]
+	if total == 0 {
+		return
+	}
+	obsParMerges.Inc()
+	obsParMergeElems.Add(int64(total))
+	if workers < 2 {
+		cuts := [][]int{runStarts(runs), runEnds(runs)}
+		mergeCoPartition(kw, ow, dstK, dstO, lanes, cuts[0], cuts[1], runs[0])
+		return
+	}
+
+	// Worker output boundaries: equal rank shares, aligned so no two
+	// workers share a packed destination word.
+	targets := []int{runs[0]}
+	for w := 1; w < workers; w++ {
+		t := runs[0] + total*w/workers/mergeAlign*mergeAlign
+		if t > targets[len(targets)-1] {
+			targets = append(targets, t)
+		}
+	}
+	targets = append(targets, runs[len(runs)-1])
+
+	// Per-boundary cuts via multisequence selection.
+	cuts := make([][]int, len(targets))
+	cuts[0] = runStarts(runs)
+	cuts[len(cuts)-1] = runEnds(runs)
+	for i := 1; i+1 < len(targets); i++ {
+		cuts[i] = splitRuns(kw, lanes, bank, runs, targets[i]-runs[0])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w+1 < len(targets); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var t0 time.Time
+			if tracing {
+				t0 = time.Now()
+			}
+			mergeCoPartition(kw, ow, dstK, dstO, lanes, cuts[w], cuts[w+1], targets[w])
+			if tracing {
+				busy.add(int64(time.Since(t0)))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func runStarts(runs []int) []int { return append([]int(nil), runs[:len(runs)-1]...) }
+func runEnds(runs []int) []int   { return append([]int(nil), runs[1:]...) }
+
+// splitRuns returns, for global output rank t (relative to the start of
+// the merge), the absolute cut position in every run such that the
+// first t elements of the run-index-stable merge are exactly the
+// elements below the cuts. Equal keys at the boundary are attributed to
+// runs in index order — the same rule the stable merge uses — so the
+// cuts are consistent with the merged output for any t.
+func splitRuns(kw []uint64, lanes, bank int, runs []int, t int) []int {
+	k := len(runs) - 1
+	cuts := make([]int, k)
+	// Binary search over the key domain for the key at rank t: the
+	// smallest v with count(<= v) > t.
+	lo, hi := uint64(0), ^uint64(0)
+	if bank < 64 {
+		hi = uint64(1)<<uint(bank) - 1
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		le := 0
+		for r := 0; r < k; r++ {
+			le += upperBoundPacked(kw, lanes, runs[r], runs[r+1], mid) - runs[r]
+			obsParSelectProbe.Inc()
+		}
+		if le > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	v := lo
+	// Keys strictly below v are all in; distribute the v-ties to runs in
+	// index order until the rank is met.
+	extra := t
+	for r := 0; r < k; r++ {
+		lb := lowerBoundPacked(kw, lanes, runs[r], runs[r+1], v)
+		cuts[r] = lb
+		extra -= lb - runs[r]
+	}
+	for r := 0; r < k && extra > 0; r++ {
+		ub := upperBoundPacked(kw, lanes, cuts[r], runs[r+1], v)
+		take := ub - cuts[r]
+		if take > extra {
+			take = extra
+		}
+		cuts[r] += take
+		extra -= take
+	}
+	return cuts
+}
+
+// lowerBoundPacked returns the first index in [lo, hi) whose key is >= v.
+func lowerBoundPacked(kw []uint64, lanes, lo, hi int, v uint64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keyAt(kw, mid, lanes) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBoundPacked returns the first index in [lo, hi) whose key is > v.
+func upperBoundPacked(kw []uint64, lanes, lo, hi int, v uint64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keyAt(kw, mid, lanes) <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mergeCoPartition merges the per-run slices [from[r], to[r]) into dst
+// starting at element d, stable by run index.
+func mergeCoPartition(kw, ow, dstK, dstO []uint64, lanes int, from, to []int, d int) {
+	lt := newStableLoserTree(kw, lanes, from, to)
+	for {
+		pos := lt.pop()
+		if pos < 0 {
+			return
+		}
+		setKeyAt(dstK, d, lanes, keyAt(kw, pos, lanes))
+		setOidAt(dstO, d, oidAt(ow, pos))
+		d++
+	}
+}
+
+// stableLoserTree is a tournament tree over packed runs whose
+// comparison is the strict total order (key, run index): equal keys
+// resolve to the lower-index run, making the merged order independent
+// of the tree shape and therefore of how the output was partitioned.
+type stableLoserTree struct {
+	tree   []int
+	heads  []int
+	ends   []int
+	kw     []uint64
+	lanes  int
+	kPow2  int
+	winner int
+}
+
+func newStableLoserTree(kw []uint64, lanes int, from, to []int) *stableLoserTree {
+	k := len(from)
+	kPow2 := 1
+	for kPow2 < k {
+		kPow2 *= 2
+	}
+	lt := &stableLoserTree{
+		tree:  make([]int, kPow2),
+		heads: append([]int(nil), from...),
+		ends:  append([]int(nil), to...),
+		kw:    kw,
+		lanes: lanes,
+		kPow2: kPow2,
+	}
+	winners := make([]int, 2*kPow2)
+	for i := 0; i < kPow2; i++ {
+		if i < k {
+			winners[kPow2+i] = i
+		} else {
+			winners[kPow2+i] = -1
+		}
+	}
+	for node := kPow2 - 1; node >= 1; node-- {
+		a, b := winners[2*node], winners[2*node+1]
+		if lt.beats(a, b) {
+			winners[node], lt.tree[node] = a, b
+		} else {
+			winners[node], lt.tree[node] = b, a
+		}
+	}
+	lt.winner = winners[1]
+	return lt
+}
+
+// beats reports whether run a's head precedes run b's head under the
+// (key, run index) order; exhausted runs lose to everything.
+func (lt *stableLoserTree) beats(a, b int) bool {
+	if a < 0 || lt.heads[a] >= lt.ends[a] {
+		return false
+	}
+	if b < 0 || lt.heads[b] >= lt.ends[b] {
+		return true
+	}
+	ka := keyAt(lt.kw, lt.heads[a], lt.lanes)
+	kb := keyAt(lt.kw, lt.heads[b], lt.lanes)
+	if ka != kb {
+		return ka < kb
+	}
+	return a < b
+}
+
+func (lt *stableLoserTree) pop() int {
+	w := lt.winner
+	if w < 0 || lt.heads[w] >= lt.ends[w] {
+		return -1
+	}
+	pos := lt.heads[w]
+	lt.heads[w]++
+	cur := w
+	for node := (lt.kPow2 + w) / 2; node >= 1; node /= 2 {
+		if lt.beats(lt.tree[node], cur) {
+			lt.tree[node], cur = cur, lt.tree[node]
+		}
+	}
+	lt.winner = cur
+	return pos
+}
+
+// parallelUnpack converts the packed arrays back into keys/oids across
+// workers, chunked on word-aligned boundaries.
+func parallelUnpack(kw, ow []uint64, lanes int, keys []uint64, oids []uint32, workers int) {
+	n := len(keys)
+	if workers < 2 || n < mergeAlign*workers {
+		unpack(kw, ow, lanes, keys, oids)
+		return
+	}
+	chunk := (n/workers + mergeAlign - 1) / mergeAlign * mergeAlign
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				keys[i] = keyAt(kw, i, lanes)
+				oids[i] = oidAt(ow, i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// atomic64 is a tiny atomic accumulator for per-worker busy time.
+type atomic64 struct{ v atomic.Int64 }
+
+func (a *atomic64) add(n int64) { a.v.Add(n) }
+func (a *atomic64) load() int64 { return a.v.Load() }
+
+// recordEfficiency publishes busy/(workers × wall) ×1000: 1000 means
+// the workers were collectively busy the whole wall time.
+func recordEfficiency(busyNS int64, wall time.Duration, workers int) {
+	if wall <= 0 || workers < 1 {
+		return
+	}
+	obsParEffX1000.Set(busyNS * 1000 / (int64(wall) * int64(workers)))
+}

@@ -1,0 +1,223 @@
+package mergesort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Oracle-differential tests for the parallel out-of-cache merge and the
+// chunk-sort + cooperative-merge parallel sort.
+//
+// ParallelMerge promises byte-identical output for every worker count
+// (stable by run index); the oracle is an independent implementation —
+// sort.SliceStable over (key, run index), which preserves intra-run
+// order by stability. ParallelSort promises the sorted key order of
+// Sort with a valid oid permutation; tie order is unspecified, so the
+// comparison canonicalizes ties first.
+
+var parWorkerCounts = []int{1, 2, 3, 4, 8}
+
+// testParams forces the parallel paths on small inputs (the satellite
+// fix: thresholds route through Params instead of hard-coded consts).
+func testParams(bank int) Params {
+	p := DefaultParams(bank / 8)
+	p.ParallelThreshold = 64
+	return p
+}
+
+func maskFor(bank int) uint64 {
+	if bank < 64 {
+		return uint64(1)<<uint(bank) - 1
+	}
+	return ^uint64(0)
+}
+
+// adversarialInputs builds the distributions the determinism battery
+// runs: uniform random, all-equal, pre-sorted, reverse-sorted, and
+// zipf-skewed (a handful of huge tie runs plus a long tail).
+func adversarialInputs(n int, bank int, seed int64) map[string][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	mask := maskFor(bank)
+	zipf := rand.NewZipf(rng, 1.3, 1.5, uint64(n/4+1))
+	cases := map[string][]uint64{
+		"uniform":  make([]uint64, n),
+		"allequal": make([]uint64, n),
+		"sorted":   make([]uint64, n),
+		"reverse":  make([]uint64, n),
+		"zipf":     make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		cases["uniform"][i] = rng.Uint64() & mask
+		cases["allequal"][i] = 42 & mask
+		cases["sorted"][i] = uint64(i) & mask
+		cases["reverse"][i] = uint64(n-i) & mask
+		cases["zipf"][i] = zipf.Uint64() & mask
+	}
+	return cases
+}
+
+// mergeOracle merges pre-sorted runs stably by run index with the
+// standard library.
+func mergeOracle(keys []uint64, oids []uint32, runs []int) ([]uint64, []uint32) {
+	type elem struct {
+		key uint64
+		oid uint32
+		run int
+	}
+	elems := make([]elem, len(keys))
+	for r := 0; r+1 < len(runs); r++ {
+		for i := runs[r]; i < runs[r+1]; i++ {
+			elems[i] = elem{keys[i], oids[i], r}
+		}
+	}
+	sort.SliceStable(elems, func(i, j int) bool {
+		if elems[i].key != elems[j].key {
+			return elems[i].key < elems[j].key
+		}
+		return elems[i].run < elems[j].run
+	})
+	k := make([]uint64, len(keys))
+	o := make([]uint32, len(oids))
+	for i, e := range elems {
+		k[i], o[i] = e.key, e.oid
+	}
+	return k, o
+}
+
+func TestParallelMergeMatchesOracle(t *testing.T) {
+	const n = 3000
+	for _, bank := range Banks {
+		for name, keys := range adversarialInputs(n, bank, int64(bank)) {
+			for _, nRuns := range []int{2, 3, 5, 9} {
+				oids := make([]uint32, n)
+				for i := range oids {
+					oids[i] = uint32(i)
+				}
+				k := append([]uint64(nil), keys...)
+				runs := sortedRuns(k, oids, nRuns)
+				wantK, wantO := mergeOracle(k, oids, runs)
+				for _, w := range parWorkerCounts {
+					gotK := append([]uint64(nil), k...)
+					gotO := append([]uint32(nil), oids...)
+					ParallelMerge(bank, gotK, gotO, runs, w)
+					for i := range gotK {
+						if gotK[i] != wantK[i] || gotO[i] != wantO[i] {
+							t.Fatalf("%s bank=%d runs=%d workers=%d: diverges at %d: got (%d,%d) want (%d,%d)",
+								name, bank, nRuns, w, i, gotK[i], gotO[i], wantK[i], wantO[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// sortedRuns cuts keys/oids into nRuns runs and stably sorts each run
+// by key (intra-run ties keep input order).
+func sortedRuns(keys []uint64, oids []uint32, nRuns int) []int {
+	n := len(keys)
+	runs := []int{0}
+	for r := 1; r < nRuns; r++ {
+		b := n * r / nRuns
+		if b > runs[len(runs)-1] {
+			runs = append(runs, b)
+		}
+	}
+	if n > runs[len(runs)-1] {
+		runs = append(runs, n)
+	}
+	for r := 0; r+1 < len(runs); r++ {
+		lo, hi := runs[r], runs[r+1]
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return keys[lo+idx[a]] < keys[lo+idx[b]] })
+		sk := make([]uint64, hi-lo)
+		so := make([]uint32, hi-lo)
+		for i, j := range idx {
+			sk[i], so[i] = keys[lo+j], oids[lo+j]
+		}
+		copy(keys[lo:hi], sk)
+		copy(oids[lo:hi], so)
+	}
+	return runs
+}
+
+func TestParallelSortMatchesSequential(t *testing.T) {
+	for _, bank := range Banks {
+		p := testParams(bank)
+		for _, n := range []int{0, 1, 65, 1000, 5000} {
+			for name, keys := range adversarialInputs(n, bank, 7) {
+				wantK := append([]uint64(nil), keys...)
+				wantO := make([]uint32, n)
+				for i := range wantO {
+					wantO[i] = uint32(i)
+				}
+				SortWithParams(bank, wantK, wantO, p)
+				canonicalOids(wantK, wantO)
+				for _, w := range parWorkerCounts[1:] {
+					gotK := append([]uint64(nil), keys...)
+					gotO := make([]uint32, n)
+					for i := range gotO {
+						gotO[i] = uint32(i)
+					}
+					ParallelSortWithParams(bank, gotK, gotO, p, w)
+					canonicalOids(gotK, gotO)
+					for i := range gotK {
+						if gotK[i] != wantK[i] {
+							t.Fatalf("%s bank=%d n=%d workers=%d: key diverges at %d", name, bank, n, w, i)
+						}
+						if gotO[i] != wantO[i] {
+							t.Fatalf("%s bank=%d n=%d workers=%d: oid diverges at %d (key %d)", name, bank, n, w, i, gotK[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// canonicalOids sorts oids ascending within every equal-key run, the
+// same canonical form mcsort produces.
+func canonicalOids(keys []uint64, oids []uint32) {
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		run := oids[i:j]
+		sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+		i = j
+	}
+}
+
+// TestSplitRunsConsistency pins the selection invariant directly: for
+// any rank t, the cuts partition the runs so that exactly t elements
+// fall below them and no element below a cut exceeds one above it.
+func TestSplitRunsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 800
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(17)) // tie-heavy
+		oids[i] = uint32(i)
+	}
+	runs := sortedRuns(keys, oids, 5)
+	kw, _ := pack(keys, oids, 4)
+	for t0 := 0; t0 <= n; t0 += 13 {
+		cuts := splitRuns(kw, 4, 16, runs, t0)
+		total := 0
+		for r := 0; r+1 < len(runs); r++ {
+			if cuts[r] < runs[r] || cuts[r] > runs[r+1] {
+				t.Fatalf("t=%d: cut %d out of run bounds", t0, r)
+			}
+			total += cuts[r] - runs[r]
+		}
+		if total != t0 {
+			t.Fatalf("t=%d: cuts select %d elements", t0, total)
+		}
+	}
+}

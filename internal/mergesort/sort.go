@@ -16,11 +16,39 @@ type Params struct {
 	InCacheElems int
 	// Fanout is the multiway merge fanout F of phase 3.
 	Fanout int
+	// ParallelThreshold is the input size (elements) below which the
+	// parallel sort and merge paths fall back to their sequential
+	// counterparts; tests lower it to exercise the parallel code on
+	// small inputs. Zero means DefaultParallelThreshold.
+	ParallelThreshold int
+	// PivotSamplePerWorker is how many keys per worker the
+	// range-partitioning pivot sampler draws (mcsort's first-round
+	// partitioner). Zero means DefaultPivotSamplePerWorker.
+	PivotSamplePerWorker int
 }
 
 // DefaultFanout is the out-of-cache merge fanout F used when callers do
 // not override it.
 const DefaultFanout = 8
+
+// DefaultParallelThreshold is the input size below which threading is
+// not worth the coordination cost.
+const DefaultParallelThreshold = 1 << 14
+
+// DefaultPivotSamplePerWorker is the pivot-sample budget per worker of
+// the range partitioner.
+const DefaultPivotSamplePerWorker = 128
+
+// withParallelDefaults fills the zero-valued parallel knobs.
+func (p Params) withParallelDefaults() Params {
+	if p.ParallelThreshold == 0 {
+		p.ParallelThreshold = DefaultParallelThreshold
+	}
+	if p.PivotSamplePerWorker == 0 {
+		p.PivotSamplePerWorker = DefaultPivotSamplePerWorker
+	}
+	return p
+}
 
 // defaultParams derives the phase parameters from the cache hierarchy:
 // phase 2 stops when a run fills half the L2 cache (the paper's M_L2/2),
@@ -31,7 +59,7 @@ func defaultParams(keyBytes int) Params {
 	if elems < 64 {
 		elems = 64
 	}
-	return Params{InCacheElems: elems, Fanout: DefaultFanout}
+	return Params{InCacheElems: elems, Fanout: DefaultFanout}.withParallelDefaults()
 }
 
 // DefaultParams returns the cache-derived phase parameters for keys of
@@ -84,22 +112,8 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p Params) {
 		insertionSort(keys, oids)
 		return
 	}
-	var (
-		lanes     int
-		v         int
-		blockSort func(kw, ow []uint64, e int)
-		mergeRuns func(srcK, srcO []uint64, a0, a1, b0, b1 int, dstK, dstO []uint64, d int)
-	)
-	switch bank {
-	case 16:
-		lanes, v, blockSort, mergeRuns = 4, 16, blockSort16, vecMergeRuns16
-	case 32:
-		lanes, v, blockSort, mergeRuns = 2, 8, blockSort32, vecMergeRuns32
-	case 64:
-		lanes, v, blockSort, mergeRuns = 1, 4, blockSort64, vecMergeRuns64
-	default:
-		panic(fmt.Sprintf("mergesort: unsupported bank size %d", bank))
-	}
+	k := kernelsFor(bank)
+	lanes, v, blockSort, mergeRuns := k.lanes, k.v, k.blockSort, k.mergeRuns
 
 	tracing := obs.Enabled()
 	var t0 time.Time
@@ -163,6 +177,29 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p Params) {
 		if passes > 0 {
 			obsFanout.Set(int64(p.Fanout))
 		}
+	}
+}
+
+// bankKernels is the per-bank kernel set of the three-phase sort: the
+// packing geometry plus the in-register block sorter and the streaming
+// pairwise run merger.
+type bankKernels struct {
+	lanes     int // key elements per 64-bit word
+	v         int // lanes per simulated 256-bit register
+	blockSort func(kw, ow []uint64, e int)
+	mergeRuns func(srcK, srcO []uint64, a0, a1, b0, b1 int, dstK, dstO []uint64, d int)
+}
+
+func kernelsFor(bank int) bankKernels {
+	switch bank {
+	case 16:
+		return bankKernels{4, 16, blockSort16, vecMergeRuns16}
+	case 32:
+		return bankKernels{2, 8, blockSort32, vecMergeRuns32}
+	case 64:
+		return bankKernels{1, 4, blockSort64, vecMergeRuns64}
+	default:
+		panic(fmt.Sprintf("mergesort: unsupported bank size %d", bank))
 	}
 }
 

@@ -82,7 +82,10 @@ type Options struct {
 	Model *Model
 	// Plan skips the search entirely and executes the given plan.
 	Plan *Plan
-	// Workers parallelizes massaging when > 1.
+	// Workers parallelizes the whole sort pipeline when > 1: massaging,
+	// the range-partitioned first-round sort, the group-distributed
+	// later rounds, and the key-permute passes between rounds. The
+	// result is byte-identical for any value.
 	Workers int
 }
 
