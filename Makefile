@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race fuzz-smoke bench bench-regress bench-baseline
+.PHONY: test race fault fuzz-smoke bench bench-regress bench-baseline
 
 test:
 	$(GO) vet ./...
@@ -9,6 +9,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/mcsort/... ./internal/mergesort/... ./internal/massage/... ./internal/engine/... ./internal/obs/...
+
+# Robustness battery under the race detector: cancellation at every
+# fault-injection site, contained worker panics, budget degradation, and
+# goroutine-leak checks (see docs/robustness.md).
+fault:
+	$(GO) test -race -run 'Cancel|Fault|Leak|Panic|Budget|Degrade' ./internal/pipeerr/ ./internal/faultinject/ ./internal/mergesort/ ./internal/mcsort/ ./internal/engine/ ./mcs/
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMergesortSort -fuzztime=30s ./internal/mergesort/

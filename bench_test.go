@@ -29,7 +29,11 @@ var (
 func benchConfig(b *testing.B) experiments.Config {
 	b.Helper()
 	benchModelOnce.Do(func() {
-		benchModel = costmodel.Calibrate(costmodel.CalOptions{})
+		m, err := costmodel.Calibrate(costmodel.CalOptions{})
+		if err != nil {
+			b.Fatalf("calibrate: %v", err)
+		}
+		benchModel = m
 	})
 	return experiments.Config{
 		Rows:      1 << 16,

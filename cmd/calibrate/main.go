@@ -26,7 +26,11 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "calibrating (controlled runs for lookup, massage, scan, and per-bank sorts)...")
 	start := time.Now()
-	m := costmodel.Calibrate(costmodel.CalOptions{NCal: *ncal})
+	m, err := costmodel.Calibrate(costmodel.CalOptions{NCal: *ncal})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *out != "" {

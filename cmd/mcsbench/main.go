@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -46,8 +47,15 @@ func main() {
 		metrics   = flag.String("metrics", "", "emit an obs metrics snapshot on stdout at exit: json | text")
 		trace     = flag.Bool("trace", false, "print the cumulative obs trace to stderr after each experiment")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+		timeout   = flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no limit); cancellations show up under pipeline.* in -metrics")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch *metrics {
 	case "", "json", "text":
@@ -88,7 +96,12 @@ func main() {
 	} else {
 		fmt.Fprintln(os.Stderr, "mcsbench: calibrating the cost model (a few seconds; use -calibration to reuse a profile)...")
 		start := time.Now()
-		cfg.Model = costmodel.Calibrate(costmodel.CalOptions{})
+		m, err := costmodel.Calibrate(costmodel.CalOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcsbench: calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Model = m
 		fmt.Fprintf(os.Stderr, "mcsbench: calibration done in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
@@ -98,9 +111,10 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := experiments.Run(id, cfg)
+		rep, err := experiments.RunContext(ctx, id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcsbench: %v\n", err)
+			dumpMetrics(*metrics)
 			os.Exit(1)
 		}
 		fmt.Println(rep.String())
@@ -114,7 +128,14 @@ func main() {
 		}
 	}
 
-	switch *metrics {
+	dumpMetrics(*metrics)
+}
+
+// dumpMetrics emits the obs snapshot, which includes the robustness
+// counters (pipeline.cancellations, pipeline.recovered_panics) when a
+// timeout or contained fault occurred during the run.
+func dumpMetrics(mode string) {
+	switch mode {
 	case "json":
 		if err := obs.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mcsbench: metrics: %v\n", err)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -37,8 +38,15 @@ func main() {
 		metrics      = flag.String("metrics", "", "emit an obs metrics snapshot (search counters) at exit: json | text")
 		execute      = flag.Bool("execute", false, "generate -rows rows and execute the ROGA pick")
 		workers      = flag.Int("workers", 1, "worker goroutines for -execute (output is identical for any value)")
+		timeout      = flag.Duration("timeout", 0, "cancel the search and execution after this duration (0 = no limit); cancellations show up under pipeline.* in -metrics")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	switch *metrics {
 	case "", "json", "text":
 	default:
@@ -94,7 +102,11 @@ func main() {
 	st.N = *rows
 
 	fmt.Fprintln(os.Stderr, "calibrating the cost model...")
-	model := costmodel.Calibrate(costmodel.CalOptions{})
+	model, err := costmodel.Calibrate(costmodel.CalOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcsplan: calibrate: %v\n", err)
+		os.Exit(1)
+	}
 
 	s := &planner.Search{Model: model, Stats: st, Kind: kind, Rho: *rho}
 	w := st.TotalWidth()
@@ -104,7 +116,11 @@ func main() {
 	base := planner.Choice{}
 	base = baseline(s)
 	fmt.Printf("P0 (column-at-a-time): %-40s est %8.2f ms\n", base.Plan, base.Est/1e6)
-	roga := planner.ROGA(s)
+	roga, err := planner.ROGAContext(ctx, s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcsplan: plan search: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("ROGA pick:             %-40s est %8.2f ms (order %v, %.2fx vs P0)\n",
 		roga.Plan, roga.Est/1e6, roga.ColOrder, base.Est/roga.Est)
 	rrs := planner.RRS(s, *seed)
@@ -123,9 +139,10 @@ func main() {
 		for i, c := range roga.ColOrder {
 			ordered[i] = inputs[c]
 		}
-		res, err := mcsort.Execute(ordered, roga.Plan, mcsort.Options{Workers: *workers})
+		res, err := mcsort.ExecuteContext(ctx, ordered, roga.Plan, mcsort.Options{Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcsplan: execute: %v\n", err)
+			dumpMetrics(*metrics)
 			os.Exit(1)
 		}
 		t := res.Timings
@@ -136,7 +153,14 @@ func main() {
 			len(res.Groups)-1)
 	}
 
-	switch *metrics {
+	dumpMetrics(*metrics)
+}
+
+// dumpMetrics emits the obs snapshot, which includes the robustness
+// counters (pipeline.cancellations, pipeline.recovered_panics) when a
+// timeout or contained fault occurred during the run.
+func dumpMetrics(mode string) {
+	switch mode {
 	case "json":
 		fmt.Println()
 		if err := obs.WriteJSON(os.Stdout); err != nil {

@@ -10,10 +10,13 @@
 package colstore
 
 import (
+	"context"
+
 	"repro/internal/byteslice"
 	"repro/internal/column"
 	"repro/internal/costmodel"
 	"repro/internal/engine"
+	"repro/internal/pipeerr"
 	"repro/internal/table"
 )
 
@@ -72,6 +75,14 @@ const (
 	Avg   = engine.Avg
 )
 
+// PipelineError identifies the pipeline stage (and round/worker, when
+// parallel) behind a contained execution failure or recovered panic.
+type PipelineError = pipeerr.PipelineError
+
+// ErrBudgetExceeded is returned when Options.MaxBytes is too small for
+// the query even after degrading to a single worker.
+var ErrBudgetExceeded = pipeerr.ErrBudgetExceeded
+
 // Run executes a query against a table. Options.Massaging toggles code
 // massaging; Options.Model supplies a calibrated cost model (defaulting
 // to a process-wide calibration on first use).
@@ -79,5 +90,12 @@ func Run(t *Table, q Query, opts Options) (*Result, error) {
 	return engine.Run(t, q, opts)
 }
 
+// RunContext is Run with cooperative cancellation: a cancelled or
+// deadline-expired ctx aborts the query promptly (within one chunk of
+// work) and returns ctx.Err().
+func RunContext(ctx context.Context, t *Table, q Query, opts Options) (*Result, error) {
+	return engine.RunContext(ctx, t, q, opts)
+}
+
 // DefaultModel returns the process-wide calibrated cost model.
-func DefaultModel() *costmodel.Model { return costmodel.Default() }
+func DefaultModel() (*costmodel.Model, error) { return costmodel.Default() }

@@ -5,6 +5,13 @@ import (
 	"testing"
 )
 
+func mustAdd(t *testing.T, tbl *Table, c *Column) {
+	t.Helper()
+	if err := tbl.Add(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEncodeAndQueryEndToEnd(t *testing.T) {
 	const n = 4000
 	rng := rand.New(rand.NewSource(1))
@@ -21,8 +28,8 @@ func TestEncodeAndQueryEndToEnd(t *testing.T) {
 	amountCol, _ := EncodeInts("amount", amounts)
 
 	tbl := NewTable("sales", n)
-	tbl.MustAdd(regionCol)
-	tbl.MustAdd(amountCol)
+	mustAdd(t, tbl, regionCol)
+	mustAdd(t, tbl, amountCol)
 
 	q := Query{
 		ID:       "sum-by-region",
@@ -58,8 +65,8 @@ func TestFilterOpsExported(t *testing.T) {
 	for i := range codes {
 		codes[i] = uint64(i % 100)
 	}
-	tbl.MustAdd(FromCodes("v", 7, codes))
-	tbl.MustAdd(FromCodes("k", 7, codes))
+	mustAdd(t, tbl, FromCodes("v", 7, codes))
+	mustAdd(t, tbl, FromCodes("k", 7, codes))
 
 	for _, c := range []struct {
 		op   Op

@@ -34,9 +34,15 @@ func main() {
 		cred[i] = uint64(rng.Intn(2))
 		fares[i] = uint64(rng.Intn(1 << 17))
 	}
-	tbl.MustAdd(colstore.FromCodes("OriginStateName", 6, states))
-	tbl.MustAdd(colstore.FromCodes("DollarCred", 1, cred))
-	tbl.MustAdd(colstore.FromCodes("FarePerMile", 17, fares))
+	for _, c := range []*colstore.Column{
+		colstore.FromCodes("OriginStateName", 6, states),
+		colstore.FromCodes("DollarCred", 1, cred),
+		colstore.FromCodes("FarePerMile", 17, fares),
+	} {
+		if err := tbl.Add(c); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	const texas = 43 // the state's dictionary code
 	q := colstore.Query{

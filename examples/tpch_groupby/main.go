@@ -34,9 +34,15 @@ func main() {
 		ptype[i] = uint64(rng.Intn(150))
 		size[i] = uint64(rng.Intn(50))
 	}
-	tbl.MustAdd(colstore.FromCodes("p_brand", 5, brand))
-	tbl.MustAdd(colstore.FromCodes("p_type", 8, ptype))
-	tbl.MustAdd(colstore.FromCodes("p_size", 6, size))
+	for _, c := range []*colstore.Column{
+		colstore.FromCodes("p_brand", 5, brand),
+		colstore.FromCodes("p_type", 8, ptype),
+		colstore.FromCodes("p_size", 6, size),
+	} {
+		if err := tbl.Add(c); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	q := colstore.Query{
 		ID:   "q16",

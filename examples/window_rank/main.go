@@ -36,10 +36,16 @@ func main() {
 		pax[i] = uint64(rng.Intn(200))
 		geo[i] = uint64(rng.Intn(3))
 	}
-	tbl.MustAdd(colstore.FromCodes("OriginAirportID", 9, airport))
-	tbl.MustAdd(colstore.FromCodes("DistanceGroup", 4, distGrp))
-	tbl.MustAdd(colstore.FromCodes("Passengers", 8, pax))
-	tbl.MustAdd(colstore.FromCodes("ItinGeoType", 2, geo))
+	for _, c := range []*colstore.Column{
+		colstore.FromCodes("OriginAirportID", 9, airport),
+		colstore.FromCodes("DistanceGroup", 4, distGrp),
+		colstore.FromCodes("Passengers", 8, pax),
+		colstore.FromCodes("ItinGeoType", 2, geo),
+	} {
+		if err := tbl.Add(c); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	q := colstore.Query{
 		ID:   "rank",

@@ -36,8 +36,10 @@ func (o *CalOptions) defaults() {
 // Calibrate measures the machine and returns a ready-to-use model. The
 // process follows Section 4: each constant (or identifiable group of
 // constants) is solved from controlled runs, the sort constants as a
-// least-squares linear system over runs with varying group counts.
-func Calibrate(opts CalOptions) *Model {
+// least-squares linear system over runs with varying group counts. An
+// error means a calibration workload could not be compiled — a library
+// bug surfaced to the caller instead of a panic.
+func Calibrate(opts CalOptions) (*Model, error) {
 	opts.defaults()
 	caches := hw.Detect()
 	m := &Model{
@@ -52,12 +54,16 @@ func Calibrate(opts CalOptions) *Model {
 
 	m.C.CScan = calibrateScan(rng, opts.NCal)
 	m.C.CCache, m.C.CMem = calibrateLookup(rng, opts.NCal, caches.LLC)
-	m.C.CMassage = calibrateMassage(rng, opts.NCal)
+	cMassage, err := calibrateMassage(rng, opts.NCal)
+	if err != nil {
+		return nil, err
+	}
+	m.C.CMassage = cMassage
 	for _, bank := range mergesort.Banks {
 		m.C.Bank[bank] = calibrateBank(rng, opts.NCal, bank, m)
 	}
 	m.C.SmallCall, m.C.SmallElem, m.C.SmallQuad = calibrateSmall(rng, opts.NCal)
-	return m
+	return m, nil
 }
 
 // calibrateSmall measures the small-sort regime: segmented sorts whose
@@ -197,7 +203,7 @@ func calibrateLookup(rng *rand.Rand, nBase int, llc int64) (cCache, cMem float64
 
 // calibrateMassage measures C_massage (per FIP per row) on the massage
 // plans of the paper's Examples Ex1–Ex4.
-func calibrateMassage(rng *rand.Rand, n int) float64 {
+func calibrateMassage(rng *rand.Rand, n int) (float64, error) {
 	type cal struct {
 		in  []int
 		out []int
@@ -220,14 +226,14 @@ func calibrateMassage(rng *rand.Rand, n int) float64 {
 		}
 		prog, err := massage.Compile(inputs, c.out)
 		if err != nil {
-			panic(fmt.Sprintf("calibrateMassage: %v", err))
+			return 0, fmt.Errorf("calibrateMassage: %w", err)
 		}
 		start := time.Now()
 		prog.Run(inputs, n)
 		totalNS += float64(time.Since(start).Nanoseconds())
 		totalWork += float64(prog.FIPCount() * n)
 	}
-	return totalNS / totalWork
+	return totalNS / totalWork, nil
 }
 
 // calibrateBank solves C_overhead, CLinear and C_out-of-cache for one
@@ -344,12 +350,14 @@ func abs(x float64) float64 {
 var (
 	defaultModelOnce sync.Once
 	defaultModel     *Model
+	defaultModelErr  error
 )
 
 // Default returns a process-wide calibrated model, calibrating on first
 // use (a few seconds) or loading the profile named by MCS_CALIBRATION if
-// that environment variable points at a saved profile.
-func Default() *Model {
+// that environment variable points at a saved profile. A calibration
+// failure is remembered and returned on every call.
+func Default() (*Model, error) {
 	defaultModelOnce.Do(func() {
 		if path := os.Getenv("MCS_CALIBRATION"); path != "" {
 			if m, err := Load(path); err == nil {
@@ -357,9 +365,9 @@ func Default() *Model {
 				return
 			}
 		}
-		defaultModel = Calibrate(CalOptions{})
+		defaultModel, defaultModelErr = Calibrate(CalOptions{})
 	})
-	return defaultModel
+	return defaultModel, defaultModelErr
 }
 
 // Save writes the model (constants and geometry) as JSON.

@@ -31,7 +31,7 @@ const (
 )
 
 // AirlineTicket generates the Ticket relation of Table 4.
-func AirlineTicket(cfg AirlineConfig) *table.Table {
+func AirlineTicket(cfg AirlineConfig) (*table.Table, error) {
 	if cfg.Rows <= 0 {
 		cfg.Rows = 60_000
 	}
@@ -39,12 +39,16 @@ func AirlineTicket(cfg AirlineConfig) *table.Table {
 	n := cfg.Rows
 	t := table.New("ticket", n)
 
+	var addErr error
 	add := func(name string, width int, gen func(int) uint64) {
+		if addErr != nil {
+			return
+		}
 		codes := make([]uint64, n)
 		for i := range codes {
 			codes[i] = gen(i)
 		}
-		t.MustAdd(column.FromCodes(name, width, codes))
+		addErr = t.Add(column.FromCodes(name, width, codes))
 	}
 
 	add("ItinID", bits(n), func(i int) uint64 { return uint64(i) })
@@ -62,11 +66,14 @@ func AirlineTicket(cfg AirlineConfig) *table.Table {
 	add("Distance", 13, drawFn(rng, 6_000, false))
 	add("DistanceGroup", bits(nDistGroup), drawFn(rng, nDistGroup, false))
 	add("ItinGeoType", 2, drawFn(rng, nGeoTypes, false))
-	return t
+	if addErr != nil {
+		return nil, addErr
+	}
+	return t, nil
 }
 
 // AirlineMarket generates the Market relation of Table 4.
-func AirlineMarket(cfg AirlineConfig) *table.Table {
+func AirlineMarket(cfg AirlineConfig) (*table.Table, error) {
 	if cfg.Rows <= 0 {
 		cfg.Rows = 60_000
 	}
@@ -74,12 +81,16 @@ func AirlineMarket(cfg AirlineConfig) *table.Table {
 	n := cfg.Rows
 	t := table.New("market", n)
 
+	var addErr error
 	add := func(name string, width int, gen func(int) uint64) {
+		if addErr != nil {
+			return
+		}
 		codes := make([]uint64, n)
 		for i := range codes {
 			codes[i] = gen(i)
 		}
-		t.MustAdd(column.FromCodes(name, width, codes))
+		addErr = t.Add(column.FromCodes(name, width, codes))
 	}
 
 	add("ItinID", bits(n), func(i int) uint64 { return uint64(i) })
@@ -95,5 +106,8 @@ func AirlineMarket(cfg AirlineConfig) *table.Table {
 	add("MktDistanceGroup", bits(nDistGroup), drawFn(rng, nDistGroup, false))
 	add("MktMilesFlown", 13, drawFn(rng, 6_000, false))
 	add("ItinGeoType", 2, drawFn(rng, nGeoTypes, false))
-	return t
+	if addErr != nil {
+		return nil, addErr
+	}
+	return t, nil
 }

@@ -5,7 +5,17 @@ import (
 	"testing"
 
 	"repro/internal/column"
+	"repro/internal/table"
 )
+
+func mustCol(t *testing.T, tbl *table.Table, name string) *column.Column {
+	t.Helper()
+	c, err := tbl.Col(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 func TestUniformDomainAndDistinct(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
@@ -71,7 +81,10 @@ func TestZipfSkew(t *testing.T) {
 }
 
 func TestTPCHSchemaAndDependencies(t *testing.T) {
-	tbl := TPCH(TPCHConfig{SF: 1, Rows: 20000, Seed: 4})
+	tbl, err := TPCH(TPCHConfig{SF: 1, Rows: 20000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tbl.N != 20000 {
 		t.Fatalf("rows = %d", tbl.N)
 	}
@@ -93,8 +106,8 @@ func TestTPCHSchemaAndDependencies(t *testing.T) {
 	}
 	// Functional dependency: the same l_orderkey must always carry the
 	// same o_orderdate (WideTable = materialized join).
-	ok := tbl.MustCol("l_orderkey").Codes
-	od := tbl.MustCol("o_orderdate").Codes
+	ok := mustCol(t, tbl, "l_orderkey").Codes
+	od := mustCol(t, tbl, "o_orderdate").Codes
 	dateOf := map[uint64]uint64{}
 	for i := range ok {
 		if prev, seen := dateOf[ok[i]]; seen && prev != od[i] {
@@ -103,25 +116,34 @@ func TestTPCHSchemaAndDependencies(t *testing.T) {
 		dateOf[ok[i]] = od[i]
 	}
 	// Key widths reflect the SF-sized domain, not the sampled rows.
-	if w := tbl.MustCol("l_orderkey").Width; w != column.WidthFor(1_500_000) {
+	if w := mustCol(t, tbl, "l_orderkey").Width; w != column.WidthFor(1_500_000) {
 		t.Errorf("l_orderkey width %d, want %d", w, column.WidthFor(1_500_000))
 	}
 }
 
 func TestTPCHScaleGrowsWidths(t *testing.T) {
-	sf1 := TPCH(TPCHConfig{SF: 1, Rows: 5000, Seed: 5})
-	sf10 := TPCH(TPCHConfig{SF: 10, Rows: 5000, Seed: 5})
-	w1 := sf1.MustCol("c_custkey").Width
-	w10 := sf10.MustCol("c_custkey").Width
+	sf1, err := TPCH(TPCHConfig{SF: 1, Rows: 5000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf10, err := TPCH(TPCHConfig{SF: 10, Rows: 5000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := mustCol(t, sf1, "c_custkey").Width
+	w10 := mustCol(t, sf10, "c_custkey").Width
 	if w10 <= w1 {
 		t.Errorf("c_custkey width must grow with SF: %d vs %d", w1, w10)
 	}
 }
 
 func TestTPCHSkewVariant(t *testing.T) {
-	tbl := TPCH(TPCHConfig{SF: 1, Rows: 50000, Skew: true, Seed: 6})
+	tbl, err := TPCH(TPCHConfig{SF: 1, Rows: 50000, Skew: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	counts := map[uint64]int{}
-	for _, c := range tbl.MustCol("l_shipdate").Codes {
+	for _, c := range mustCol(t, tbl, "l_shipdate").Codes {
 		counts[c]++
 	}
 	max := 0
@@ -136,7 +158,10 @@ func TestTPCHSkewVariant(t *testing.T) {
 }
 
 func TestTPCDSSchema(t *testing.T) {
-	tbl := TPCDS(TPCDSConfig{SF: 1, Rows: 10000, Seed: 7})
+	tbl, err := TPCDS(TPCDSConfig{SF: 1, Rows: 10000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, name := range []string{
 		"i_item_sk", "i_category", "i_class", "i_brand", "i_manufact_id",
 		"s_store_sk", "s_state", "s_company_id", "d_year", "d_moy",
@@ -148,8 +173,8 @@ func TestTPCDSSchema(t *testing.T) {
 	}
 	// d_moy functionally depends on the date dimension draw only
 	// through d_year consistency: same item always has same category.
-	cat := tbl.MustCol("i_category").Codes
-	item := tbl.MustCol("i_item_sk").Codes
+	cat := mustCol(t, tbl, "i_category").Codes
+	item := mustCol(t, tbl, "i_item_sk").Codes
 	catOf := map[uint64]uint64{}
 	for i := range item {
 		if prev, seen := catOf[item[i]]; seen && prev != cat[i] {
@@ -160,8 +185,14 @@ func TestTPCDSSchema(t *testing.T) {
 }
 
 func TestAirlineSchemas(t *testing.T) {
-	ticket := AirlineTicket(AirlineConfig{Rows: 5000, Seed: 8})
-	market := AirlineMarket(AirlineConfig{Rows: 5000, Seed: 8})
+	ticket, err := AirlineTicket(AirlineConfig{Rows: 5000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	market, err := AirlineMarket(AirlineConfig{Rows: 5000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, name := range []string{
 		"ItinID", "Year", "Quarter", "OriginAirportID", "OriginCountry",
 		"OriginStateName", "RoundTrip", "DollarCred", "FarePerMile",

@@ -18,7 +18,7 @@ type TPCDSConfig struct {
 // the four evaluated queries (Q36, Q53, Q67, Q89 — PARTITION BY window
 // queries over item/date/store dimensions, the class the paper selects
 // from the twelve eligible TPC-DS queries).
-func TPCDS(cfg TPCDSConfig) *table.Table {
+func TPCDS(cfg TPCDSConfig) (*table.Table, error) {
 	if cfg.SF < 1 {
 		cfg.SF = 1
 	}
@@ -68,19 +68,26 @@ func TPCDS(cfg TPCDSConfig) *table.Table {
 		dateRef[i] = rng.Intn(nDates)
 	}
 
+	var addErr error
 	addVia := func(name string, width int, dim *dimension, attr string, ref []int) {
+		if addErr != nil {
+			return
+		}
 		codes := make([]uint64, n)
 		for i := range codes {
 			codes[i] = dim.get(attr, ref[i])
 		}
-		t.MustAdd(column.FromCodes(name, width, codes))
+		addErr = t.Add(column.FromCodes(name, width, codes))
 	}
 	addDirect := func(name string, width int, gen func(int) uint64) {
+		if addErr != nil {
+			return
+		}
 		codes := make([]uint64, n)
 		for i := range codes {
 			codes[i] = gen(i)
 		}
-		t.MustAdd(column.FromCodes(name, width, codes))
+		addErr = t.Add(column.FromCodes(name, width, codes))
 	}
 
 	addVia("i_item_sk", bits(nItems), items, "i_key", itemRef)
@@ -102,5 +109,8 @@ func TPCDS(cfg TPCDSConfig) *table.Table {
 	addDirect("ss_net_profit", 21, priceDraw(rng, -10_000_00, 10_000_00, false))
 	_ = nClasses
 	_ = nMonths
-	return t
+	if addErr != nil {
+		return nil, addErr
+	}
+	return t, nil
 }

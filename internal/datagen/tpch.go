@@ -29,7 +29,9 @@ type TPCHConfig struct {
 // functional dependencies (o_orderkey → o_orderdate, c_custkey →
 // c_name, …) hold exactly as in real data — they are what makes later
 // sort rounds cheap or free, so they matter for reproduction fidelity.
-func TPCH(cfg TPCHConfig) *table.Table {
+// The only error condition is an inconsistent schema (duplicate or
+// length-mismatched column), reported instead of panicking.
+func TPCH(cfg TPCHConfig) (*table.Table, error) {
 	if cfg.SF < 1 {
 		cfg.SF = 1
 	}
@@ -109,21 +111,28 @@ func TPCH(cfg TPCHConfig) *table.Table {
 		suppRef[i] = int(drawSupp(i))
 	}
 
+	var addErr error
 	addVia := func(name string, width int, dim *dimension, attr string, ref []int) {
+		if addErr != nil {
+			return
+		}
 		codes := make([]uint64, n)
 		for i := range codes {
 			codes[i] = dim.get(attr, ref[i])
 		}
-		t.MustAdd(column.FromCodes(name, width, codes))
+		addErr = t.Add(column.FromCodes(name, width, codes))
 	}
 
 	// Lineitem-grain columns.
 	addDirect := func(name string, width int, gen func(int) uint64) {
+		if addErr != nil {
+			return
+		}
 		codes := make([]uint64, n)
 		for i := range codes {
 			codes[i] = gen(i)
 		}
-		t.MustAdd(column.FromCodes(name, width, codes))
+		addErr = t.Add(column.FromCodes(name, width, codes))
 	}
 	addDirect("l_returnflag", 2, drawFn(rng, 3, cfg.Skew))
 	addDirect("l_linestatus", 1, drawFn(rng, 2, cfg.Skew))
@@ -163,7 +172,10 @@ func TPCH(cfg TPCHConfig) *table.Table {
 	addVia("s_acctbal", 21, supp, "s_acctbal", suppRef)
 	addVia("supp_nation", 5, supp, "s_nation", suppRef)
 
-	return t
+	if addErr != nil {
+		return nil, addErr
+	}
+	return t, nil
 }
 
 // sparseKeys returns a generator of unique key codes spread over a

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/pipeerr"
+	"repro/internal/planner"
+	"repro/internal/testutil"
+)
+
+func cancelQuery() Query {
+	return Query{
+		ID:       "cancel",
+		Kind:     planner.GroupBy,
+		SortCols: []SortCol{{Name: "a"}, {Name: "b"}},
+		Agg:      &Agg{Kind: Sum, Col: "v"},
+	}
+}
+
+// TestRunContextCancelAtSites cancels from the engine's own faultinject
+// sites (gather, aggregate) at several worker counts: a fired site must
+// yield context.Canceled promptly with no leaked goroutines.
+func TestRunContextCancelAtSites(t *testing.T) {
+	defer faultinject.Reset()
+	tbl := makeTable(t, 8000, 21)
+	for _, site := range []string{faultinject.Gather, faultinject.Aggregate} {
+		for _, workers := range []int{1, 4, 8} {
+			site, workers := site, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", site, workers), func(t *testing.T) {
+				defer testutil.CheckNoLeaks(t)()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var fired atomic.Bool
+				restore := faultinject.Set(site, func() {
+					fired.Store(true)
+					cancel()
+				})
+				defer restore()
+				res, err := RunContext(ctx, tbl, cancelQuery(), Options{Workers: workers})
+				if fired.Load() {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("site fired but err = %v, want context.Canceled", err)
+					}
+					if res != nil {
+						t.Fatal("cancelled query must not return a result")
+					}
+				} else if err != nil {
+					t.Fatalf("site never fired but err = %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tbl := makeTable(t, 1000, 22)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, tbl, cancelQuery(), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAggregatePanicContained injects a panic into the parallel
+// aggregation workers: the query must fail with a typed
+// *pipeerr.PipelineError naming the aggregate stage, not crash.
+func TestAggregatePanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	defer testutil.CheckNoLeaks(t)()
+	tbl := makeTable(t, 8000, 23)
+	restore := faultinject.Set(faultinject.Aggregate, func() { panic("injected aggregate fault") })
+	defer restore()
+	// workers=4 routes aggregation through the group-parallel path
+	// (thousands of (a,b) groups >= 2*workers), where the site fires
+	// inside pipeline workers.
+	_, err := RunContext(context.Background(), tbl, cancelQuery(), Options{Workers: 4})
+	var pe *pipeerr.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *pipeerr.PipelineError", err, err)
+	}
+	if pe.Stage != pipeerr.StageAggregate {
+		t.Errorf("stage = %q, want %q", pe.Stage, pipeerr.StageAggregate)
+	}
+}
+
+// TestGatherPanicContained injects the panic into the materialization
+// gather workers instead.
+func TestGatherPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	defer testutil.CheckNoLeaks(t)()
+	tbl := makeTable(t, 8000, 24)
+	restore := faultinject.Set(faultinject.Gather, func() { panic("injected gather fault") })
+	defer restore()
+	_, err := RunContext(context.Background(), tbl, cancelQuery(), Options{Workers: 4})
+	var pe *pipeerr.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *pipeerr.PipelineError", err, err)
+	}
+	if pe.Stage != pipeerr.StageGather {
+		t.Errorf("stage = %q, want %q", pe.Stage, pipeerr.StageGather)
+	}
+}
+
+// TestBudgetRefusedWhenTooSmall pins the typed refusal: a budget too
+// small for even sequential execution returns ErrBudgetExceeded and
+// names the query.
+func TestBudgetRefusedWhenTooSmall(t *testing.T) {
+	tbl := makeTable(t, 8000, 25)
+	_, err := RunContext(context.Background(), tbl, cancelQuery(), Options{Workers: 4, MaxBytes: 1024})
+	if !errors.Is(err, pipeerr.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestBudgetDegradesWorkers pins graceful degradation: a budget that
+// fits sequential execution but not the full worker complement must
+// succeed with fewer effective workers — and produce the same result.
+func TestBudgetDegradesWorkers(t *testing.T) {
+	tbl := makeTable(t, 8000, 26)
+	q := cancelQuery()
+
+	full, err := RunContext(context.Background(), tbl, q, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Workers != 8 {
+		t.Fatalf("unbudgeted run: effective workers = %d, want 8", full.Workers)
+	}
+
+	// Room for the sequential footprint plus a little head, but not for
+	// 8 workers' partition scratch (64 KiB each).
+	budget := estimatePipelineBytes(tbl.N, 2, 2, 1) + 64<<10
+	degraded, err := RunContext(context.Background(), tbl, q, Options{Workers: 8, MaxBytes: budget})
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if degraded.Workers >= 8 || degraded.Workers < 1 {
+		t.Fatalf("effective workers = %d, want in [1, 8)", degraded.Workers)
+	}
+	if len(degraded.GroupKeys) != len(full.GroupKeys) {
+		t.Fatal("degraded run changed the result shape")
+	}
+	for g := range full.Aggregates {
+		if full.Aggregates[g] != degraded.Aggregates[g] {
+			t.Fatalf("degraded run changed aggregate %d", g)
+		}
+	}
+}
+
+// TestBudgetUnlimitedByDefault pins that the zero value means no limit.
+func TestBudgetUnlimitedByDefault(t *testing.T) {
+	tbl := makeTable(t, 2000, 27)
+	if _, err := RunContext(context.Background(), tbl, cancelQuery(), Options{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

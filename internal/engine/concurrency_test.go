@@ -7,6 +7,7 @@ import (
 	"repro/internal/byteslice"
 	"repro/internal/mergesort"
 	"repro/internal/planner"
+	"repro/internal/testutil"
 )
 
 // The engine must tolerate concurrent queries over one shared table:
@@ -17,6 +18,7 @@ import (
 // parallel sort/gather/aggregate paths all run concurrently with each
 // other.
 func TestConcurrentQueriesSharedTable(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
 	tbl := makeTable(t, 6000, 31)
 	queries := []Query{
 		{

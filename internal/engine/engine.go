@@ -4,9 +4,16 @@
 // (multi-column sorting, via internal/mcsort), grouped aggregation, and
 // window RANK. Every operator's wall time is recorded so experiments can
 // reproduce the paper's per-query time breakdowns (Figures 1 and 9).
+//
+// RunContext is the cancellable entry point: the context is polled at
+// operator, round, and chunk boundaries, worker panics are contained
+// into *pipeerr.PipelineError, and Options.MaxBytes bounds the
+// estimated memory footprint by degrading workers before refusing with
+// pipeerr.ErrBudgetExceeded (see budget.go).
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +23,7 @@ import (
 	"repro/internal/mcsort"
 	"repro/internal/mergesort"
 	"repro/internal/obs"
+	"repro/internal/pipeerr"
 	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/table"
@@ -118,6 +126,10 @@ type Result struct {
 	ColOrder []int
 	// Rows is the row count after filtering.
 	Rows int
+	// Workers is the effective worker count after any budget
+	// degradation (0 when the requested count was never reduced and
+	// Options.Workers was <= 1).
+	Workers int
 	// PredictedMCS is the cost model's estimated T_mcs for the chosen
 	// plan in nanoseconds (0 when no estimate was produced, e.g. with
 	// massaging off). Compare against Timing.MCS.Total() for the
@@ -145,6 +157,12 @@ type Options struct {
 	// gathers, massaging, every sorting round, and the aggregation
 	// scan. Results are byte-identical for any value.
 	Workers int
+	// MaxBytes bounds the estimated transient memory footprint of the
+	// sort pipeline. When the estimate at the requested worker count
+	// exceeds it, the engine halves workers until it fits; when even
+	// sequential execution does not fit, the query is refused with
+	// pipeerr.ErrBudgetExceeded. <= 0 means unlimited.
+	MaxBytes int64
 	// SortParams overrides the sorter's phase parameters and parallel
 	// thresholds (tests force the parallel paths on small inputs).
 	SortParams *mergesort.Params
@@ -154,6 +172,33 @@ type Options struct {
 
 // Run executes q against t.
 func Run(t *table.Table, q Query, opts Options) (*Result, error) {
+	return RunContext(context.Background(), t, q, opts)
+}
+
+// RunContext is Run with cooperative cancellation, fault containment,
+// and budget degradation: a cancelled or deadline-expired context makes
+// the query return ctx.Err() within one chunk of work with no goroutine
+// leaks, a panicking worker surfaces as a *pipeerr.PipelineError naming
+// the stage instead of crashing the process, and Options.MaxBytes
+// triggers worker degradation or a typed ErrBudgetExceeded refusal. On
+// any error the returned Result is nil and the table is untouched.
+func RunContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Result, error) {
+	res, err := runContext(ctx, t, q, opts)
+	if err == nil {
+		// Final poll: a cancellation that lands during the last chunk of
+		// the last stage must still be honored, not dropped.
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, pipeerr.NoteCancel(err)
+	}
+	return res, nil
+}
+
+func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 
 	// 1. Filters: ByteSlice scans ANDed into one bit vector.
@@ -162,6 +207,9 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 	if len(q.Filters) > 0 {
 		var acc *byteslice.BitVector
 		for _, f := range q.Filters {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			bs, err := t.ByteSlice(f.Col)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", q.ID, err)
@@ -191,13 +239,22 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 	res.Timing.FilterScan = time.Since(start)
 	res.Rows = len(rows)
 
-	// 2. Materialize the sort columns for the selected rows with
-	// ByteSlice lookups.
 	sortCols := q.SortCols
 	if q.Window != nil {
 		sortCols = append(append([]SortCol(nil), q.SortCols...),
 			SortCol{Name: q.Window.OrderCol, Desc: q.Window.Desc})
 	}
+
+	// Budget, stage 1 (row count known, plan not yet): refuse before
+	// materializing anything when even a minimal sequential pipeline
+	// cannot fit, and bound the workers used by the gather stage.
+	workers, err := budgetWorkers(opts.Workers, opts.MaxBytes, len(rows), len(sortCols), 1)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q.ID, err)
+	}
+
+	// 2. Materialize the sort columns for the selected rows with
+	// ByteSlice lookups.
 	start = time.Now()
 	inputs := make([]massage.Input, len(sortCols))
 	for i, sc := range sortCols {
@@ -206,13 +263,15 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("%s: %w", q.ID, err)
 		}
 		codes := make([]uint64, len(rows))
-		gatherParallel(codes, rows, bs.Lookup, opts.Workers)
+		if err := gatherParallel(ctx, codes, rows, bs.Lookup, workers); err != nil {
+			return nil, err
+		}
 		inputs[i] = massage.Input{Codes: codes, Width: bs.Width, Desc: sc.Desc}
 	}
 	res.Timing.Materialize = time.Since(start)
 
 	// 3. Plan: search (massaging on) or column-at-a-time (off).
-	choice, searchTime, err := choosePlan(t, q, sortCols, inputs, opts)
+	choice, searchTime, err := choosePlan(ctx, t, q, sortCols, inputs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", q.ID, err)
 	}
@@ -220,14 +279,22 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 	res.Plan = choice.Plan
 	res.ColOrder = choice.ColOrder
 
+	// Budget, stage 2 (plan known): re-run degradation with the real
+	// round count, which dominates the round-key footprint.
+	workers, err = budgetWorkers(workers, opts.MaxBytes, len(rows), len(sortCols), len(choice.Plan.Rounds))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q.ID, err)
+	}
+	res.Workers = workers
+
 	// 4. Multi-column sort under the chosen column order and plan.
 	ordered := make([]massage.Input, len(inputs))
 	for i, c := range choice.ColOrder {
 		ordered[i] = inputs[c]
 	}
-	mres, err := mcsort.Execute(ordered, choice.Plan, mcsort.Options{Workers: opts.Workers, SortParams: opts.SortParams})
+	mres, err := mcsort.ExecuteContext(ctx, ordered, choice.Plan, mcsort.Options{Workers: workers, SortParams: opts.SortParams})
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", q.ID, err)
+		return nil, err
 	}
 	res.Timing.MCS = mres.Timings
 	res.PredictedMCS = choice.Est
@@ -235,19 +302,25 @@ func Run(t *table.Table, q Query, opts Options) (*Result, error) {
 
 	// 5. Consume the sorted output.
 	if q.Window != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
 		computeRanks(res, q, inputs, rows, mres)
 		res.Timing.Aggregate = time.Since(start)
 		return res, nil
 	}
 	start = time.Now()
-	if err := aggregate(res, t, q, inputs, rows, mres, opts.Workers); err != nil {
+	if err := aggregate(ctx, res, t, q, inputs, rows, mres, workers); err != nil {
 		return nil, err
 	}
 	res.Timing.Aggregate = time.Since(start)
 
 	// 6. ORDER BY aggregate DESC: single-column sort over groups.
 	if q.OrderByAgg {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
 		sortGroupsByAggregate(res)
 		res.Timing.PostSort = time.Since(start)
@@ -284,10 +357,19 @@ func recordCostAccuracy(queryID string, predictedNS float64, measured time.Durat
 // experiments use this to execute many plans over identical inputs.
 // The gathers are chunked across workers when workers > 1.
 func MaterializeSortInputs(t *table.Table, q Query, workers int) ([]massage.Input, error) {
+	return MaterializeSortInputsContext(context.Background(), t, q, workers)
+}
+
+// MaterializeSortInputsContext is MaterializeSortInputs with cooperative
+// cancellation; the gather chunks poll the context like RunContext's.
+func MaterializeSortInputsContext(ctx context.Context, t *table.Table, q Query, workers int) ([]massage.Input, error) {
 	var rows []uint32
 	if len(q.Filters) > 0 {
 		var acc *byteslice.BitVector
 		for _, f := range q.Filters {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			bs, err := t.ByteSlice(f.Col)
 			if err != nil {
 				return nil, err
@@ -326,7 +408,9 @@ func MaterializeSortInputs(t *table.Table, q Query, workers int) ([]massage.Inpu
 			return nil, err
 		}
 		codes := make([]uint64, len(rows))
-		gatherParallel(codes, rows, bs.Lookup, workers)
+		if err := gatherParallel(ctx, codes, rows, bs.Lookup, workers); err != nil {
+			return nil, err
+		}
 		inputs[i] = massage.Input{Codes: codes, Width: bs.Width, Desc: sc.Desc}
 	}
 	return inputs, nil
@@ -335,7 +419,7 @@ func MaterializeSortInputs(t *table.Table, q Query, workers int) ([]massage.Inpu
 // choosePlan runs the plan search when massaging is enabled. Column
 // statistics come from the table's precomputed profiles (as in any
 // DBMS); only the search itself is timed.
-func choosePlan(t *table.Table, q Query, sortCols []SortCol, inputs []massage.Input, opts Options) (planner.Choice, time.Duration, error) {
+func choosePlan(ctx context.Context, t *table.Table, q Query, sortCols []SortCol, inputs []massage.Input, opts Options) (planner.Choice, time.Duration, error) {
 	widths := make([]int, len(inputs))
 	for i, in := range inputs {
 		widths[i] = in.Width
@@ -352,7 +436,11 @@ func choosePlan(t *table.Table, q Query, sortCols []SortCol, inputs []massage.In
 	}
 	model := opts.Model
 	if model == nil {
-		model = costmodel.Default()
+		var err error
+		model, err = costmodel.Default()
+		if err != nil {
+			return planner.Choice{}, 0, err
+		}
 	}
 	st := costmodel.Stats{N: len(inputs[0].Codes)}
 	for _, sc := range sortCols {
@@ -367,14 +455,17 @@ func choosePlan(t *table.Table, q Query, sortCols []SortCol, inputs []massage.In
 	if q.Window != nil {
 		search.FixedTail = 1 // the window's ORDER BY column stays last
 	}
-	choice := planner.ROGA(search)
+	choice, err := planner.ROGAContext(ctx, search)
+	if err != nil {
+		return planner.Choice{}, 0, err
+	}
 	return choice, time.Since(start), nil
 }
 
 // aggregate computes per-group keys and the aggregate, scanning group
 // ranges across workers (each group's output slot is owned by exactly
 // one worker).
-func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, rows []uint32, mres *mcsort.Result, workers int) error {
+func aggregate(ctx context.Context, res *Result, t *table.Table, q Query, inputs []massage.Input, rows []uint32, mres *mcsort.Result, workers int) error {
 	nGroups := len(mres.Groups) - 1
 	res.GroupKeys = make([][]uint64, nGroups)
 	res.Aggregates = make([]uint64, nGroups)
@@ -387,7 +478,7 @@ func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, row
 		}
 		aggBS = bs
 	}
-	forEachGroupParallel(nGroups, workers, func(g int) {
+	return forEachGroupParallel(ctx, nGroups, workers, func(g int) {
 		lo, hi := int(mres.Groups[g]), int(mres.Groups[g+1])
 		rep := mres.Perm[lo] // any row of the group carries its keys
 		keys := make([]uint64, len(inputs))
@@ -409,7 +500,6 @@ func aggregate(res *Result, t *table.Table, q Query, inputs []massage.Input, row
 		}
 		res.Aggregates[g] = acc
 	})
-	return nil
 }
 
 // sortGroupsByAggregate orders groups by descending aggregate with the

@@ -13,6 +13,16 @@ import (
 	"repro/internal/table"
 )
 
+// mustCol fetches a column that the test itself added; reference
+// helpers below have no *testing.T, so a missing column panics.
+func mustCol(tbl *table.Table, name string) *column.Column {
+	c, err := tbl.Col(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // makeTable builds a small table with known columns.
 func makeTable(t *testing.T, n int, seed int64) *table.Table {
 	t.Helper()
@@ -23,7 +33,9 @@ func makeTable(t *testing.T, n int, seed int64) *table.Table {
 		for i := range codes {
 			codes[i] = uint64(rng.Intn(distinct))
 		}
-		tbl.MustAdd(column.FromCodes(name, width, codes))
+		if err := tbl.Add(column.FromCodes(name, width, codes)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	add("a", 4, 10)
 	add("b", 9, 300)
@@ -40,15 +52,15 @@ func refGroups(tbl *table.Table, q Query) map[string]uint64 {
 	n := tbl.N
 	cols := make([]*column.Column, len(q.SortCols))
 	for i, sc := range q.SortCols {
-		cols[i] = tbl.MustCol(sc.Name)
+		cols[i] = mustCol(tbl,sc.Name)
 	}
 	var aggCol *column.Column
 	if q.Agg != nil && q.Agg.Kind != Count {
-		aggCol = tbl.MustCol(q.Agg.Col)
+		aggCol = mustCol(tbl,q.Agg.Col)
 	}
 	var filterCol *column.Column
 	if len(q.Filters) > 0 {
-		filterCol = tbl.MustCol(q.Filters[0].Col)
+		filterCol = mustCol(tbl,q.Filters[0].Col)
 	}
 	for r := 0; r < n; r++ {
 		if filterCol != nil {
@@ -238,10 +250,10 @@ func refRanks(tbl *table.Table, part []string, orderCol string, filter *Filter) 
 		o   uint64
 	}
 	var rowsArr []row
-	oc := tbl.MustCol(orderCol)
+	oc := mustCol(tbl,orderCol)
 	var fc *column.Column
 	if filter != nil {
-		fc = tbl.MustCol(filter.Col)
+		fc = mustCol(tbl,filter.Col)
 	}
 	for r := 0; r < n; r++ {
 		if fc != nil && fc.Codes[r] != filter.Const {
@@ -249,7 +261,7 @@ func refRanks(tbl *table.Table, part []string, orderCol string, filter *Filter) 
 		}
 		p := make([]uint64, len(part))
 		for i, name := range part {
-			p[i] = tbl.MustCol(name).Codes[r]
+			p[i] = mustCol(tbl,name).Codes[r]
 		}
 		rowsArr = append(rowsArr, row{oid: uint32(r), p: p, o: oc.Codes[r]})
 	}

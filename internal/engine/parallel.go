@@ -5,12 +5,20 @@
 // 64-byte cache lines, so workers never share a store line; all shared
 // inputs (ByteSlices, the permutation, the selection vector) are
 // read-only during the pass.
+//
+// Both passes are context-aware: every chunk polls the context at its
+// start, worker goroutines run under pipeerr.Group (panics contained
+// into *pipeerr.PipelineError, siblings cancelled), and the
+// engine.gather / engine.aggregate faultinject sites fire once per
+// chunk so tests can poison exactly one chunk of one pass.
 package engine
 
 import (
-	"sync"
+	"context"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/pipeerr"
 )
 
 var (
@@ -25,60 +33,103 @@ const gatherMinRows = 4096
 // lineAlign is 8 uint64 — one 64-byte cache line of output.
 const lineAlign = 8
 
+// seqGatherCheckRows is the block size between context polls of the
+// sequential gather path.
+const seqGatherCheckRows = 1 << 16
+
 // gatherParallel fills codes[j] = lookup(rows[j]) for every selected
 // row, chunked across workers.
-func gatherParallel(codes []uint64, rows []uint32, lookup func(int) uint64, workers int) {
+func gatherParallel(ctx context.Context, codes []uint64, rows []uint32, lookup func(int) uint64, workers int) error {
 	n := len(rows)
 	if workers < 2 || n < gatherMinRows {
-		for j, r := range rows {
-			codes[j] = lookup(int(r))
+		for lo := 0; lo < n; lo += seqGatherCheckRows {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			faultinject.Fire(faultinject.Gather)
+			hi := lo + seqGatherCheckRows
+			if hi > n {
+				hi = n
+			}
+			for j := lo; j < hi; j++ {
+				codes[j] = lookup(int(rows[j]))
+			}
 		}
-		return
+		if n == 0 {
+			return ctx.Err()
+		}
+		return nil
 	}
 	obsGatherRows.Add(int64(n))
 	chunk := ((n+workers-1)/workers + lineAlign - 1) / lineAlign * lineAlign
-	var wg sync.WaitGroup
+	g := pipeerr.NewGroup(ctx)
+	worker := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		lo, hi, worker := lo, hi, worker
+		g.Go(pipeerr.StageGather, -1, worker, func(gctx context.Context) error {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			faultinject.Fire(faultinject.Gather)
 			for j := lo; j < hi; j++ {
 				codes[j] = lookup(int(rows[j]))
 			}
-		}(lo, hi)
+			return nil
+		})
+		worker++
 	}
-	wg.Wait()
+	return g.Wait()
 }
 
 // forEachGroupParallel runs fn(g) for every group 0 ≤ g < nGroups,
 // distributing contiguous group ranges across workers. fn must only
-// write state owned by its group.
-func forEachGroupParallel(nGroups, workers int, fn func(g int)) {
+// write state owned by its group. The context is polled per chunk and
+// every seqGatherCheckRows groups within one.
+func forEachGroupParallel(ctx context.Context, nGroups, workers int, fn func(g int)) error {
 	if workers < 2 || nGroups < 2*workers {
-		for g := 0; g < nGroups; g++ {
-			fn(g)
+		for lo := 0; lo < nGroups; lo += seqGatherCheckRows {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			faultinject.Fire(faultinject.Aggregate)
+			hi := lo + seqGatherCheckRows
+			if hi > nGroups {
+				hi = nGroups
+			}
+			for g := lo; g < hi; g++ {
+				fn(g)
+			}
 		}
-		return
+		if nGroups == 0 {
+			return ctx.Err()
+		}
+		return nil
 	}
 	obsAggGroups.Add(int64(nGroups))
 	chunk := (nGroups + workers - 1) / workers
-	var wg sync.WaitGroup
+	grp := pipeerr.NewGroup(ctx)
+	worker := 0
 	for lo := 0; lo < nGroups; lo += chunk {
 		hi := lo + chunk
 		if hi > nGroups {
 			hi = nGroups
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		lo, hi, worker := lo, hi, worker
+		grp.Go(pipeerr.StageAggregate, -1, worker, func(gctx context.Context) error {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			faultinject.Fire(faultinject.Aggregate)
 			for g := lo; g < hi; g++ {
 				fn(g)
 			}
-		}(lo, hi)
+			return nil
+		})
+		worker++
 	}
-	wg.Wait()
+	return grp.Wait()
 }

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,6 +38,18 @@ type Config struct {
 	// stay sequential regardless, so measured times remain comparable
 	// to the sequentially calibrated cost model.
 	Workers int
+
+	// ctx carries the cancellation context set by RunContext; nil means
+	// context.Background(). Unexported so the zero Config stays valid.
+	ctx context.Context
+}
+
+// context returns the experiment's cancellation context.
+func (c *Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 func (c *Config) defaults() {
@@ -51,11 +64,15 @@ func (c *Config) defaults() {
 	}
 }
 
-func (c *Config) model() *costmodel.Model {
+func (c *Config) model() (*costmodel.Model, error) {
 	if c.Model == nil {
-		c.Model = costmodel.Default()
+		m, err := costmodel.Default()
+		if err != nil {
+			return nil, err
+		}
+		c.Model = m
 	}
-	return c.Model
+	return c.Model, nil
 }
 
 // Report is a printable experiment result.
@@ -125,35 +142,44 @@ var All = []string{
 
 // Run dispatches an experiment by id.
 func Run(id string, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// threaded through every query execution and sort the experiment
+// performs, so a cancelled or deadline-expired context aborts the
+// experiment promptly with ctx.Err().
+func RunContext(ctx context.Context, id string, cfg Config) (*Report, error) {
+	cfg.ctx = ctx
 	switch id {
 	case "fig1":
-		return Figure1(cfg), nil
+		return Figure1(cfg)
 	case "fig3a":
-		return Figure3a(cfg), nil
+		return Figure3a(cfg)
 	case "fig3b":
-		return Figure3b(cfg), nil
+		return Figure3b(cfg)
 	case "fig3c":
-		return Figure3c(cfg), nil
+		return Figure3c(cfg)
 	case "fig4a":
-		return Figure4a(cfg), nil
+		return Figure4a(cfg)
 	case "fig4b":
-		return Figure4b(cfg), nil
+		return Figure4b(cfg)
 	case "fig5":
-		return Figure5(cfg), nil
+		return Figure5(cfg)
 	case "fig7":
-		return Figure7(cfg), nil
+		return Figure7(cfg)
 	case "tab1":
-		return Table1(cfg), nil
+		return Table1(cfg)
 	case "tab2":
-		return Table2(cfg), nil
+		return Table2(cfg)
 	case "fig8":
-		return Figure8(cfg), nil
+		return Figure8(cfg)
 	case "fig9":
-		return Figure9(cfg), nil
+		return Figure9(cfg)
 	case "fig10":
-		return Figure10(cfg), nil
+		return Figure10(cfg)
 	case "fig12":
-		return Figure12(cfg), nil
+		return Figure12(cfg)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (have %v)", id, All)
 	}

@@ -100,22 +100,34 @@ func TestFigure3Crossovers(t *testing.T) {
 	}
 	cfg := shapeCfg()
 
-	rep := Figure3a(cfg)
+	rep, err := Figure3a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(totalOf(t, rep, "P<<17 (stitch)") < totalOf(t, rep, "P0")) {
 		t.Errorf("Ex1: stitching should win\n%s", rep)
 	}
-	rep = Figure3b(cfg)
+	rep, err = Figure3b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(totalOf(t, rep, "P0") < totalOf(t, rep, "P<<31 (stitch-all)")) {
 		t.Errorf("Ex2: reckless stitch should lose\n%s", rep)
 	}
-	rep = Figure3c(cfg)
+	rep, err = Figure3c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !(totalOf(t, rep, "P32x3 (3x 32/[32])") < totalOf(t, rep, "P0 (2x 48/[64])")) {
 		t.Errorf("Ex4: three 32-bit rounds should win\n%s", rep)
 	}
 }
 
 func TestFigure5CorrectnessDemo(t *testing.T) {
-	rep := Figure5(quickCfg())
+	rep, err := Figure5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.Rows) != 2 {
 		t.Fatalf("want 2 variants, got %d", len(rep.Rows))
 	}
@@ -171,7 +183,10 @@ func TestFigure4FactorsMonotone(t *testing.T) {
 		t.Skip("needs larger rows")
 	}
 	cfg := Config{Rows: 1 << 16, Seed: 3, Model: quickModel()}
-	rep := Figure4b(cfg)
+	rep, err := Figure4b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Left-shifting bits into round 1 must (weakly) increase the number
 	// of round-1 groups: find P<<10 vs P<<1.
 	var g10, g1 float64

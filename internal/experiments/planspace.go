@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/massage"
 	"repro/internal/mcsort"
+	"repro/internal/pipeerr"
 	"repro/internal/planner"
 	"repro/internal/workloads"
 )
@@ -30,7 +31,7 @@ func populationBudget(cfg Config) int {
 
 // queryPlanSpace prepares a query's sort inputs, statistics, and search.
 func queryPlanSpace(cfg Config, item workloads.Item) ([]massage.Input, *planner.Search, error) {
-	inputs, err := engine.MaterializeSortInputs(item.Table, item.Query, cfg.Workers)
+	inputs, err := engine.MaterializeSortInputsContext(cfg.context(), item.Table, item.Query, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -44,7 +45,11 @@ func queryPlanSpace(cfg Config, item workloads.Item) ([]massage.Input, *planner.
 		cols[i] = in.Codes
 	}
 	st := costmodel.CollectStats(cols, widths)
-	search := &planner.Search{Model: cfg.model(), Stats: st, Kind: item.Query.Kind}
+	model, err := cfg.model()
+	if err != nil {
+		return nil, nil, err
+	}
+	search := &planner.Search{Model: model, Stats: st, Kind: item.Query.Kind}
 	if item.Query.Window != nil {
 		search.FixedTail = 1
 	}
@@ -52,12 +57,12 @@ func queryPlanSpace(cfg Config, item workloads.Item) ([]massage.Input, *planner.
 }
 
 // executePlan measures the wall time of one candidate over the inputs.
-func executePlan(inputs []massage.Input, cand planner.Candidate) (time.Duration, error) {
+func executePlan(cfg Config, inputs []massage.Input, cand planner.Candidate) (time.Duration, error) {
 	ordered := make([]massage.Input, len(inputs))
 	for i, c := range cand.ColOrder {
 		ordered[i] = inputs[c]
 	}
-	res, err := mcsort.Execute(ordered, cand.Plan, mcsort.Options{})
+	res, err := mcsort.ExecuteContext(cfg.context(), ordered, cand.Plan, mcsort.Options{})
 	if err != nil {
 		return 0, err
 	}
@@ -66,23 +71,30 @@ func executePlan(inputs []massage.Input, cand planner.Candidate) (time.Duration,
 
 // Figure7 — TPC-H Q16's plan space: measured time and model estimate for
 // every feasible plan (or a sample), with the ROGA and RRS picks marked.
-func Figure7(cfg Config) *Report {
+func Figure7(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "fig7",
 		Title:  "TPC-H Q16: actual vs estimated cost over the feasible plan space",
 		Header: []string{"rank_by_actual", "plan", "order", "actual_ms", "est_ms", "mark"},
 	}
+	items, err := allItems(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
 	var q16 workloads.Item
-	for _, item := range allItems(cfg, 1) {
+	for _, item := range items {
 		if item.ID == "tpch.q16" {
 			q16 = item
 		}
 	}
 	inputs, search, err := queryPlanSpace(cfg, q16)
 	if err != nil {
+		if pipeerr.IsCtxErr(err) {
+			return nil, err
+		}
 		rep.Notes = append(rep.Notes, err.Error())
-		return rep
+		return rep, nil
 	}
 	budget := populationBudget(cfg)
 	pop, exact := planner.Enumerate(search, planner.EnumerateOptions{Budget: budget, Seed: cfg.Seed})
@@ -98,8 +110,11 @@ func Figure7(cfg Config) *Report {
 	}
 	var rows []scored
 	for _, cand := range pop {
-		actual, err := executePlan(inputs, cand)
+		actual, err := executePlan(cfg, inputs, cand)
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			continue
 		}
 		st := search.Stats.Permute(cand.ColOrder)
@@ -134,7 +149,7 @@ func Figure7(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("%s of %d plans; only the best %d and marked plans are listed", note, len(rows), maxShown),
 		"paper: both ROGA and RRS find the actual optimal plan for Q16")
-	return rep
+	return rep, nil
 }
 
 func sameCand(a planner.Candidate, c planner.Choice) bool {
@@ -168,14 +183,17 @@ func ensureIncluded(pop []planner.Candidate, picks ...planner.Choice) []planner.
 // Table1 — plan quality (mean/best/worst rank of ROGA and RRS picks by
 // measured time within the executed population) and cost-model MRE, per
 // workload.
-func Table1(cfg Config) *Report {
+func Table1(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "tab1",
 		Title:  "Cost model and plan quality (rank by measured time; MRE)",
 		Header: []string{"workload", "roga_mean_rank", "roga_best", "roga_worst", "rrs_mean_rank", "rrs_best", "rrs_worst", "mre"},
 	}
-	tpch, tpchSkew, tpcds, airline := buildWorkloads(cfg, 1)
+	tpch, tpchSkew, tpcds, airline, err := buildWorkloads(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
 	groups := []struct {
 		name  string
 		items []workloads.Item
@@ -195,6 +213,9 @@ func Table1(cfg Config) *Report {
 			}
 			inputs, search, err := queryPlanSpace(cfg, item)
 			if err != nil {
+				if pipeerr.IsCtxErr(err) {
+					return nil, err
+				}
 				continue
 			}
 			pop, _ := planner.Enumerate(search, planner.EnumerateOptions{Budget: budget, Seed: cfg.Seed})
@@ -204,8 +225,11 @@ func Table1(cfg Config) *Report {
 
 			actual := make(map[int]time.Duration, len(pop))
 			for i, cand := range pop {
-				t, err := executePlan(inputs, cand)
+				t, err := executePlan(cfg, inputs, cand)
 				if err != nil {
+					if pipeerr.IsCtxErr(err) {
+						return nil, err
+					}
 					continue
 				}
 				actual[i] = t
@@ -247,7 +271,7 @@ func Table1(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("population budget %d plans/query (paper: full exhaustion, weeks of compute)", budget),
 		"paper: ROGA mean rank 4.8-8 vs RRS 43-111; MRE 0.36-0.57")
-	return rep
+	return rep, nil
 }
 
 func mean(xs []int) float64 {
@@ -301,15 +325,19 @@ func maxOf(xs []int) int {
 // Figure12 — sensitivity to the time threshold ρ: search time, chosen
 // plan's estimated cost, and its measured time, for representative
 // queries under ρ from 0.01% to 10% and N/S (no threshold).
-func Figure12(cfg Config) *Report {
+func Figure12(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "fig12",
 		Title:  "Plan search under varying time threshold rho",
 		Header: []string{"query", "rho", "search_ms", "est_ms", "actual_mcs_ms", "plan"},
 	}
+	items, err := allItems(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
 	var picks []workloads.Item
-	for _, item := range allItems(cfg, 1) {
+	for _, item := range items {
 		switch item.ID {
 		case "tpch.q16", "tpcds.q67", "real.q3":
 			picks = append(picks, item)
@@ -324,6 +352,9 @@ func Figure12(cfg Config) *Report {
 	for _, item := range picks {
 		inputs, search, err := queryPlanSpace(cfg, item)
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			continue
 		}
 		for _, rho := range rhos {
@@ -332,10 +363,16 @@ func Figure12(cfg Config) *Report {
 			}
 			search.Rho = rho.value
 			start := time.Now()
-			pick := planner.ROGA(search)
-			searchTime := time.Since(start)
-			actual, err := executePlan(inputs, planner.Candidate{ColOrder: pick.ColOrder, Plan: pick.Plan})
+			pick, err := planner.ROGAContext(cfg.context(), search)
 			if err != nil {
+				return nil, err
+			}
+			searchTime := time.Since(start)
+			actual, err := executePlan(cfg, inputs, planner.Candidate{ColOrder: pick.ColOrder, Plan: pick.Plan})
+			if err != nil {
+				if pipeerr.IsCtxErr(err) {
+					return nil, err
+				}
 				continue
 			}
 			rep.Rows = append(rep.Rows, []string{
@@ -346,5 +383,5 @@ func Figure12(cfg Config) *Report {
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: rho = 0.1% suffices — the plan quality is insensitive to rho unless it is extremely stringent")
-	return rep
+	return rep, nil
 }

@@ -6,46 +6,71 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/pipeerr"
 	"repro/internal/workloads"
 )
 
 // buildWorkloads materializes the four evaluation datasets at the
 // configured row count (and TPC-H additionally in a zipf-skewed flavor).
-func buildWorkloads(cfg Config, sf int) (tpch, tpchSkew, tpcds []workloads.Item, airline []workloads.Item) {
-	t1 := datagen.TPCH(datagen.TPCHConfig{SF: sf, Rows: cfg.TableRows, Seed: cfg.Seed})
-	t2 := datagen.TPCH(datagen.TPCHConfig{SF: sf, Rows: cfg.TableRows, Skew: true, Seed: cfg.Seed + 1})
-	t3 := datagen.TPCDS(datagen.TPCDSConfig{SF: sf, Rows: cfg.TableRows, Seed: cfg.Seed + 2})
-	ticket := datagen.AirlineTicket(datagen.AirlineConfig{Rows: cfg.TableRows, Seed: cfg.Seed + 3})
-	market := datagen.AirlineMarket(datagen.AirlineConfig{Rows: cfg.TableRows, Seed: cfg.Seed + 3})
+func buildWorkloads(cfg Config, sf int) (tpch, tpchSkew, tpcds []workloads.Item, airline []workloads.Item, err error) {
+	t1, err := datagen.TPCH(datagen.TPCHConfig{SF: sf, Rows: cfg.TableRows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	t2, err := datagen.TPCH(datagen.TPCHConfig{SF: sf, Rows: cfg.TableRows, Skew: true, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	t3, err := datagen.TPCDS(datagen.TPCDSConfig{SF: sf, Rows: cfg.TableRows, Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	ticket, err := datagen.AirlineTicket(datagen.AirlineConfig{Rows: cfg.TableRows, Seed: cfg.Seed + 3})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	market, err := datagen.AirlineMarket(datagen.AirlineConfig{Rows: cfg.TableRows, Seed: cfg.Seed + 3})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	return workloads.TPCHQueries(t1, ""),
 		workloads.TPCHQueries(t2, ".skew"),
 		workloads.TPCDSQueries(t3),
-		workloads.AirlineQueries(ticket, market)
+		workloads.AirlineQueries(ticket, market),
+		nil
 }
 
 // allItems flattens the full 27-query suite.
-func allItems(cfg Config, sf int) []workloads.Item {
-	a, b, c, d := buildWorkloads(cfg, sf)
-	out := append(append(append(a, b...), c...), d...)
-	return out
+func allItems(cfg Config, sf int) ([]workloads.Item, error) {
+	a, b, c, d, err := buildWorkloads(cfg, sf)
+	if err != nil {
+		return nil, err
+	}
+	return append(append(append(a, b...), c...), d...), nil
 }
 
 // Figure1 — the motivation: per-query time share of multi-column
 // sorting versus everything else (scan + lookup + aggregation +
 // single-column sorting), with massaging OFF, for the TPC-H queries.
-func Figure1(cfg Config) *Report {
+func Figure1(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "fig1",
 		Title:  "TPC-H time breakdown without code massaging",
 		Header: []string{"query", "mcs_ms", "rest_ms", "mcs_share"},
 	}
-	items, _, _, _ := buildWorkloads(cfg, 1)
+	items, _, _, _, err := buildWorkloads(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
 	for _, item := range items {
 		if item.ID == "tpch.q13" {
 			// Q13's multi-column sort runs on the tiny derived table.
-			res, err := workloads.RunQ13(item.Table, false, engine.Options{})
+			res, err := workloads.RunQ13Context(cfg.context(), item.Table, false, engine.Options{})
 			if err != nil {
+				if pipeerr.IsCtxErr(err) {
+					return nil, err
+				}
 				rep.Rows = append(rep.Rows, []string{item.ID, "ERR", err.Error(), ""})
 				continue
 			}
@@ -57,8 +82,11 @@ func Figure1(cfg Config) *Report {
 			})
 			continue
 		}
-		res, err := engine.Run(item.Table, item.Query, engine.Options{Massaging: false})
+		res, err := engine.RunContext(cfg.context(), item.Table, item.Query, engine.Options{Massaging: false})
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			rep.Rows = append(rep.Rows, []string{item.ID, "ERR", err.Error(), ""})
 			continue
 		}
@@ -71,7 +99,7 @@ func Figure1(cfg Config) *Report {
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: 60-92% of time is multi-column sorting, except Q13 (dominated by its single-column GROUP BY)")
-	return rep
+	return rep, nil
 }
 
 // reps is the measurement repetition count: reported times are the best
@@ -85,10 +113,10 @@ func (c *Config) reps() int {
 
 // bestRun executes the query `reps` times and returns the result with
 // the smallest MCS time.
-func bestRun(item workloads.Item, opts engine.Options, reps int) (*engine.Result, error) {
+func bestRun(cfg Config, item workloads.Item, opts engine.Options, reps int) (*engine.Result, error) {
 	var best *engine.Result
 	for i := 0; i < reps; i++ {
-		res, err := engine.Run(item.Table, item.Query, opts)
+		res, err := engine.RunContext(cfg.context(), item.Table, item.Query, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -101,19 +129,29 @@ func bestRun(item workloads.Item, opts engine.Options, reps int) (*engine.Result
 
 // Figure8 — multi-column sorting speedup from code massaging for all 27
 // queries, plus the plan the optimizer picked.
-func Figure8(cfg Config) *Report {
+func Figure8(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "fig8",
 		Title:  "Multi-column sorting speedup with code massaging",
 		Header: []string{"query", "mcs_off_ms", "mcs_on_ms", "speedup", "plan"},
 	}
-	model := cfg.model()
+	model, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
 	reps := cfg.reps()
-	for _, item := range allItems(cfg, 1) {
+	items, err := allItems(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items {
 		if item.ID == "tpch.q13" || item.ID == "tpch.q13.skew" {
-			off, err1 := workloads.RunQ13(item.Table, false, engine.Options{})
-			on, err2 := workloads.RunQ13(item.Table, true, engine.Options{})
+			off, err1 := workloads.RunQ13Context(cfg.context(), item.Table, false, engine.Options{})
+			on, err2 := workloads.RunQ13Context(cfg.context(), item.Table, true, engine.Options{})
+			if pipeerr.IsCtxErr(err1) || pipeerr.IsCtxErr(err2) {
+				return nil, cfg.context().Err()
+			}
 			if err1 != nil || err2 != nil {
 				continue
 			}
@@ -124,13 +162,19 @@ func Figure8(cfg Config) *Report {
 			})
 			continue
 		}
-		off, err := bestRun(item, engine.Options{Massaging: false}, reps)
+		off, err := bestRun(cfg, item, engine.Options{Massaging: false}, reps)
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			rep.Rows = append(rep.Rows, []string{item.ID, "ERR", err.Error(), "", ""})
 			continue
 		}
-		on, err := bestRun(item, engine.Options{Massaging: true, Model: model}, reps)
+		on, err := bestRun(cfg, item, engine.Options{Massaging: true, Model: model}, reps)
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			rep.Rows = append(rep.Rows, []string{item.ID, "ERR", err.Error(), "", ""})
 			continue
 		}
@@ -145,20 +189,23 @@ func Figure8(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("best of %d runs per measurement", reps),
 		"paper: 1.8x (real q4) to 5.5x (TPC-H q2)")
-	return rep
+	return rep, nil
 }
 
 // Figure9 — end-to-end query times at scales 1, 5 and 10 with massaging
 // on and off. Scale changes both the domains (key widths, as with real
 // dbgen) and the row count.
-func Figure9(cfg Config) *Report {
+func Figure9(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "fig9",
 		Title:  "Query execution time across scale factors",
 		Header: []string{"query", "sf", "rows", "off_ms", "on_ms", "speedup"},
 	}
-	model := cfg.model()
+	model, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
 	baseRows := cfg.TableRows
 	sfs := []int{1, 5, 10}
 	if cfg.Quick {
@@ -168,8 +215,12 @@ func Figure9(cfg Config) *Report {
 		sub := cfg
 		sub.TableRows = baseRows * sf
 		// A representative slice per workload, as the paper presents.
+		items, err := allItems(sub, sf)
+		if err != nil {
+			return nil, err
+		}
 		var picks []workloads.Item
-		for _, item := range allItems(sub, sf) {
+		for _, item := range items {
 			switch item.ID {
 			case "tpch.q1", "tpch.q3", "tpch.q18",
 				"tpch.q2.skew", "tpch.q10.skew",
@@ -178,12 +229,18 @@ func Figure9(cfg Config) *Report {
 			}
 		}
 		for _, item := range picks {
-			off, err := bestRun(item, engine.Options{Massaging: false}, cfg.reps())
+			off, err := bestRun(cfg, item, engine.Options{Massaging: false}, cfg.reps())
 			if err != nil {
+				if pipeerr.IsCtxErr(err) {
+					return nil, err
+				}
 				continue
 			}
-			on, err := bestRun(item, engine.Options{Massaging: true, Model: model}, cfg.reps())
+			on, err := bestRun(cfg, item, engine.Options{Massaging: true, Model: model}, cfg.reps())
 			if err != nil {
+				if pipeerr.IsCtxErr(err) {
+					return nil, err
+				}
 				continue
 			}
 			rep.Rows = append(rep.Rows, []string{
@@ -195,26 +252,36 @@ func Figure9(cfg Config) *Report {
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: up to 4.7x (TPC-H/TPC-H-skew q18), 4x (TPC-DS q67), 3.2x (real q3); Q13-like queries gain little")
-	return rep
+	return rep, nil
 }
 
 // Table2 — plan-search time: ROGA's wall time per query next to the
 // multi-column sorting time it optimizes (the search must be negligible).
-func Table2(cfg Config) *Report {
+func Table2(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "tab2",
 		Title:  "ROGA plan-search time vs multi-column sorting time",
 		Header: []string{"query", "search_ms", "mcs_ms", "search_share"},
 	}
-	model := cfg.model()
-	for _, item := range allItems(cfg, 1) {
+	model, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	items, err := allItems(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items {
 		if item.ID == "tpch.q13" || item.ID == "tpch.q13.skew" {
 			continue // no search: derived-table stitch
 		}
-		res, err := engine.Run(item.Table, item.Query,
+		res, err := engine.RunContext(cfg.context(), item.Table, item.Query,
 			engine.Options{Massaging: true, Model: model})
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			continue
 		}
 		mcsT := res.Timing.MCS.Total()
@@ -226,5 +293,5 @@ func Table2(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		"search time includes statistics sampling; the rho threshold (0.1%) bounds enumeration",
 		fmt.Sprintf("generated at %s", time.Now().Format(time.RFC3339)))
-	return rep
+	return rep, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/pipeerr"
 	"repro/internal/workloads"
 )
 
@@ -18,16 +19,23 @@ import (
 // parallel massaging, range-partitioned first-round sorting, and
 // group-parallel later rounds — but runtime.NumCPU() may be 1, in which
 // case measured throughput is flat; see EXPERIMENTS.md.
-func Figure10(cfg Config) *Report {
+func Figure10(cfg Config) (*Report, error) {
 	cfg.defaults()
 	rep := &Report{
 		ID:     "fig10",
 		Title:  "Throughput vs worker count (massaging on)",
 		Header: []string{"query", "workers", "rows", "mcs_ms", "mtuples_per_s"},
 	}
-	model := cfg.model()
+	model, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	items, err := allItems(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
 	var picks []workloads.Item
-	for _, item := range allItems(cfg, 1) {
+	for _, item := range items {
 		switch item.ID {
 		case "tpch.q1", "tpch.q18", "tpcds.q67", "real.q3":
 			picks = append(picks, item)
@@ -39,9 +47,12 @@ func Figure10(cfg Config) *Report {
 	}
 	for _, item := range picks {
 		for _, w := range workerCounts {
-			res, err := engine.Run(item.Table, item.Query,
+			res, err := engine.RunContext(cfg.context(), item.Table, item.Query,
 				engine.Options{Massaging: true, Model: model, Workers: w})
 			if err != nil {
+				if pipeerr.IsCtxErr(err) {
+					return nil, err
+				}
 				continue
 			}
 			mcsT := res.Timing.MCS.Total()
@@ -55,5 +66,5 @@ func Figure10(cfg Config) *Report {
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("runtime.NumCPU()=%d on this machine; with one physical core the scaling is necessarily flat (paper: linear to 10 cores)", runtime.NumCPU()),
 		fmt.Sprintf("measured %s", time.Now().Format(time.RFC3339)))
-	return rep
+	return rep, nil
 }

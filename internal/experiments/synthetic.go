@@ -7,6 +7,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/massage"
 	"repro/internal/mcsort"
+	"repro/internal/pipeerr"
 	"repro/internal/plan"
 )
 
@@ -39,15 +40,18 @@ func planLabel(widths []int, p plan.Plan) string {
 
 // measurePlans executes each plan over the same inputs and reports the
 // phase breakdown.
-func measurePlans(cfg Config, widths []int, plans []plan.Plan, labels []string) *Report {
+func measurePlans(cfg Config, widths []int, plans []plan.Plan, labels []string) (*Report, error) {
 	inputs := syntheticInputs(cfg, widths)
 	rep := &Report{
 		Header: []string{"plan", "rounds", "massage_ms", "sort_ms", "lookup_ms", "scan_ms", "total_ms"},
 	}
 	var baseline float64
 	for i, p := range plans {
-		res, err := mcsort.Execute(inputs, p, mcsort.Options{})
+		res, err := mcsort.ExecuteContext(cfg.context(), inputs, p, mcsort.Options{})
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			rep.Rows = append(rep.Rows, []string{labels[i], "ERR", err.Error()})
 			continue
 		}
@@ -65,43 +69,49 @@ func measurePlans(cfg Config, widths []int, plans []plan.Plan, labels []string) 
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("N=%d rows, 2^13 distinct values per column (2^w when w<13)", cfg.Rows))
-	return rep
+	return rep, nil
 }
 
 // Figure3a — Example Ex1: ORDER BY a 10-bit and a 17-bit column. The
 // stitch-all plan P≪17 = {R1: 27/[32]} removes a round, a lookup and a
 // scan, and must beat P0 = {R1: 10/[16], R2: 17/[32]}.
-func Figure3a(cfg Config) *Report {
+func Figure3a(cfg Config) (*Report, error) {
 	cfg.defaults()
 	widths := []int{10, 17}
 	plans := []plan.Plan{
 		plan.ColumnAtATime(widths),
 		{Rounds: []plan.Round{{Width: 27, Bank: 32}}},
 	}
-	rep := measurePlans(cfg, widths, plans, []string{"P0", "P<<17 (stitch)"})
+	rep, err := measurePlans(cfg, widths, plans, []string{"P0", "P<<17 (stitch)"})
+	if err != nil {
+		return nil, err
+	}
 	rep.ID, rep.Title = "fig3a", "Ex1: 10-bit + 17-bit — stitching wins"
-	return rep
+	return rep, nil
 }
 
 // Figure3b — Example Ex2: ORDER BY a 15-bit and a 31-bit column. The
 // reckless stitch {R1: 46/[64]} drops to the weak 64-bit bank and must
 // lose to P0 = {R1: 15/[16], R2: 31/[32]}.
-func Figure3b(cfg Config) *Report {
+func Figure3b(cfg Config) (*Report, error) {
 	cfg.defaults()
 	widths := []int{15, 31}
 	plans := []plan.Plan{
 		plan.ColumnAtATime(widths),
 		{Rounds: []plan.Round{{Width: 46, Bank: 64}}},
 	}
-	rep := measurePlans(cfg, widths, plans, []string{"P0", "P<<31 (stitch-all)"})
+	rep, err := measurePlans(cfg, widths, plans, []string{"P0", "P<<31 (stitch-all)"})
+	if err != nil {
+		return nil, err
+	}
 	rep.ID, rep.Title = "fig3b", "Ex2: 15-bit + 31-bit — reckless stitching loses"
-	return rep
+	return rep, nil
 }
 
 // Figure3c — Example Ex4: ORDER BY two 48-bit columns. Splitting into
 // THREE 32-bit rounds beats two 64-bit-bank rounds: more rounds, but
 // full SIMD parallelism in each.
-func Figure3c(cfg Config) *Report {
+func Figure3c(cfg Config) (*Report, error) {
 	cfg.defaults()
 	widths := []int{48, 48}
 	plans := []plan.Plan{
@@ -109,16 +119,19 @@ func Figure3c(cfg Config) *Report {
 		{Rounds: []plan.Round{
 			{Width: 32, Bank: 32}, {Width: 32, Bank: 32}, {Width: 32, Bank: 32}}},
 	}
-	rep := measurePlans(cfg, widths, plans, []string{"P0 (2x 48/[64])", "P32x3 (3x 32/[32])"})
+	rep, err := measurePlans(cfg, widths, plans, []string{"P0 (2x 48/[64])", "P32x3 (3x 32/[32])"})
+	if err != nil {
+		return nil, err
+	}
 	rep.ID, rep.Title = "fig3c", "Ex4: 48-bit + 48-bit — more rounds can win"
-	return rep
+	return rep, nil
 }
 
 // Figure4a — Example Ex3: ORDER BY a 17-bit and a 33-bit column, the
 // full bit-shift sweep from P≪33 (stitch-all left) to P≫16 (shift-all
 // right). The paper's curve has the optimum at P≪1 = {18/[32], 32/[32]}
 // and a hill peaking near P≪10.
-func Figure4a(cfg Config) *Report {
+func Figure4a(cfg Config) (*Report, error) {
 	cfg.defaults()
 	widths := []int{17, 33}
 	inputs := syntheticInputs(cfg, widths)
@@ -139,8 +152,11 @@ func Figure4a(cfg Config) *Report {
 		} else {
 			p = plan.FromWidths([]int{w1, w2})
 		}
-		res, err := mcsort.Execute(inputs, p, mcsort.Options{})
+		res, err := mcsort.ExecuteContext(cfg.context(), inputs, p, mcsort.Options{})
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			continue
 		}
 		label := "P0"
@@ -159,7 +175,7 @@ func Figure4a(cfg Config) *Report {
 		})
 	}
 	rep.Notes = append(rep.Notes, "optimum expected at P<<1 = {R1: 18/[32], R2: 32/[32]}; stitch-all tails use the weak 64-bit bank")
-	return rep
+	return rep, nil
 }
 
 func roundSorts(res *mcsort.Result) string {
@@ -171,7 +187,7 @@ func roundSorts(res *mcsort.Result) string {
 
 // Figure4b — the round-2 factors behind the Figure 4a hill: number of
 // SIMD sorts, number of groups, and average group size per shift.
-func Figure4b(cfg Config) *Report {
+func Figure4b(cfg Config) (*Report, error) {
 	cfg.defaults()
 	widths := []int{17, 33}
 	inputs := syntheticInputs(cfg, widths)
@@ -187,8 +203,11 @@ func Figure4b(cfg Config) *Report {
 			continue
 		}
 		p := plan.FromWidths([]int{w1, w2})
-		res, err := mcsort.Execute(inputs, p, mcsort.Options{})
+		res, err := mcsort.ExecuteContext(cfg.context(), inputs, p, mcsort.Options{})
 		if err != nil {
+			if pipeerr.IsCtxErr(err) {
+				return nil, err
+			}
 			continue
 		}
 		label := "P0"
@@ -204,12 +223,12 @@ func Figure4b(cfg Config) *Report {
 			fmt.Sprintf("%.2f", res.Rounds[1].AvgGroupSz),
 		})
 	}
-	return rep
+	return rep, nil
 }
 
 // Figure5 — complement-before-stitch for mixed ASC/DESC: the paper's
 // worked example (A ASC, B DESC over three tuples x, y, z).
-func Figure5(cfg Config) *Report {
+func Figure5(cfg Config) (*Report, error) {
 	cfg.defaults()
 	inputs := []massage.Input{
 		{Codes: []uint64{2, 2, 7}, Width: 3},
@@ -225,7 +244,10 @@ func Figure5(cfg Config) *Report {
 	// Correct: the massage layer complements B, so the stitched sort
 	// yields x, y, z.
 	p := plan.FromWidths([]int{6})
-	res, err := mcsort.Execute(inputs, p, mcsort.Options{})
+	res, err := mcsort.ExecuteContext(cfg.context(), inputs, p, mcsort.Options{})
+	if pipeerr.IsCtxErr(err) {
+		return nil, err
+	}
 	if err == nil {
 		order := ""
 		for _, oid := range res.Perm {
@@ -240,7 +262,10 @@ func Figure5(cfg Config) *Report {
 		{Codes: inputs[0].Codes, Width: 3},
 		{Codes: inputs[1].Codes, Width: 3}, // Desc dropped: the bug
 	}
-	res, err = mcsort.Execute(raw, p, mcsort.Options{})
+	res, err = mcsort.ExecuteContext(cfg.context(), raw, p, mcsort.Options{})
+	if pipeerr.IsCtxErr(err) {
+		return nil, err
+	}
 	if err == nil {
 		order := ""
 		for _, oid := range res.Perm {
@@ -249,5 +274,5 @@ func Figure5(cfg Config) *Report {
 		rep.Rows = append(rep.Rows, []string{"stitch w/o complement", order, fmt.Sprint(order == "x y z ")})
 	}
 	rep.Notes = append(rep.Notes, "expected: complemented variant returns x y z; raw stitch returns y x z (Figure 5b's wrong result)")
-	return rep
+	return rep, nil
 }

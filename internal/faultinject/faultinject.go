@@ -1,0 +1,108 @@
+// Package faultinject is a build-tag-free fault-injection hook registry
+// for the parallel MCS pipeline, built on the same zero-cost-when-
+// disabled pattern as internal/obs: every Fire site first loads one
+// package-level atomic bool and returns, so production code may call
+// Fire unconditionally from its hot paths. Tests enable the registry,
+// install hooks at named sites — panics, delays, forced cancellations —
+// and exercise the pipeline's containment and cancellation behavior
+// without build tags or test-only seams in the pipeline code.
+//
+//	restore := faultinject.Set(faultinject.PivotSelect, func() { panic("boom") })
+//	defer restore()
+//	_, err := mcsort.ExecuteContext(ctx, inputs, p, opts) // err names the stage
+//
+// A hook runs on the goroutine that reaches the site, so a panicking
+// hook is indistinguishable from the site's own code panicking — which
+// is exactly what the containment tests need to prove.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Site names. Each is fired once per pass/chunk/partition at the named
+// point of the pipeline, never inside per-row loops.
+const (
+	// PivotSelect: mcsort's range-partitioned first round, after pivot
+	// sampling, before the partition scatter.
+	PivotSelect = "mcsort.pivot_select"
+	// GroupSort: mcsort's later rounds, once per round before the group
+	// queue is drained.
+	GroupSort = "mcsort.group_sort"
+	// Permute: mcsort's lookup/reorder pass, once per chunk.
+	Permute = "mcsort.permute"
+	// ChunkSort: mergesort's parallel chunk sort, once per chunk.
+	ChunkSort = "mergesort.chunk_sort"
+	// LoserMerge: mergesort's cooperative multiway merge, once per
+	// worker co-partition.
+	LoserMerge = "mergesort.loser_merge"
+	// MassageChunk: the massage FIP pass, once per row chunk.
+	MassageChunk = "massage.chunk"
+	// Gather: the engine's materialization gather, once per chunk.
+	Gather = "engine.gather"
+	// Aggregate: the engine's group-aggregation scan, once per chunk.
+	Aggregate = "engine.aggregate"
+)
+
+// Sites lists every named site, for test batteries that iterate them.
+var Sites = []string{
+	PivotSelect, GroupSort, Permute, ChunkSort, LoserMerge,
+	MassageChunk, Gather, Aggregate,
+}
+
+// enabled gates every Fire call; off by default so production pays one
+// atomic load per site.
+var enabled atomic.Bool
+
+var (
+	mu    sync.RWMutex
+	hooks = map[string]func(){}
+)
+
+// Enabled reports whether any hooks are installed.
+func Enabled() bool { return enabled.Load() }
+
+// Set installs fn as the hook of site and enables the registry. It
+// returns a restore function that removes the hook (and disables the
+// registry when no hooks remain); tests defer it.
+func Set(site string, fn func()) (restore func()) {
+	mu.Lock()
+	hooks[site] = fn
+	enabled.Store(true)
+	mu.Unlock()
+	return func() { Clear(site) }
+}
+
+// Clear removes the hook of site; the registry switches off when the
+// last hook is removed.
+func Clear(site string) {
+	mu.Lock()
+	delete(hooks, site)
+	if len(hooks) == 0 {
+		enabled.Store(false)
+	}
+	mu.Unlock()
+}
+
+// Reset removes every hook and disables the registry.
+func Reset() {
+	mu.Lock()
+	hooks = map[string]func(){}
+	enabled.Store(false)
+	mu.Unlock()
+}
+
+// Fire runs the hook installed at site, if any. One atomic load when
+// the registry is disabled; the hook runs on the calling goroutine.
+func Fire(site string) {
+	if !enabled.Load() {
+		return
+	}
+	mu.RLock()
+	fn := hooks[site]
+	mu.RUnlock()
+	if fn != nil {
+		fn()
+	}
+}

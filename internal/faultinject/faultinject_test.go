@@ -1,0 +1,75 @@
+package faultinject
+
+import "testing"
+
+func TestDisabledByDefault(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("registry enabled with no hooks")
+	}
+	Fire(PivotSelect) // must be a no-op, not a nil deref
+}
+
+func TestSetFireRestore(t *testing.T) {
+	Reset()
+	fired := 0
+	restore := Set(GroupSort, func() { fired++ })
+	if !Enabled() {
+		t.Fatal("Set must enable the registry")
+	}
+	Fire(GroupSort)
+	Fire(GroupSort)
+	if fired != 2 {
+		t.Fatalf("hook fired %d times, want 2", fired)
+	}
+	Fire(Permute) // other sites stay unhooked
+	if fired != 2 {
+		t.Fatalf("unhooked site ran the hook")
+	}
+	restore()
+	if Enabled() {
+		t.Fatal("restore of the last hook must disable the registry")
+	}
+	Fire(GroupSort)
+	if fired != 2 {
+		t.Fatal("hook survived restore")
+	}
+}
+
+func TestMultipleHooksDisableOnlyWhenEmpty(t *testing.T) {
+	Reset()
+	r1 := Set(Gather, func() {})
+	r2 := Set(Aggregate, func() {})
+	r1()
+	if !Enabled() {
+		t.Fatal("registry disabled while a hook remains")
+	}
+	r2()
+	if Enabled() {
+		t.Fatal("registry enabled after all hooks removed")
+	}
+}
+
+func TestSitesListed(t *testing.T) {
+	want := map[string]bool{
+		PivotSelect: true, GroupSort: true, Permute: true, ChunkSort: true,
+		LoserMerge: true, MassageChunk: true, Gather: true, Aggregate: true,
+	}
+	if len(Sites) != len(want) {
+		t.Fatalf("Sites has %d entries, want %d", len(Sites), len(want))
+	}
+	for _, s := range Sites {
+		if !want[s] {
+			t.Errorf("unexpected site %q", s)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	Set(Permute, func() { t.Fatal("hook survived Reset") })
+	Reset()
+	if Enabled() {
+		t.Fatal("Reset must disable")
+	}
+	Fire(Permute)
+}

@@ -13,13 +13,15 @@
 package massage
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/column"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/pipeerr"
 )
 
 // Massage observability: stitch/borrow structure at compile time, FIP
@@ -192,6 +194,34 @@ func (p *Program) Run(inputs []Input, rows int) [][]uint64 {
 	return out
 }
 
+// seqCheckRows is the row-block size between context polls of the
+// sequential context-aware pass: large enough that the poll is free,
+// small enough that cancellation lands within a fraction of the pass.
+const seqCheckRows = 1 << 16
+
+// RunContext is Run with cooperative cancellation: the FIP pass is
+// executed in seqCheckRows blocks with a context poll between blocks.
+// On error the partially massaged keys are discarded by the caller.
+func (p *Program) RunContext(ctx context.Context, inputs []Input, rows int) ([][]uint64, error) {
+	out := make([][]uint64, p.nRounds)
+	for d := range out {
+		out[d] = make([]uint64, rows)
+	}
+	for lo := 0; lo < rows; lo += seqCheckRows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		faultinject.Fire(faultinject.MassageChunk)
+		p.runRange(inputs, out, lo, min(lo+seqCheckRows, rows))
+	}
+	if rows == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // parallelMinRows is the row count below which RunParallel runs
 // sequentially: a FIP pass over fewer rows finishes faster than the
 // goroutine handoff.
@@ -206,15 +236,27 @@ const chunkAlign = 8
 // (Section 3: each thread massages partitions from every column
 // independently). Chunk boundaries respect cache lines, and the
 // massage.parallel_efficiency_x1000 gauge reports how busy the workers
-// collectively were when tracing is on.
+// collectively were when tracing is on. A worker panic is re-raised on
+// the caller's goroutine as a *pipeerr.PipelineError.
 func (p *Program) RunParallel(inputs []Input, rows, workers int) [][]uint64 {
+	out, err := p.RunParallelContext(context.Background(), inputs, rows, workers)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// RunParallelContext is RunParallel with cooperative cancellation and
+// panic containment: each chunk worker polls the group context at chunk
+// start, and a panicking worker cancels its siblings and surfaces as a
+// *pipeerr.PipelineError with stage "massage".
+func (p *Program) RunParallelContext(ctx context.Context, inputs []Input, rows, workers int) ([][]uint64, error) {
+	if workers < 2 || rows < parallelMinRows {
+		return p.RunContext(ctx, inputs, rows)
+	}
 	out := make([][]uint64, p.nRounds)
 	for d := range out {
 		out[d] = make([]uint64, rows)
-	}
-	if workers < 2 || rows < parallelMinRows {
-		p.runRange(inputs, out, 0, rows)
-		return out
 	}
 	tracing := obs.Enabled()
 	var wall time.Time
@@ -222,15 +264,17 @@ func (p *Program) RunParallel(inputs []Input, rows, workers int) [][]uint64 {
 		wall = time.Now()
 	}
 	var busy atomic.Int64
-	var wg sync.WaitGroup
+	g := pipeerr.NewGroup(ctx)
 	chunk := ((rows+workers-1)/workers + chunkAlign - 1) / chunkAlign * chunkAlign
 	nChunks := 0
 	for lo := 0; lo < rows; lo += chunk {
-		hi := min(lo+chunk, rows)
+		lo, hi, worker := lo, min(lo+chunk, rows), nChunks
 		nChunks++
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		g.Go(pipeerr.StageMassage, -1, worker, func(gctx context.Context) error {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			faultinject.Fire(faultinject.MassageChunk)
 			var t0 time.Time
 			if tracing {
 				t0 = time.Now()
@@ -239,9 +283,12 @@ func (p *Program) RunParallel(inputs []Input, rows, workers int) [][]uint64 {
 			if tracing {
 				busy.Add(int64(time.Since(t0)))
 			}
-		}(lo, hi)
+			return nil
+		})
 	}
-	wg.Wait()
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
 	if tracing {
 		if wall2 := time.Since(wall); wall2 > 0 && nChunks > 0 {
 			w := workers
@@ -251,7 +298,7 @@ func (p *Program) RunParallel(inputs []Input, rows, workers int) [][]uint64 {
 			obsParEffX1000.Set(busy.Load() * 1000 / (int64(wall2) * int64(w)))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // runRange executes every segment for rows [lo, hi). The per-segment

@@ -1,0 +1,176 @@
+package mcsort
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/massage"
+	"repro/internal/pipeerr"
+	"repro/internal/plan"
+	"repro/internal/testutil"
+)
+
+// cancelInputs builds a two-column input large enough that the forced
+// parallel thresholds route every phase through the parallel paths.
+func cancelInputs(rows int, seed int64) []massage.Input {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := []massage.Input{
+		{Codes: make([]uint64, rows), Width: 9},
+		{Codes: make([]uint64, rows), Width: 13},
+	}
+	for i := 0; i < rows; i++ {
+		inputs[0].Codes[i] = uint64(rng.Intn(64))
+		inputs[1].Codes[i] = uint64(rng.Intn(4096))
+	}
+	return inputs
+}
+
+// twoRoundPlan keeps a lookup/permute pass and a group-sort round in
+// play, so the permute and group-sort sites are reachable.
+var twoRoundPlan = plan.Plan{Rounds: []plan.Round{{Width: 9, Bank: 16}, {Width: 13, Bank: 16}}}
+
+// TestCancelAtEverySite fires a cancellation from every faultinject
+// site, at every worker count: if the site was reached the sort must
+// return the context error promptly; if the pipeline shape never
+// reaches the site (e.g. pivot selection under workers=1), the sort
+// must simply succeed. Either way no goroutine may leak.
+func TestCancelAtEverySite(t *testing.T) {
+	defer faultinject.Reset()
+	inputs := cancelInputs(20000, 29)
+	sp := forcedParams(16)
+	for _, site := range faultinject.Sites {
+		for _, workers := range []int{1, 4, 8} {
+			site, workers := site, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", site, workers), func(t *testing.T) {
+				defer testutil.CheckNoLeaks(t)()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var fired atomic.Bool
+				restore := faultinject.Set(site, func() {
+					fired.Store(true)
+					cancel()
+				})
+				defer restore()
+				res, err := ExecuteContext(ctx, inputs, twoRoundPlan,
+					Options{Workers: workers, SortParams: &sp})
+				if fired.Load() {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("site fired but err = %v, want context.Canceled", err)
+					}
+					if res != nil {
+						t.Fatal("cancelled sort must not return a result")
+					}
+				} else if err != nil {
+					t.Fatalf("site never fired but err = %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCancelledContextRefusedUpfront pins the fast path: an already
+// cancelled context returns before any work.
+func TestCancelledContextRefusedUpfront(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteContext(ctx, cancelInputs(1000, 3), twoRoundPlan, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWorkerPanicContainedAsPipelineError injects a panic at the
+// permute site with parallel workers: it must surface as a typed
+// *pipeerr.PipelineError naming the stage — never crash the process —
+// and leak no goroutines.
+func TestWorkerPanicContainedAsPipelineError(t *testing.T) {
+	defer faultinject.Reset()
+	defer testutil.CheckNoLeaks(t)()
+	inputs := cancelInputs(20000, 31)
+	sp := forcedParams(16)
+	restore := faultinject.Set(faultinject.Permute, func() { panic("injected permute fault") })
+	defer restore()
+	_, err := ExecuteContext(context.Background(), inputs, twoRoundPlan,
+		Options{Workers: 4, SortParams: &sp})
+	var pe *pipeerr.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *pipeerr.PipelineError", err, err)
+	}
+	if pe.Stage != pipeerr.StagePermute {
+		t.Errorf("stage = %q, want %q", pe.Stage, pipeerr.StagePermute)
+	}
+	if pe.Round < 1 {
+		t.Errorf("round = %d, want >= 1 (permute only runs after round 0)", pe.Round)
+	}
+}
+
+// TestSortWorkerPanicContained injects the panic inside the first-round
+// partition sort workers via the group-sort route of round 1.
+func TestSortWorkerPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	defer testutil.CheckNoLeaks(t)()
+	inputs := cancelInputs(20000, 37)
+	sp := forcedParams(16)
+	// GroupSort fires on the caller goroutine at the round boundary;
+	// panic instead in the massage chunk workers, which run under the
+	// pipeline group.
+	restore := faultinject.Set(faultinject.MassageChunk, func() { panic("injected massage fault") })
+	defer restore()
+	_, err := ExecuteContext(context.Background(), inputs, twoRoundPlan,
+		Options{Workers: 4, SortParams: &sp})
+	var pe *pipeerr.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *pipeerr.PipelineError", err, err)
+	}
+	if pe.Stage != pipeerr.StageMassage {
+		t.Errorf("stage = %q, want %q", pe.Stage, pipeerr.StageMassage)
+	}
+}
+
+// TestDeterministicAfterCancelledRun pins that a cancelled run leaves
+// no state behind: a subsequent complete run produces output
+// byte-identical to a run that was never preceded by a cancellation.
+func TestDeterministicAfterCancelledRun(t *testing.T) {
+	defer faultinject.Reset()
+	inputs := cancelInputs(20000, 41)
+	sp := forcedParams(16)
+	opts := Options{Workers: 4, SortParams: &sp}
+
+	baseline, err := ExecuteContext(context.Background(), inputs, twoRoundPlan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel a run mid-sort from the group-sort site...
+	ctx, cancel := context.WithCancel(context.Background())
+	restore := faultinject.Set(faultinject.GroupSort, func() { cancel() })
+	if _, err := ExecuteContext(ctx, inputs, twoRoundPlan, opts); !errors.Is(err, context.Canceled) {
+		restore()
+		t.Fatalf("cancelled run: err = %v", err)
+	}
+	restore()
+
+	// ...then re-run clean: the result must match the baseline exactly.
+	again, err := ExecuteContext(context.Background(), inputs, twoRoundPlan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Perm) != len(baseline.Perm) || len(again.Groups) != len(baseline.Groups) {
+		t.Fatal("shape differs after a cancelled run")
+	}
+	for i := range again.Perm {
+		if again.Perm[i] != baseline.Perm[i] {
+			t.Fatalf("Perm diverges at %d after a cancelled run", i)
+		}
+	}
+	for i := range again.Groups {
+		if again.Groups[i] != baseline.Groups[i] {
+			t.Fatalf("Groups diverge at %d after a cancelled run", i)
+		}
+	}
+}

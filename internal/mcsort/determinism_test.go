@@ -1,6 +1,7 @@
 package mcsort
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/massage"
 	"repro/internal/mergesort"
 	"repro/internal/plan"
+	"repro/internal/testutil"
 )
 
 // The parallel sort paths must be pure functions of their input: the
@@ -40,7 +42,9 @@ func runFullSort(bank, workers int, keys []uint64, p mergesort.Params) ([]uint64
 	for i := range o {
 		o[i] = uint32(i)
 	}
-	parallelFullSort(bank, k, o, workers, p)
+	if err := parallelFullSort(context.Background(), bank, k, o, workers, p, 0); err != nil {
+		panic(err)
+	}
 	return k, o
 }
 
@@ -173,6 +177,7 @@ func execPlans() map[string]plan.Plan {
 // plain column-at-a-time: Perm and Groups must be identical for any
 // Workers over every adversarial distribution.
 func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
 	const rows = 4096
 	sp := forcedParams(16)
 	for dist, leading := range adversarialKeys(rows, 9, 17) {

@@ -8,12 +8,14 @@
 package mcsort
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/massage"
 	"repro/internal/mergesort"
 	"repro/internal/obs"
+	"repro/internal/pipeerr"
 	"repro/internal/plan"
 )
 
@@ -123,6 +125,32 @@ func (o Options) sortParams(bank int) mergesort.Params {
 // columns must have the same length, and the plan's total width must
 // equal the summed input widths.
 func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error) {
+	return ExecuteContext(context.Background(), inputs, p, opts)
+}
+
+// ExecuteContext is Execute with cooperative cancellation and fault
+// containment: the context is polled at round, chunk, and group
+// boundaries, so a cancelled or deadline-expired sort returns
+// ctx.Err() within one chunk of work, with no goroutine leaks. A
+// panicking worker — including a fault injected via
+// internal/faultinject — surfaces as a *pipeerr.PipelineError naming
+// the stage, round, and worker instead of crashing the process. On any
+// error the returned Result is nil and the inputs are untouched (the
+// sort operates on massaged copies).
+func ExecuteContext(ctx context.Context, inputs []massage.Input, p plan.Plan, opts Options) (*Result, error) {
+	res, err := executeContext(ctx, inputs, p, opts)
+	if err == nil {
+		// Final poll: a cancellation that lands during the last chunk of
+		// the last round must still be honored, not dropped.
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, pipeerr.NoteCancel(err)
+	}
+	return res, nil
+}
+
+func executeContext(ctx context.Context, inputs []massage.Input, p plan.Plan, opts Options) (*Result, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("mcsort: no input columns")
 	}
@@ -156,11 +184,9 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 
 	obsExecutes.Inc()
 	start := time.Now()
-	var roundKeys [][]uint64
-	if opts.Workers > 1 {
-		roundKeys = prog.RunParallel(inputs, rows, opts.Workers)
-	} else {
-		roundKeys = prog.Run(inputs, rows)
+	roundKeys, err := prog.RunParallelContext(ctx, inputs, rows, opts.Workers)
+	if err != nil {
+		return nil, err
 	}
 	res.Timings.Massage = time.Since(start)
 	obsMassageT.Add(res.Timings.Massage)
@@ -168,6 +194,10 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 	groups := []int32{0, int32(rows)}
 	scratch := make([]uint64, rows)
 	for r, round := range p.Rounds {
+		// Round boundary: the cheapest place to notice cancellation.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		keys := roundKeys[r]
 		sp := opts.sortParams(round.Bank)
 		if r > 0 {
@@ -175,7 +205,9 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 			// established so far (random access, the paper's T_lookup),
 			// output-chunked across workers.
 			start = time.Now()
-			parallelPermute(scratch, keys, res.Perm, opts.Workers)
+			if err := parallelPermute(ctx, scratch, keys, res.Perm, opts.Workers, r); err != nil {
+				return nil, err
+			}
 			keys, roundKeys[r] = scratch, keys
 			scratch = roundKeys[r]
 			d := time.Since(start)
@@ -203,10 +235,18 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 			if radixBits == 0 {
 				radixBits = mergesort.DefaultRadixBits
 			}
+			credit := 0
 			for g := 0; g+1 < len(groups); g++ {
 				lo, hi := int(groups[g]), int(groups[g+1])
 				if hi-lo < 2 {
 					continue
+				}
+				// Poll between groups, amortized over sorted rows.
+				if credit -= hi - lo; credit <= 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					credit = 1 << 16
 				}
 				mergesort.RadixSort(keys[lo:hi], res.Perm[lo:hi], round.Width, radixBits)
 				nSort++
@@ -217,14 +257,19 @@ func Execute(inputs []massage.Input, p plan.Plan, opts Options) (*Result, error)
 			// tie canonicalization makes the permutation byte-identical
 			// across worker counts.
 			if rows >= 2 {
-				parallelFullSort(round.Bank, keys, res.Perm, opts.Workers, sp)
+				if err := parallelFullSort(ctx, round.Bank, keys, res.Perm, opts.Workers, sp, r); err != nil {
+					return nil, err
+				}
 				nSort = 1
 			}
 		default:
 			// Later rounds: the tied groups are distributed across the
 			// worker pool (sequential for Workers < 2), every group
 			// canonicalized.
-			nSort = parallelGroupSort(round.Bank, keys, res.Perm, groups, opts.Workers, sp)
+			nSort, err = parallelGroupSort(ctx, round.Bank, keys, res.Perm, groups, opts.Workers, sp, r)
+			if err != nil {
+				return nil, err
+			}
 		}
 		d := time.Since(start)
 		res.Timings.Sort += d

@@ -1,13 +1,15 @@
 package mcsort
 
 import (
+	"context"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/mergesort"
 	"repro/internal/obs"
+	"repro/internal/pipeerr"
 )
 
 // Multi-threaded execution (Section 6.4 of the paper), now for every
@@ -32,6 +34,14 @@ import (
 // the (keys, oids) output byte-identical for any `Workers` value — the
 // property the determinism battery asserts and that keeps multi-round
 // sorts reproducible across machines.
+//
+// Robustness: every helper takes a context and polls it at partition,
+// group, and chunk boundaries; worker goroutines run under
+// pipeerr.Group, so a panicking worker is recovered into a
+// *pipeerr.PipelineError (stage, round, worker) and cancels its
+// siblings instead of crashing the process. Named faultinject sites
+// (pivot selection, group sort, permute) let tests inject panics,
+// delays, and forced cancellations at exactly these seams.
 
 var (
 	obsParallelSorts  = obs.NewCounter("mcsort.parallel_full_sorts")
@@ -46,13 +56,15 @@ var (
 // parallelFullSort sorts keys with oids across `workers` goroutines and
 // canonicalizes ties. p supplies the phase parameters and the parallel
 // thresholds (routed through mergesort.Params so tests can force the
-// parallel paths on small inputs).
-func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int, p mergesort.Params) {
+// parallel paths on small inputs). round tags contained failures.
+func parallelFullSort(ctx context.Context, bank int, keys []uint64, oids []uint32, workers int, p mergesort.Params, round int) error {
 	n := len(keys)
 	if workers < 2 || n < p.ParallelThreshold {
-		mergesort.SortWithParams(bank, keys, oids, p)
+		if err := mergesort.SortWithParamsContext(ctx, bank, keys, oids, p); err != nil {
+			return err
+		}
 		canonicalizeTies(keys, oids)
-		return
+		return nil
 	}
 	obsParallelSorts.Inc()
 	tracing := obs.Enabled()
@@ -62,6 +74,7 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int, p mer
 	}
 
 	// Sample keys and pick workers-1 pivots.
+	faultinject.Fire(faultinject.PivotSelect)
 	sampleSize := p.PivotSamplePerWorker * workers
 	if sampleSize > n {
 		sampleSize = n
@@ -111,11 +124,16 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int, p mer
 	}
 	if maxPart*workers > 2*n {
 		obsSkewFallbacks.Inc()
-		mergesort.ParallelSortWithParams(bank, keys, oids, p, workers)
+		if err := mergesort.ParallelSortWithParamsContext(ctx, bank, keys, oids, p, workers); err != nil {
+			return err
+		}
 		canonicalizeTies(keys, oids)
-		return
+		return nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	offsets := make([]int, workers+1)
 	for i := 0; i < workers; i++ {
 		offsets[i+1] = offsets[i] + counts[i]
@@ -140,32 +158,40 @@ func parallelFullSort(bank int, keys []uint64, oids []uint32, workers int, p mer
 	// Equal keys always land in the same partition, so per-partition
 	// canonicalization composes to a canonical whole.
 	var busy atomic.Int64
-	var wg sync.WaitGroup
+	g := pipeerr.NewGroup(ctx)
 	for w := 0; w < workers; w++ {
 		lo, hi := offsets[w], offsets[w+1]
 		if hi-lo < 2 {
 			continue
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		w := w
+		g.Go(pipeerr.StageSort, round, w, func(gctx context.Context) error {
 			var t0 time.Time
 			if tracing {
 				t0 = time.Now()
 			}
-			mergesort.SortWithParams(bank, scratchK[lo:hi], scratchO[lo:hi], p)
+			// The context-aware sort polls between its merge passes, so a
+			// cancellation unwinds the partition within one O(n) sweep
+			// rather than after the whole partition sort.
+			if err := mergesort.SortWithParamsContext(gctx, bank, scratchK[lo:hi], scratchO[lo:hi], p); err != nil {
+				return err
+			}
 			canonicalizeTies(scratchK[lo:hi], scratchO[lo:hi])
 			if tracing {
 				busy.Add(int64(time.Since(t0)))
 			}
-		}(lo, hi)
+			return nil
+		})
 	}
-	wg.Wait()
+	if err := g.Wait(); err != nil {
+		return err
+	}
 	copy(keys, scratchK)
 	copy(oids, scratchO)
 	if tracing {
 		recordParallelEfficiency(busy.Load(), time.Since(wall), workers)
 	}
+	return nil
 }
 
 // canonicalizeTies sorts the oids of every equal-key run ascending, so
@@ -200,8 +226,11 @@ func oidsAscending(oids []uint32) bool {
 // enough to starve the pool (≥ p.ParallelThreshold) are sorted
 // cooperatively by all workers with the rank-split parallel sort; the
 // rest are drained largest-first from a shared queue, so zipf-skewed
-// group populations stay balanced without static assignment.
-func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, workers int, p mergesort.Params) int {
+// group populations stay balanced without static assignment. The
+// context is polled between groups — a cancelled round returns before
+// claiming the next group.
+func parallelGroupSort(ctx context.Context, bank int, keys []uint64, perm []uint32, groups []int32, workers int, p mergesort.Params, round int) (int, error) {
+	faultinject.Fire(faultinject.GroupSort)
 	nSort := 0
 	type seg struct{ lo, hi int }
 	var big, small []seg
@@ -219,11 +248,19 @@ func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, w
 	}
 	obsWorkerSegments.Add(int64(len(big) + len(small)))
 	if workers < 2 {
+		credit := 0
 		for _, s := range small {
+			// Poll between groups, amortized so tiny groups stay cheap.
+			if credit -= s.hi - s.lo; credit <= 0 {
+				if err := ctx.Err(); err != nil {
+					return nSort, err
+				}
+				credit = 1 << 16
+			}
 			mergesort.SortWithParams(bank, keys[s.lo:s.hi], perm[s.lo:s.hi], p)
 			canonicalizeTies(keys[s.lo:s.hi], perm[s.lo:s.hi])
 		}
-		return nSort
+		return nSort, nil
 	}
 	tracing := obs.Enabled()
 	var wall time.Time
@@ -235,7 +272,9 @@ func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, w
 	// Dominant groups: all workers cooperate on one group at a time.
 	for _, s := range big {
 		obsCoopGroupSorts.Inc()
-		mergesort.ParallelSortWithParams(bank, keys[s.lo:s.hi], perm[s.lo:s.hi], p, workers)
+		if err := mergesort.ParallelSortWithParamsContext(ctx, bank, keys[s.lo:s.hi], perm[s.lo:s.hi], p, workers); err != nil {
+			return nSort, err
+		}
 		canonicalizeTies(keys[s.lo:s.hi], perm[s.lo:s.hi])
 	}
 
@@ -251,16 +290,18 @@ func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, w
 		if nw > len(small) {
 			nw = len(small)
 		}
-		var wg sync.WaitGroup
+		g := pipeerr.NewGroup(ctx)
 		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			w := w
+			g.Go(pipeerr.StageSort, round, w, func(gctx context.Context) error {
 				var t0 time.Time
 				if tracing {
 					t0 = time.Now()
 				}
 				for {
+					if err := gctx.Err(); err != nil {
+						return err
+					}
 					i := int(next.Add(1)) - 1
 					if i >= len(small) {
 						break
@@ -272,45 +313,58 @@ func parallelGroupSort(bank int, keys []uint64, perm []uint32, groups []int32, w
 				if tracing {
 					busy.Add(int64(time.Since(t0)))
 				}
-			}()
+				return nil
+			})
 		}
-		wg.Wait()
+		if err := g.Wait(); err != nil {
+			return nSort, err
+		}
 	}
 	if tracing {
 		recordParallelEfficiency(busy.Load(), time.Since(wall), workers)
 	}
-	return nSort
+	return nSort, nil
 }
 
 // parallelPermute computes dst[i] = src[perm[i]] across workers — the
 // lookup/reorder pass of each later round (the paper's T_lookup). The
 // output is chunked on cache-line boundaries (8 uint64 per line); reads
-// are random either way.
-func parallelPermute(dst, src []uint64, perm []uint32, workers int) {
+// are random either way. Each chunk polls the context at its start.
+func parallelPermute(ctx context.Context, dst, src []uint64, perm []uint32, workers, round int) error {
 	n := len(perm)
 	const align = 8
 	if workers < 2 || n < align*workers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		faultinject.Fire(faultinject.Permute)
 		for i, oid := range perm {
 			dst[i] = src[oid]
 		}
-		return
+		return nil
 	}
 	chunk := (n/workers + align - 1) / align * align
-	var wg sync.WaitGroup
+	g := pipeerr.NewGroup(ctx)
+	worker := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		lo, hi, worker := lo, hi, worker
+		g.Go(pipeerr.StagePermute, round, worker, func(gctx context.Context) error {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			faultinject.Fire(faultinject.Permute)
 			for i := lo; i < hi; i++ {
 				dst[i] = src[perm[i]]
 			}
-		}(lo, hi)
+			return nil
+		})
+		worker++
 	}
-	wg.Wait()
+	return g.Wait()
 }
 
 // recordParallelEfficiency publishes busy/(workers × wall) ×1000 for

@@ -1,0 +1,162 @@
+package mergesort
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/pipeerr"
+	"repro/internal/testutil"
+)
+
+// cancelParams forces the parallel paths on test-sized inputs.
+func cancelParams(bank int) Params {
+	p := DefaultParams(bank / 8)
+	p.ParallelThreshold = 256
+	p.PivotSamplePerWorker = 16
+	return p
+}
+
+func cancelKeys(n int, seed int64) ([]uint64, []uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 16))
+		oids[i] = uint32(i)
+	}
+	return keys, oids
+}
+
+// TestParallelSortCancelAtSites cancels from the chunk-sort and
+// loser-merge sites across worker counts: whenever a site fires, the
+// sort must return context.Canceled promptly and leak nothing.
+func TestParallelSortCancelAtSites(t *testing.T) {
+	defer faultinject.Reset()
+	for _, site := range []string{faultinject.ChunkSort, faultinject.LoserMerge} {
+		for _, workers := range []int{1, 4, 8} {
+			site, workers := site, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", site, workers), func(t *testing.T) {
+				defer testutil.CheckNoLeaks(t)()
+				keys, oids := cancelKeys(20000, 7)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var fired atomic.Bool
+				restore := faultinject.Set(site, func() {
+					fired.Store(true)
+					cancel()
+				})
+				defer restore()
+				err := ParallelSortWithParamsContext(ctx, 16, keys, oids, cancelParams(16), workers)
+				if fired.Load() {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("site fired but err = %v, want context.Canceled", err)
+					}
+				} else if err != nil {
+					t.Fatalf("site never fired but err = %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSortPreCancelled pins the upfront check on the sequential
+// fallback path too (workers=1 and tiny inputs).
+func TestParallelSortPreCancelled(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		keys, oids := cancelKeys(4096, 9)
+		err := ParallelSortWithParamsContext(ctx, 16, keys, oids, cancelParams(16), workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestChunkSortPanicContained injects a panic in the chunk-sort workers:
+// it must surface as *pipeerr.PipelineError with stage "sort".
+func TestChunkSortPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	defer testutil.CheckNoLeaks(t)()
+	keys, oids := cancelKeys(20000, 11)
+	restore := faultinject.Set(faultinject.ChunkSort, func() { panic("injected chunk fault") })
+	defer restore()
+	err := ParallelSortWithParamsContext(context.Background(), 16, keys, oids, cancelParams(16), 4)
+	var pe *pipeerr.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *pipeerr.PipelineError", err, err)
+	}
+	if pe.Stage != pipeerr.StageSort {
+		t.Errorf("stage = %q, want %q", pe.Stage, pipeerr.StageSort)
+	}
+	if pe.Worker < 0 {
+		t.Errorf("worker = %d, want >= 0", pe.Worker)
+	}
+}
+
+// TestLegacyWrapperPanicsOnContainedFault pins the documented contract
+// of the context-free wrappers: an impossible-without-faults error is
+// re-raised as a panic on the caller's goroutine — a deliberate,
+// attributable failure rather than a crash from a detached worker.
+func TestLegacyWrapperPanicsOnContainedFault(t *testing.T) {
+	defer faultinject.Reset()
+	keys, oids := cancelKeys(20000, 13)
+	restore := faultinject.Set(faultinject.ChunkSort, func() { panic("injected") })
+	defer restore()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("legacy wrapper did not re-raise the contained fault")
+		}
+		err, ok := v.(error)
+		if !ok {
+			t.Fatalf("recovered %T, want error", v)
+		}
+		var pe *pipeerr.PipelineError
+		if !errors.As(err, &pe) {
+			t.Fatalf("recovered %v, want *pipeerr.PipelineError", err)
+		}
+	}()
+	ParallelSortWithParams(16, keys, oids, cancelParams(16), 4)
+}
+
+// TestCancelledSortRerunsIdentically pins that cancellation leaves no
+// residue: rerunning after a cancelled sort gives byte-identical output.
+func TestCancelledSortRerunsIdentically(t *testing.T) {
+	defer faultinject.Reset()
+	p := cancelParams(16)
+	base, baseO := cancelKeys(20000, 17)
+
+	want := append([]uint64(nil), base...)
+	wantO := append([]uint32(nil), baseO...)
+	if err := ParallelSortWithParamsContext(context.Background(), 16, want, wantO, p, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	restore := faultinject.Set(faultinject.LoserMerge, func() { cancel() })
+	k := append([]uint64(nil), base...)
+	o := append([]uint32(nil), baseO...)
+	if err := ParallelSortWithParamsContext(ctx, 16, k, o, p, 4); !errors.Is(err, context.Canceled) {
+		restore()
+		t.Fatalf("cancelled sort: err = %v", err)
+	}
+	restore()
+
+	k = append([]uint64(nil), base...)
+	o = append([]uint32(nil), baseO...)
+	if err := ParallelSortWithParamsContext(context.Background(), 16, k, o, p, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range k {
+		if k[i] != want[i] {
+			t.Fatalf("keys diverge at %d after a cancelled run", i)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package mergesort
 
 import (
-	"sync"
+	"context"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/pipeerr"
 )
 
 // Multi-threaded sorting and merging (Section 6.4 of the paper). The
@@ -29,6 +31,14 @@ import (
 // key order but (like Sort) leaves the relative order of equal keys
 // unspecified; callers that need a canonical permutation canonicalize
 // ties afterwards (internal/mcsort does).
+//
+// Robustness contract (docs/robustness.md): the *Context variants check
+// the context at chunk and co-partition boundaries, and inside the
+// loser-tree merge every mergeCheckEvery elements, so a cancelled sort
+// returns within one chunk of work. Worker goroutines recover their own
+// panics into *pipeerr.PipelineError and cancel their siblings. On any
+// error return the caller's keys/oids are in unspecified (but
+// memory-safe) order — callers discard them, as mcsort does.
 
 var (
 	obsParSorts       = obs.NewCounter("mergesort.parallel_sorts")
@@ -46,25 +56,49 @@ var (
 // keeps false sharing off the store streams.
 const mergeAlign = 8
 
+// mergeCheckEvery is how many merged elements a loser-tree co-partition
+// emits between context polls: frequent enough that cancellation lands
+// well inside a chunk, rare enough that the poll is free.
+const mergeCheckEvery = 1 << 14
+
 // ParallelSort sorts keys (each value < 2^bank) with their oids in
 // place across `workers` goroutines using the cache-derived parameters.
 func ParallelSort(bank int, keys []uint64, oids []uint32, workers int) {
 	ParallelSortWithParams(bank, keys, oids, defaultParams(bank/8), workers)
 }
 
-// ParallelSortWithParams splits the input into worker chunks, sorts the
-// chunks concurrently with the three-phase sort, and then cooperatively
-// multiway-merges the sorted chunks. Inputs below p.ParallelThreshold
-// (or workers < 2) take the sequential path.
+// ParallelSortWithParams is ParallelSortWithParamsContext under
+// context.Background(). The only possible error there is a contained
+// worker panic, which is re-raised on the caller's goroutine — a
+// deliberate failure, not a process crash from a detached worker.
 func ParallelSortWithParams(bank int, keys []uint64, oids []uint32, p Params, workers int) {
+	if err := ParallelSortWithParamsContext(context.Background(), bank, keys, oids, p, workers); err != nil {
+		panic(err)
+	}
+}
+
+// ParallelSortContext is ParallelSort with cooperative cancellation: it
+// returns ctx.Err() within one chunk of work after ctx is cancelled,
+// leaving keys/oids in unspecified order.
+func ParallelSortContext(ctx context.Context, bank int, keys []uint64, oids []uint32, workers int) error {
+	return ParallelSortWithParamsContext(ctx, bank, keys, oids, defaultParams(bank/8), workers)
+}
+
+// ParallelSortWithParamsContext splits the input into worker chunks,
+// sorts the chunks concurrently with the three-phase sort, and then
+// cooperatively multiway-merges the sorted chunks. Inputs below
+// p.ParallelThreshold (or workers < 2) take the sequential path. A
+// cancelled context aborts between chunks, merge passes, and
+// mergeCheckEvery-element merge strides; a worker panic surfaces as a
+// *pipeerr.PipelineError with stage "sort" or "merge".
+func ParallelSortWithParamsContext(ctx context.Context, bank int, keys []uint64, oids []uint32, p Params, workers int) error {
 	n := len(keys)
 	if n != len(oids) {
 		panic("mergesort: keys and oids length mismatch")
 	}
 	p = p.withParallelDefaults()
 	if workers < 2 || n < p.ParallelThreshold || n < insertionThreshold {
-		SortWithParams(bank, keys, oids, p)
-		return
+		return SortWithParamsContext(ctx, bank, keys, oids, p)
 	}
 	k := kernelsFor(bank)
 
@@ -82,8 +116,7 @@ func ParallelSortWithParams(bank int, keys []uint64, oids []uint32, p Params, wo
 	}
 	bounds = append(bounds, n)
 	if len(bounds) < 3 {
-		SortWithParams(bank, keys, oids, p)
-		return
+		return SortWithParamsContext(ctx, bank, keys, oids, p)
 	}
 
 	obsParSorts.Inc()
@@ -99,38 +132,62 @@ func ParallelSortWithParams(bank int, keys []uint64, oids []uint32, p Params, wo
 	ow2 := make([]uint64, len(ow))
 
 	var busy atomic64
-	var wg sync.WaitGroup
+	g := pipeerr.NewGroup(ctx)
 	for c := 0; c+1 < len(bounds); c++ {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		lo, hi, worker := bounds[c], bounds[c+1], c
+		g.Go(pipeerr.StageSort, -1, worker, func(gctx context.Context) error {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			faultinject.Fire(faultinject.ChunkSort)
 			var t0 time.Time
 			if tracing {
 				t0 = time.Now()
 			}
-			sortPackedChunk(kw, ow, kw2, ow2, k, lo, hi, p)
+			err := sortPackedChunk(gctx, kw, ow, kw2, ow2, k, lo, hi, p)
 			if tracing {
 				busy.add(int64(time.Since(t0)))
 			}
-		}(bounds[c], bounds[c+1])
+			return err
+		})
 	}
-	wg.Wait()
+	if err := g.Wait(); err != nil {
+		return err
+	}
 
 	// Cooperative multiway merge of the sorted chunks into the scratch
 	// arrays, then a parallel unpack back into the caller's slices.
-	parallelMergePacked(kw, ow, kw2, ow2, k.lanes, bank, bounds, workers, &busy, tracing)
-	parallelUnpack(kw2, ow2, k.lanes, keys, oids, workers)
+	if err := parallelMergePacked(ctx, kw, ow, kw2, ow2, k.lanes, bank, bounds, workers, &busy, tracing); err != nil {
+		return err
+	}
+	if err := parallelUnpack(ctx, kw2, ow2, k.lanes, keys, oids, workers); err != nil {
+		return err
+	}
 
 	if tracing {
 		recordEfficiency(busy.load(), time.Since(wall), workers)
 	}
+	// Final poll: a cancellation that lands during the last merge stride
+	// or unpack chunk must still be honored, not dropped.
+	return ctx.Err()
 }
 
 // ParallelMerge merges the pre-sorted runs of keys/oids bounded by runs
 // (runs[0]=0 … runs[len-1]=len(keys)) in place across workers
 // goroutines, stable by run index. The output is byte-identical for
-// every worker count — the sequential oracle is workers=1.
+// every worker count — the sequential oracle is workers=1. Worker
+// panics are re-raised on the caller's goroutine as
+// *pipeerr.PipelineError.
 func ParallelMerge(bank int, keys []uint64, oids []uint32, runs []int, workers int) {
+	if err := ParallelMergeContext(context.Background(), bank, keys, oids, runs, workers); err != nil {
+		panic(err)
+	}
+}
+
+// ParallelMergeContext is ParallelMerge with cooperative cancellation
+// and panic containment; on error the keys/oids are in unspecified
+// order.
+func ParallelMergeContext(ctx context.Context, bank int, keys []uint64, oids []uint32, runs []int, workers int) error {
 	n := len(keys)
 	if n != len(oids) {
 		panic("mergesort: keys and oids length mismatch")
@@ -144,7 +201,7 @@ func ParallelMerge(bank int, keys []uint64, oids []uint32, runs []int, workers i
 		}
 	}
 	if len(runs) == 2 {
-		return // single run: already sorted
+		return ctx.Err() // single run: already sorted
 	}
 	k := kernelsFor(bank)
 	tracing := obs.Enabled()
@@ -156,19 +213,26 @@ func ParallelMerge(bank int, keys []uint64, oids []uint32, runs []int, workers i
 	kw2 := make([]uint64, len(kw))
 	ow2 := make([]uint64, len(ow))
 	var busy atomic64
-	parallelMergePacked(kw, ow, kw2, ow2, k.lanes, bank, runs, workers, &busy, tracing)
-	parallelUnpack(kw2, ow2, k.lanes, keys, oids, workers)
+	if err := parallelMergePacked(ctx, kw, ow, kw2, ow2, k.lanes, bank, runs, workers, &busy, tracing); err != nil {
+		return err
+	}
+	if err := parallelUnpack(ctx, kw2, ow2, k.lanes, keys, oids, workers); err != nil {
+		return err
+	}
 	if tracing && workers > 1 {
 		recordEfficiency(busy.load(), time.Since(wall), workers)
 	}
+	return nil
 }
 
 // sortPackedChunk runs the three phases on elements [lo, hi) of the
 // packed arrays, leaving the sorted range in (kw, ow). lo must start a
-// whole in-register block.
-func sortPackedChunk(kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Params) {
+// whole in-register block. The context is polled between merge passes —
+// each pass touches the whole chunk once, so cancellation lands within
+// one pass over one chunk.
+func sortPackedChunk(ctx context.Context, kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Params) error {
 	if hi-lo < 2 {
-		return
+		return nil
 	}
 	// Phase 1: in-register block sorts.
 	blockSz := k.v * k.v
@@ -192,6 +256,9 @@ func sortPackedChunk(kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Par
 	// Phase 2: pairwise register merging until runs fit half L2.
 	runSize := k.v
 	for len(runs) > 2 && runSize < p.InCacheElems {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		runs = mergePassVec(srcK, srcO, k.lanes, runs, dstK, dstO, k.mergeRuns)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
 		inPrimary = !inPrimary
@@ -199,6 +266,9 @@ func sortPackedChunk(kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Par
 	}
 	// Phase 3: multiway loser-tree merging, fanout F.
 	for len(runs) > 2 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		runs = mergePassMultiwayVec(srcK, srcO, k.lanes, runs, p.Fanout, dstK, dstO)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
 		inPrimary = !inPrimary
@@ -206,6 +276,7 @@ func sortPackedChunk(kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Par
 	if !inPrimary {
 		copyPackedRange(srcK, srcO, k.lanes, lo, hi, kw, ow)
 	}
+	return nil
 }
 
 // parallelMergePacked merges the sorted runs of (kw, ow) into (dstK,
@@ -213,17 +284,16 @@ func sortPackedChunk(kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Par
 // rank; a multisequence selection finds, for each output boundary, the
 // matching cut in every run, and each worker then merges its
 // co-partition with a run-index-stable loser tree.
-func parallelMergePacked(kw, ow, dstK, dstO []uint64, lanes, bank int, runs []int, workers int, busy *atomic64, tracing bool) {
+func parallelMergePacked(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes, bank int, runs []int, workers int, busy *atomic64, tracing bool) error {
 	total := runs[len(runs)-1] - runs[0]
 	if total == 0 {
-		return
+		return nil
 	}
 	obsParMerges.Inc()
 	obsParMergeElems.Add(int64(total))
 	if workers < 2 {
 		cuts := [][]int{runStarts(runs), runEnds(runs)}
-		mergeCoPartition(kw, ow, dstK, dstO, lanes, cuts[0], cuts[1], runs[0])
-		return
+		return mergeCoPartition(ctx, kw, ow, dstK, dstO, lanes, cuts[0], cuts[1], runs[0])
 	}
 
 	// Worker output boundaries: equal rank shares, aligned so no two
@@ -242,25 +312,28 @@ func parallelMergePacked(kw, ow, dstK, dstO []uint64, lanes, bank int, runs []in
 	cuts[0] = runStarts(runs)
 	cuts[len(cuts)-1] = runEnds(runs)
 	for i := 1; i+1 < len(targets); i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cuts[i] = splitRuns(kw, lanes, bank, runs, targets[i]-runs[0])
 	}
 
-	var wg sync.WaitGroup
+	g := pipeerr.NewGroup(ctx)
 	for w := 0; w+1 < len(targets); w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		w := w
+		g.Go(pipeerr.StageMerge, -1, w, func(gctx context.Context) error {
 			var t0 time.Time
 			if tracing {
 				t0 = time.Now()
 			}
-			mergeCoPartition(kw, ow, dstK, dstO, lanes, cuts[w], cuts[w+1], targets[w])
+			err := mergeCoPartition(gctx, kw, ow, dstK, dstO, lanes, cuts[w], cuts[w+1], targets[w])
 			if tracing {
 				busy.add(int64(time.Since(t0)))
 			}
-		}(w)
+			return err
+		})
 	}
-	wg.Wait()
+	return g.Wait()
 }
 
 func runStarts(runs []int) []int { return append([]int(nil), runs[:len(runs)-1]...) }
@@ -342,17 +415,26 @@ func upperBoundPacked(kw []uint64, lanes, lo, hi int, v uint64) int {
 }
 
 // mergeCoPartition merges the per-run slices [from[r], to[r]) into dst
-// starting at element d, stable by run index.
-func mergeCoPartition(kw, ow, dstK, dstO []uint64, lanes int, from, to []int, d int) {
+// starting at element d, stable by run index, polling the context every
+// mergeCheckEvery emitted elements.
+func mergeCoPartition(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes int, from, to []int, d int) error {
+	faultinject.Fire(faultinject.LoserMerge)
 	lt := newStableLoserTree(kw, lanes, from, to)
+	credit := mergeCheckEvery
 	for {
 		pos := lt.pop()
 		if pos < 0 {
-			return
+			return nil
 		}
 		setKeyAt(dstK, d, lanes, keyAt(kw, pos, lanes))
 		setOidAt(dstO, d, oidAt(ow, pos))
 		d++
+		if credit--; credit == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			credit = mergeCheckEvery
+		}
 	}
 }
 
@@ -440,29 +522,37 @@ func (lt *stableLoserTree) pop() int {
 
 // parallelUnpack converts the packed arrays back into keys/oids across
 // workers, chunked on word-aligned boundaries.
-func parallelUnpack(kw, ow []uint64, lanes int, keys []uint64, oids []uint32, workers int) {
+func parallelUnpack(ctx context.Context, kw, ow []uint64, lanes int, keys []uint64, oids []uint32, workers int) error {
 	n := len(keys)
 	if workers < 2 || n < mergeAlign*workers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		unpack(kw, ow, lanes, keys, oids)
-		return
+		return nil
 	}
 	chunk := (n/workers + mergeAlign - 1) / mergeAlign * mergeAlign
-	var wg sync.WaitGroup
+	g := pipeerr.NewGroup(ctx)
+	worker := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		lo, hi, worker := lo, hi, worker
+		g.Go(pipeerr.StageMerge, -1, worker, func(gctx context.Context) error {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
 			for i := lo; i < hi; i++ {
 				keys[i] = keyAt(kw, i, lanes)
 				oids[i] = oidAt(ow, i)
 			}
-		}(lo, hi)
+			return nil
+		})
+		worker++
 	}
-	wg.Wait()
+	return g.Wait()
 }
 
 // atomic64 is a tiny atomic accumulator for per-worker busy time.

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // Oracle-differential tests for the parallel out-of-cache merge and the
@@ -146,6 +148,7 @@ func sortedRuns(keys []uint64, oids []uint32, nRuns int) []int {
 }
 
 func TestParallelSortMatchesSequential(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
 	for _, bank := range Banks {
 		p := testParams(bank)
 		for _, n := range []int{0, 1, 65, 1000, 5000} {

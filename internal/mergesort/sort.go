@@ -1,6 +1,7 @@
 package mergesort
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -101,16 +102,29 @@ func Sort(bank int, keys []uint64, oids []uint32) {
 // SortWithParams is Sort with explicit phase parameters (used by tests
 // and by calibration, which must control the in-cache run target).
 func SortWithParams(bank int, keys []uint64, oids []uint32, p Params) {
+	// Background is never cancelled, so the error is structurally nil.
+	_ = SortWithParamsContext(context.Background(), bank, keys, oids, p)
+}
+
+// SortWithParamsContext is SortWithParams with cooperative cancellation:
+// the context is polled between merge passes, bounding the cancellation
+// latency to one O(n) sweep. All mutation happens in packed scratch
+// until the final unpack, so on cancellation the sort returns ctx.Err()
+// with keys and oids exactly as passed in.
+func SortWithParamsContext(ctx context.Context, bank int, keys []uint64, oids []uint32, p Params) error {
 	n := len(keys)
 	if n != len(oids) {
 		panic("mergesort: keys and oids length mismatch")
 	}
 	obsSorts.Inc()
 	obsElems.Add(int64(n))
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n < insertionThreshold {
 		obsInsertionSorts.Inc()
 		insertionSort(keys, oids)
-		return
+		return nil
 	}
 	k := kernelsFor(bank)
 	lanes, v, blockSort, mergeRuns := k.lanes, k.v, k.blockSort, k.mergeRuns
@@ -152,6 +166,9 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p Params) {
 	runSize := v
 	passes := 0
 	for len(runs) > 2 && runSize < p.InCacheElems {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		runs = mergePassVec(srcK, srcO, lanes, runs, dstK, dstO, mergeRuns)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
 		runSize *= 2
@@ -166,6 +183,9 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p Params) {
 	// Phase 3: multiway loser-tree merging over packed data, fanout F.
 	passes = 0
 	for len(runs) > 2 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		runs = mergePassMultiwayVec(srcK, srcO, lanes, runs, p.Fanout, dstK, dstO)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
 		passes++
@@ -178,6 +198,7 @@ func SortWithParams(bank int, keys []uint64, oids []uint32, p Params) {
 			obsFanout.Set(int64(p.Fanout))
 		}
 	}
+	return nil
 }
 
 // bankKernels is the per-bank kernel set of the three-phase sort: the

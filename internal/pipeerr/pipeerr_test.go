@@ -1,0 +1,163 @@
+package pipeerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPipelineErrorFormatAndUnwrap(t *testing.T) {
+	cause := errors.New("boom")
+	err := &PipelineError{Stage: StageSort, Round: 2, Worker: 3, Err: cause}
+	want := "pipeline: stage sort round 2 worker 3: boom"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("Unwrap must expose the cause to errors.Is")
+	}
+	var pe *PipelineError
+	if !errors.As(error(err), &pe) || pe.Stage != StageSort {
+		t.Error("errors.As must recover the typed error")
+	}
+
+	// Round/worker are omitted when not applicable.
+	bare := &PipelineError{Stage: StageGather, Round: -1, Worker: -1, Err: cause}
+	if got := bare.Error(); got != "pipeline: stage gather: boom" {
+		t.Errorf("bare Error() = %q", got)
+	}
+}
+
+func TestAsError(t *testing.T) {
+	cause := errors.New("real error")
+	if AsError(cause) != cause {
+		t.Error("error panic values must pass through unchanged")
+	}
+	wrapped := AsError("string panic")
+	if wrapped.Error() != "panic: string panic" {
+		t.Errorf("non-error panic value: %q", wrapped.Error())
+	}
+}
+
+func TestIsCtxErr(t *testing.T) {
+	if !IsCtxErr(context.Canceled) || !IsCtxErr(context.DeadlineExceeded) {
+		t.Error("plain context errors must match")
+	}
+	if !IsCtxErr(fmt.Errorf("wrap: %w", context.Canceled)) {
+		t.Error("wrapped context errors must match")
+	}
+	if IsCtxErr(errors.New("other")) || IsCtxErr(nil) {
+		t.Error("non-context errors must not match")
+	}
+}
+
+func TestGroupRecoversPanicIntoPipelineError(t *testing.T) {
+	g := NewGroup(context.Background())
+	g.Go(StageSort, 1, 0, func(ctx context.Context) error {
+		panic("worker poisoned")
+	})
+	err := g.Wait()
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PipelineError, got %T: %v", err, err)
+	}
+	if pe.Stage != StageSort || pe.Round != 1 || pe.Worker != 0 {
+		t.Errorf("coordinates = %s/%d/%d", pe.Stage, pe.Round, pe.Worker)
+	}
+}
+
+func TestGroupFailureCancelsSiblings(t *testing.T) {
+	g := NewGroup(context.Background())
+	var siblingSawCancel atomic.Bool
+	g.Go(StageSort, 0, 0, func(ctx context.Context) error {
+		return errors.New("first failure")
+	})
+	g.Go(StageSort, 0, 1, func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			siblingSawCancel.Store(true)
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return errors.New("sibling never cancelled")
+		}
+	})
+	err := g.Wait()
+	if !siblingSawCancel.Load() {
+		t.Error("sibling did not observe cancellation")
+	}
+	// The real failure must win over the cancellation it induced.
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.Err.Error() != "first failure" {
+		t.Errorf("Wait() = %v, want the poisoned worker's failure", err)
+	}
+}
+
+func TestGroupPropagatesParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx)
+	g.Go(StageMerge, -1, 0, func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	cancel()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait() = %v, want context.Canceled", err)
+	}
+}
+
+func TestGroupNoErrorOnSuccess(t *testing.T) {
+	g := NewGroup(context.Background())
+	for w := 0; w < 4; w++ {
+		g.Go(StageSort, 0, w, func(ctx context.Context) error { return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Errorf("Wait() = %v", err)
+	}
+}
+
+func TestDegradeWorkers(t *testing.T) {
+	// 100 bytes base + 50 per worker.
+	est := func(w int) int64 { return 100 + 50*int64(w) }
+
+	// Unlimited budget: requested count unchanged.
+	if w, err := DegradeWorkers(8, 0, est); err != nil || w != 8 {
+		t.Errorf("unlimited: %d, %v", w, err)
+	}
+	// Fits as requested.
+	if w, err := DegradeWorkers(8, 1000, est); err != nil || w != 8 {
+		t.Errorf("fits: %d, %v", w, err)
+	}
+	// Degrades by halving: 8 needs 500, 4 needs 300, 2 needs 200.
+	if w, err := DegradeWorkers(8, 320, est); err != nil || w != 4 {
+		t.Errorf("degrade to 4: %d, %v", w, err)
+	}
+	if w, err := DegradeWorkers(8, 250, est); err != nil || w != 2 {
+		t.Errorf("degrade to 2: %d, %v", w, err)
+	}
+	// Even sequential does not fit: typed refusal.
+	w, err := DegradeWorkers(8, 100, est)
+	if w != 0 || !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("refusal: %d, %v", w, err)
+	}
+	// workers < 1 coerces to 1.
+	if w, err := DegradeWorkers(0, 1000, est); err != nil || w != 1 {
+		t.Errorf("coerce: %d, %v", w, err)
+	}
+}
+
+func TestNoteCancelPassesThrough(t *testing.T) {
+	if NoteCancel(nil) != nil {
+		t.Error("nil must stay nil")
+	}
+	err := context.Canceled
+	if NoteCancel(err) != err {
+		t.Error("context errors must pass through unchanged")
+	}
+	other := errors.New("x")
+	if NoteCancel(other) != other {
+		t.Error("non-context errors must pass through unchanged")
+	}
+}

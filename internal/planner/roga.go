@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/costmodel"
@@ -28,12 +29,23 @@ var (
 // the whole search repeats per column permutation. The ρ stopwatch
 // bounds the search time relative to the best plan found so far.
 func ROGA(s *Search) Choice {
+	c, _ := ROGAContext(context.Background(), s)
+	return c
+}
+
+// ROGAContext is ROGA with cooperative cancellation: the context is
+// polled at the same granularity as the ρ stopwatch (once per candidate
+// plan), so a cancelled search returns ctx.Err() promptly. The returned
+// Choice is the best plan found so far — still valid if the caller
+// prefers degraded planning over failing the query.
+func ROGAContext(ctx context.Context, s *Search) (Choice, error) {
 	obsSearches.Inc()
 	span := obsSearchT.Start()
 	defer span.End()
 	sw := &stopwatch{start: time.Now(), rho: s.rho()}
 	best := s.baseline()
 	m := len(s.Stats.Cols)
+	var ctxErr error
 
 	tryOrder := func(order []int) bool {
 		obsOrders.Inc()
@@ -43,6 +55,10 @@ func ROGA(s *Search) Choice {
 		for k := 1; k <= maxK; k++ {
 			obsRoundCounts.Inc()
 			done := forEachBankCombo(k, W, func(banks []int) bool {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return false
+				}
 				if sw.expired(best.Est) {
 					obsSearchExpired.Inc()
 					return false
@@ -78,7 +94,7 @@ func ROGA(s *Search) Choice {
 	}
 	obsChosenCostNS.Set(int64(best.Est))
 	obsChosenRounds.Set(int64(len(best.Plan.Rounds)))
-	return best
+	return best, ctxErr
 }
 
 // forEachBankCombo enumerates bank-size combinations (b₁…b_k) ∈ B^k that

@@ -47,13 +47,6 @@ func (t *Table) Add(c *column.Column) error {
 	return nil
 }
 
-// MustAdd is Add that panics on error; for generators with static schemas.
-func (t *Table) MustAdd(c *column.Column) {
-	if err := t.Add(c); err != nil {
-		panic(err)
-	}
-}
-
 // Col returns a column by name.
 func (t *Table) Col(name string) (*column.Column, error) {
 	c, ok := t.cols[name]
@@ -61,15 +54,6 @@ func (t *Table) Col(name string) (*column.Column, error) {
 		return nil, fmt.Errorf("table %s: no column %s", t.Name, name)
 	}
 	return c, nil
-}
-
-// MustCol is Col that panics; for workload definitions validated at init.
-func (t *Table) MustCol(name string) *column.Column {
-	c, err := t.Col(name)
-	if err != nil {
-		panic(err)
-	}
-	return c
 }
 
 // ByteSlice returns (building on first use) the ByteSlice layout of a

@@ -6,6 +6,13 @@ import (
 	"repro/internal/column"
 )
 
+func mustAdd(t *testing.T, tbl *Table, c *column.Column) {
+	t.Helper()
+	if err := tbl.Add(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAddAndCol(t *testing.T) {
 	tbl := New("t", 4)
 	c := column.FromCodes("a", 3, []uint64{1, 2, 3, 4})
@@ -30,7 +37,7 @@ func TestAddAndCol(t *testing.T) {
 
 func TestByteSliceCached(t *testing.T) {
 	tbl := New("t", 3)
-	tbl.MustAdd(column.FromCodes("a", 9, []uint64{100, 200, 300}))
+	mustAdd(t, tbl, column.FromCodes("a", 9, []uint64{100, 200, 300}))
 	bs1, err := tbl.ByteSlice("a")
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +55,7 @@ func TestByteSliceCached(t *testing.T) {
 
 func TestStatsCachedAndCorrect(t *testing.T) {
 	tbl := New("t", 8)
-	tbl.MustAdd(column.FromCodes("a", 3, []uint64{0, 1, 2, 3, 4, 5, 6, 7}))
+	mustAdd(t, tbl, column.FromCodes("a", 3, []uint64{0, 1, 2, 3, 4, 5, 6, 7}))
 	st1, err := tbl.Stats("a")
 	if err != nil {
 		t.Fatal(err)
@@ -67,8 +74,8 @@ func TestStatsCachedAndCorrect(t *testing.T) {
 
 func TestColumnsListing(t *testing.T) {
 	tbl := New("t", 1)
-	tbl.MustAdd(column.FromCodes("x", 1, []uint64{0}))
-	tbl.MustAdd(column.FromCodes("y", 1, []uint64{1}))
+	mustAdd(t, tbl, column.FromCodes("x", 1, []uint64{0}))
+	mustAdd(t, tbl, column.FromCodes("y", 1, []uint64{1}))
 	names := tbl.Columns()
 	if len(names) != 2 {
 		t.Fatalf("Columns = %v", names)

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/column"
@@ -33,6 +34,12 @@ type Q13Result struct {
 //	FROM (SELECT c_custkey, COUNT(o_orderkey) FROM … GROUP BY c_custkey)
 //	GROUP BY c_count ORDER BY custdist DESC, c_count DESC
 func RunQ13(t *table.Table, massaging bool, opts engine.Options) (*Q13Result, error) {
+	return RunQ13Context(context.Background(), t, massaging, opts)
+}
+
+// RunQ13Context is RunQ13 with cooperative cancellation threaded
+// through both stages.
+func RunQ13Context(ctx context.Context, t *table.Table, massaging bool, opts engine.Options) (*Q13Result, error) {
 	// Stage 1: GROUP BY c_custkey, counting rows per customer. This is
 	// a single-column sort; massaging has nothing to combine.
 	stage1 := engine.Query{
@@ -42,7 +49,7 @@ func RunQ13(t *table.Table, massaging bool, opts engine.Options) (*Q13Result, er
 	}
 	opts1 := opts
 	opts1.Massaging = false
-	r1, err := engine.Run(t, stage1, opts1)
+	r1, err := engine.RunContext(ctx, t, stage1, opts1)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +90,7 @@ func RunQ13(t *table.Table, massaging bool, opts engine.Options) (*Q13Result, er
 		p = plan.ColumnAtATime(widths)
 	}
 	start := time.Now()
-	mres, err := mcsort.Execute(inputs, p, mcsort.Options{})
+	mres, err := mcsort.ExecuteContext(ctx, inputs, p, mcsort.Options{})
 	if err != nil {
 		return nil, err
 	}

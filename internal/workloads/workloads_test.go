@@ -32,11 +32,26 @@ func testModel() *costmodel.Model {
 
 func TestAllQueriesExecuteBothModes(t *testing.T) {
 	const rows = 8000
-	tpch := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Seed: 1})
-	tpchSkew := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Skew: true, Seed: 2})
-	tpcds := datagen.TPCDS(datagen.TPCDSConfig{SF: 1, Rows: rows, Seed: 3})
-	ticket := datagen.AirlineTicket(datagen.AirlineConfig{Rows: rows, Seed: 4})
-	market := datagen.AirlineMarket(datagen.AirlineConfig{Rows: rows, Seed: 4})
+	tpch, err := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpchSkew, err := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Skew: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpcds, err := datagen.TPCDS(datagen.TPCDSConfig{SF: 1, Rows: rows, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, err := datagen.AirlineTicket(datagen.AirlineConfig{Rows: rows, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	market, err := datagen.AirlineMarket(datagen.AirlineConfig{Rows: rows, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var items []Item
 	items = append(items, TPCHQueries(tpch, "")...)
@@ -74,7 +89,10 @@ func TestAllQueriesExecuteBothModes(t *testing.T) {
 // code massaging must not change query answers).
 func TestMassagingPreservesResults(t *testing.T) {
 	const rows = 6000
-	tpch := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Seed: 5})
+	tpch, err := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	model := testModel()
 	for _, item := range TPCHQueries(tpch, "") {
 		off, err := engine.Run(item.Table, item.Query, engine.Options{Massaging: false})
@@ -103,7 +121,10 @@ func TestMassagingPreservesResults(t *testing.T) {
 }
 
 func TestRunQ13(t *testing.T) {
-	tpch := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: 10000, Seed: 6})
+	tpch, err := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: 10000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, massaging := range []bool{false, true} {
 		res, err := RunQ13(tpch, massaging, engine.Options{})
 		if err != nil {

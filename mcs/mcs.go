@@ -22,12 +22,14 @@
 package mcs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/costmodel"
 	"repro/internal/massage"
 	"repro/internal/mcsort"
+	"repro/internal/pipeerr"
 	"repro/internal/plan"
 	"repro/internal/planner"
 )
@@ -63,6 +65,22 @@ const (
 // Model is the calibrated architecture-aware cost model.
 type Model = costmodel.Model
 
+// PipelineError is the typed failure of one pipeline worker: the stage
+// it ran ("massage", "sort", "merge", "permute", "gather", "aggregate"),
+// the sorting round and worker index (-1 when not applicable), and the
+// underlying cause — including recovered worker panics, which are
+// contained into this type instead of crashing the process. Match with
+// errors.As:
+//
+//	var pe *mcs.PipelineError
+//	if errors.As(err, &pe) { log.Printf("stage %s failed", pe.Stage) }
+type PipelineError = pipeerr.PipelineError
+
+// ErrBudgetExceeded reports that a sort was refused because its
+// estimated memory footprint exceeds Options.MaxBytes even after
+// degrading to sequential execution. Match with errors.Is.
+var ErrBudgetExceeded = pipeerr.ErrBudgetExceeded
+
 // Timings is the per-phase wall-time breakdown of a sort.
 type Timings = mcsort.Timings
 
@@ -87,6 +105,12 @@ type Options struct {
 	// later rounds, and the key-permute passes between rounds. The
 	// result is byte-identical for any value.
 	Workers int
+	// MaxBytes bounds the estimated transient memory footprint of the
+	// sort. When the estimate at the requested worker count exceeds it,
+	// workers are halved until it fits; when even sequential execution
+	// does not fit, Sort refuses with ErrBudgetExceeded. <= 0 means
+	// unlimited.
+	MaxBytes int64
 }
 
 // Result of a multi-column sort.
@@ -111,6 +135,17 @@ type Result struct {
 // Sort sorts rows by the given columns (lexicographically, honoring each
 // column's direction) and returns the permutation and tie groups.
 func Sort(cols []Column, opts *Options) (*Result, error) {
+	return SortContext(context.Background(), cols, opts)
+}
+
+// SortContext is Sort with cooperative cancellation, fault containment,
+// and budget degradation: a cancelled or deadline-expired context makes
+// the sort return ctx.Err() within one chunk of work with no goroutine
+// leaks; a panicking worker surfaces as a *PipelineError naming the
+// stage instead of crashing the process; Options.MaxBytes degrades the
+// worker count or refuses with ErrBudgetExceeded. On any error the
+// returned Result is nil and the input columns are untouched.
+func SortContext(ctx context.Context, cols []Column, opts *Options) (*Result, error) {
 	if len(cols) == 0 {
 		return nil, errors.New("mcs: no sort columns")
 	}
@@ -131,6 +166,9 @@ func Sort(cols []Column, opts *Options) (*Result, error) {
 		inputs[i] = massage.Input{Codes: c.Codes, Width: c.Width, Desc: c.Desc}
 		widths[i] = c.Width
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, pipeerr.NoteCancel(err)
+	}
 
 	choice := planner.Choice{ColOrder: identity(len(cols)), Plan: plan.ColumnAtATime(widths)}
 	switch {
@@ -139,7 +177,11 @@ func Sort(cols []Column, opts *Options) (*Result, error) {
 	case o.Massaging == nil || *o.Massaging:
 		model := o.Model
 		if model == nil {
-			model = costmodel.Default()
+			var err error
+			model, err = costmodel.Default()
+			if err != nil {
+				return nil, err
+			}
 		}
 		cols2 := make([][]uint64, len(inputs))
 		for i := range inputs {
@@ -147,16 +189,30 @@ func Sort(cols []Column, opts *Options) (*Result, error) {
 		}
 		st := costmodel.CollectStats(cols2, widths)
 		st.N = n
-		choice = planner.ROGA(&planner.Search{
+		var err error
+		choice, err = planner.ROGAContext(ctx, &planner.Search{
 			Model: model, Stats: st, Kind: o.Clause, Rho: o.Rho,
 		})
+		if err != nil {
+			return nil, pipeerr.NoteCancel(err)
+		}
+	}
+
+	// Budget: with the round count known, degrade workers until the
+	// estimated sort footprint fits MaxBytes, refusing when even
+	// sequential execution does not.
+	workers, err := pipeerr.DegradeWorkers(o.Workers, o.MaxBytes, func(w int) int64 {
+		return estimateSortBytes(n, len(choice.Plan.Rounds), w)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	ordered := make([]massage.Input, len(inputs))
 	for i, c := range choice.ColOrder {
 		ordered[i] = inputs[c]
 	}
-	mres, err := mcsort.Execute(ordered, choice.Plan, mcsort.Options{Workers: o.Workers})
+	mres, err := mcsort.ExecuteContext(ctx, ordered, choice.Plan, mcsort.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -170,12 +226,25 @@ func Sort(cols []Column, opts *Options) (*Result, error) {
 	}, nil
 }
 
+// estimateSortBytes models the peak transient allocation of the sort
+// pipeline (round keys, permutation, lookup scratch, pack buffers;
+// parallel execution adds partition scratch and per-worker overhead).
+// The caller-owned input codes are not counted — they exist either way.
+func estimateSortBytes(rows, nRounds, workers int) int64 {
+	r := int64(rows)
+	total := r * int64(8*nRounds+8+4+4+24)
+	if workers > 1 {
+		total += r*16 + int64(workers)*64<<10
+	}
+	return total
+}
+
 // ColumnAtATime returns the baseline plan P₀ for the column widths.
 func ColumnAtATime(widths []int) Plan { return plan.ColumnAtATime(widths) }
 
 // Calibrate measures this machine and returns a cost model; expensive
 // (a few seconds), so reuse the result or persist it with Model.Save.
-func Calibrate() *Model { return costmodel.Calibrate(costmodel.CalOptions{}) }
+func Calibrate() (*Model, error) { return costmodel.Calibrate(costmodel.CalOptions{}) }
 
 // LoadModel reads a model saved with Model.Save.
 func LoadModel(path string) (*Model, error) { return costmodel.Load(path) }
