@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race fault fuzz-smoke bench bench-regress bench-baseline
+.PHONY: test race lint fault fuzz-smoke bench bench-regress bench-baseline
 
 test:
 	$(GO) vet ./...
@@ -8,7 +8,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mcsort/... ./internal/mergesort/... ./internal/massage/... ./internal/engine/... ./internal/obs/...
+	$(GO) test -race ./...
+
+# Project-invariant static analysis (docs/static-analysis.md): go vet
+# plus the mcslint suite (ctxpoll, nopanic, determinism, ctxpair,
+# obsnames, errchecklite) over every package, with vetted exceptions in
+# lint/allow.txt. Non-zero exit on any unallowed finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mcslint ./...
 
 # Robustness battery under the race detector: cancellation at every
 # fault-injection site, contained worker panics, budget degradation, and

@@ -1,0 +1,196 @@
+// Command mcslint runs the project's static-analysis suite
+// (internal/analysis) over package patterns and reports findings as
+// file:line:col: analyzer: message lines.
+//
+// Usage:
+//
+//	mcslint [flags] [packages]
+//
+// Packages default to ./... relative to the working directory.
+// Patterns are directories ("./internal/obs") or recursive forms
+// ("./...", "internal/..."); testdata, vendor, and hidden directories
+// are skipped during recursion.
+//
+// Flags:
+//
+//	-list          print the analyzers and exit
+//	-only  a,b     run only the named analyzers
+//	-disable a,b   run everything except the named analyzers
+//	-allow FILE    allowlist of vetted exceptions
+//	               (default: <module>/lint/allow.txt when present)
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list      = fs.Bool("list", false, "print the available analyzers and exit")
+		only      = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		disable   = fs.String("disable", "", "comma-separated analyzers to skip")
+		allowPath = fs.String("allow", "", "allowlist file (default: <module>/lint/allow.txt when present)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*only, *disable)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcslint: %v\n", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "mcslint: %v\n", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcslint: %v\n", err)
+		return 2
+	}
+
+	allow, err := loadAllow(*allowPath, root)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcslint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcslint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcslint: %v\n", err)
+		return 2
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "mcslint: %s: %v\n", pkg.PkgPath, terr)
+			broken = true
+		}
+	}
+	if broken {
+		fmt.Fprintf(stderr, "mcslint: type errors above make analysis unreliable; fix them first\n")
+		return 2
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcslint: %v\n", err)
+		return 2
+	}
+	diags = allow.Filter(root, diags)
+
+	for _, e := range allow.Unused() {
+		loc := e.Path
+		if e.Line > 0 {
+			loc = fmt.Sprintf("%s:%d", e.Path, e.Line)
+		}
+		fmt.Fprintf(stderr, "mcslint: warning: unused allowlist entry: %s %s (%s)\n", e.Analyzer, loc, e.Justification)
+	}
+
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "mcslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only, disable string) ([]*analysis.Analyzer, error) {
+	if only != "" && disable != "" {
+		return nil, errors.New("-only and -disable are mutually exclusive")
+	}
+	if only != "" {
+		var out []*analysis.Analyzer
+		for _, name := range splitNames(only) {
+			a := analysis.ByName(name)
+			if a == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			out = append(out, a)
+		}
+		if len(out) == 0 {
+			return nil, errors.New("-only selected no analyzers")
+		}
+		return out, nil
+	}
+	skip := map[string]bool{}
+	for _, name := range splitNames(disable) {
+		if analysis.ByName(name) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		skip[name] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if !skip[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-disable removed every analyzer")
+	}
+	return out, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// loadAllow resolves the allowlist: an explicit -allow path must
+// exist; the default <module>/lint/allow.txt is optional.
+func loadAllow(path, root string) (*analysis.Allowlist, error) {
+	if path == "" {
+		path = filepath.Join(root, "lint", "allow.txt")
+		if _, err := os.Stat(path); err != nil {
+			// No default allowlist: run with no exceptions.
+			return nil, nil
+		}
+	}
+	return analysis.LoadAllowlist(path)
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// An AllowEntry is one vetted exception: a diagnostic from Analyzer at
+// Path (module-relative, slash-separated) — optionally narrowed to one
+// Line — is suppressed. The Justification is mandatory: an allowlist
+// entry is a reviewed decision, and the file records why.
+type AllowEntry struct {
+	Analyzer      string
+	Path          string
+	Line          int // 0 matches any line in the file
+	Justification string
+
+	used bool
+}
+
+// An Allowlist is a parsed lint/allow.txt.
+type Allowlist struct {
+	entries []*AllowEntry
+}
+
+// ParseAllowlist reads the allowlist format: one entry per line,
+//
+//	<analyzer> <path>[:<line>] <justification...>
+//
+// Blank lines and #-comments are ignored. A missing justification is a
+// parse error — exceptions without a recorded reason don't land.
+func ParseAllowlist(name string, r io.Reader) (*Allowlist, error) {
+	al := &Allowlist{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("%s:%d: want \"<analyzer> <path>[:<line>] <justification>\", got %q", name, lineno, line)
+		}
+		e := &AllowEntry{
+			Analyzer:      fields[0],
+			Path:          fields[1],
+			Justification: strings.Join(fields[2:], " "),
+		}
+		if base, lineStr, ok := strings.Cut(e.Path, ":"); ok {
+			n, err := strconv.Atoi(lineStr)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("%s:%d: bad line number in %q", name, lineno, e.Path)
+			}
+			e.Path, e.Line = base, n
+		}
+		if strings.Contains(e.Path, `\`) {
+			return nil, fmt.Errorf("%s:%d: path %q must be slash-separated", name, lineno, e.Path)
+		}
+		al.entries = append(al.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return al, nil
+}
+
+// LoadAllowlist parses the file at path.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseAllowlist(path, f)
+}
+
+// Allowed reports whether d is suppressed. rel is the diagnostic's
+// file path relative to the module root, slash-separated.
+func (al *Allowlist) Allowed(rel string, d Diagnostic) bool {
+	if al == nil {
+		return false
+	}
+	for _, e := range al.entries {
+		if e.Analyzer == d.Analyzer && e.Path == rel && (e.Line == 0 || e.Line == d.Pos.Line) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unused returns entries that never matched a diagnostic, so stale
+// exceptions surface once the underlying code is fixed.
+func (al *Allowlist) Unused() []*AllowEntry {
+	if al == nil {
+		return nil
+	}
+	var out []*AllowEntry
+	for _, e := range al.entries {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of entries.
+func (al *Allowlist) Len() int {
+	if al == nil {
+		return 0
+	}
+	return len(al.entries)
+}
+
+// Filter partitions diags into kept (not allowlisted) diagnostics,
+// marking matched entries as used. moduleDir anchors the relative
+// paths.
+func (al *Allowlist) Filter(moduleDir string, diags []Diagnostic) []Diagnostic {
+	if al == nil || len(al.entries) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		rel, err := filepath.Rel(moduleDir, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		if !al.Allowed(filepath.ToSlash(rel), d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,146 @@
+// Package analysistest runs one analyzer over a golden testdata
+// package and checks its diagnostics against `// want "rx"` comments,
+// the same convention x/tools uses but implemented on the repo's own
+// stdlib-only driver: a want comment on a line means the analyzer must
+// report on that line with a message matching each quoted regexp; any
+// unmatched diagnostic or unsatisfied expectation fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\b(.*)$`)
+
+// quotedRE matches one expectation pattern: a Go string literal in
+// either double-quote ("…", unescaped before compiling) or backquote
+// (`…`, taken verbatim) form.
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the package rooted at pkgdir (relative paths resolve
+// against the caller's working directory) with a loader anchored at
+// the enclosing module, applies exactly one analyzer, and diffs the
+// diagnostics against the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgdir string) {
+	t.Helper()
+	diags, pkg := load(t, a, pkgdir)
+
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+					continue
+				}
+				for _, q := range quoted {
+					pat := q[2] // backquoted: verbatim regexp
+					if q[2] == "" && q[1] != "" {
+						var err error
+						pat, err = strconv.Unquote(`"` + q[1] + `"`)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q[1], err)
+							continue
+						}
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// RunClean asserts the analyzer reports nothing on the package — for
+// fixtures that exercise the exemptions (main packages, delegating
+// loops, constant bounds).
+func RunClean(t *testing.T, a *analysis.Analyzer, pkgdir string) {
+	t.Helper()
+	diags, _ := load(t, a, pkgdir)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic on clean package: %s", d)
+	}
+}
+
+func load(t *testing.T, a *analysis.Analyzer, pkgdir string) ([]analysis.Diagnostic, *analysis.Package) {
+	t.Helper()
+	abs, err := filepath.Abs(pkgdir)
+	if err != nil {
+		t.Fatalf("abs %s: %v", pkgdir, err)
+	}
+	root, err := analysis.FindModuleRoot(abs)
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgdir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		var sb strings.Builder
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(&sb, "\n\t%v", e)
+		}
+		t.Fatalf("type errors in %s:%s", pkgdir, sb.String())
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	return diags, pkg
+}
+
+// Testdata returns the conventional testdata/src root next to the
+// analysis package, resolved from dir (usually the test's working
+// directory).
+func Testdata(dir string) string {
+	return filepath.Join(dir, "testdata", "src")
+}

@@ -1,0 +1,66 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, analysis.CtxPoll, "testdata/src/ctxpoll/a")
+}
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, analysis.NoPanic, "testdata/src/nopanic/a")
+}
+
+func TestNoPanicExemptsMainPackages(t *testing.T) {
+	analysistest.RunClean(t, analysis.NoPanic, "testdata/src/nopanic/mainpkg")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "testdata/src/determinism/a")
+}
+
+func TestCtxPair(t *testing.T) {
+	analysistest.Run(t, analysis.CtxPair, "testdata/src/ctxpair/a")
+}
+
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, analysis.ObsNames, "testdata/src/obsnames/a")
+}
+
+func TestErrCheckLite(t *testing.T) {
+	analysistest.Run(t, analysis.ErrCheckLite, "testdata/src/errchecklite/a")
+}
+
+// TestRegistry pins the analyzer catalogue: the issue contract is at
+// least six project-specific analyzers, addressable by name.
+func TestRegistry(t *testing.T) {
+	all := analysis.All()
+	if len(all) < 6 {
+		t.Fatalf("All() = %d analyzers, want >= 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if analysis.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if analysis.ByName("nosuch") != nil {
+		t.Errorf("ByName(nosuch) = non-nil")
+	}
+	for _, want := range []string{"ctxpoll", "nopanic", "determinism", "ctxpair", "obsnames", "errchecklite"} {
+		if !seen[want] {
+			t.Errorf("analyzer %q missing from All()", want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPair keeps the dual entry-point convention from PR 3 honest:
+// every exported XxxContext(ctx, ...) function or method must have an
+// exported Xxx(...) background wrapper in the same package, and the
+// two signatures must agree once the leading context.Context parameter
+// is dropped. One sanctioned divergence: the wrapper may absorb a sole
+// trailing error result — the repo's legacy wrappers discard the
+// structurally-nil error under context.Background, or re-raise a
+// contained fault as a panic (mergesort.Sort, massage.Run). Any other
+// drift (a parameter added to one but not the other, a non-error
+// result change) silently forks the API surface; this analyzer turns
+// the drift into a build-time finding.
+var CtxPair = &Analyzer{
+	Name: "ctxpair",
+	Doc:  "every exported XxxContext entry point has a matching Xxx wrapper with an identical non-context signature",
+	Run:  runCtxPair,
+}
+
+func runCtxPair(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	type key struct{ recv, name string }
+	decls := map[key]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			k := key{name: fd.Name.Name}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				k.recv = recvTypeString(fd.Recv.List[0].Type)
+			}
+			decls[k] = fd
+		}
+	}
+
+	for k, ctxDecl := range decls {
+		base, ok := strings.CutSuffix(k.name, "Context")
+		if !ok || base == "" || !ast.IsExported(k.name) {
+			continue
+		}
+		ctxSig := sigOf(info, ctxDecl)
+		if ctxSig == nil || ctxSig.Params().Len() == 0 || !isContextType(ctxSig.Params().At(0).Type()) {
+			continue // not a context entry point (e.g. a type named ...Context)
+		}
+		wrapper, ok := decls[key{recv: k.recv, name: base}]
+		if !ok {
+			pass.Reportf(ctxDecl.Pos(), "exported %s has no matching %s background wrapper in this package", displayName(k.recv, k.name), base)
+			continue
+		}
+		wrapSig := sigOf(info, wrapper)
+		if wrapSig == nil {
+			continue
+		}
+		if msg := sigMismatch(ctxSig, wrapSig); msg != "" {
+			pass.Reportf(wrapper.Pos(), "%s and %s signatures disagree: %s", displayName(k.recv, base), k.name, msg)
+		}
+	}
+	return nil
+}
+
+func displayName(recv, name string) string {
+	if recv != "" {
+		return "(" + recv + ")." + name
+	}
+	return name
+}
+
+func sigOf(info *types.Info, fd *ast.FuncDecl) *types.Signature {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}
+
+// sigMismatch compares the context signature (minus its leading ctx
+// parameter) against the wrapper signature; it returns "" when they
+// agree. Parameters must match exactly; results must match except that
+// the wrapper may drop a sole trailing error result (the legacy
+// wrapper convention: absorb-or-panic instead of returning the error).
+func sigMismatch(ctxSig, wrapSig *types.Signature) string {
+	ctxParams := ctxSig.Params()
+	if wrapSig.Params().Len() != ctxParams.Len()-1 {
+		return "parameter counts differ"
+	}
+	for i := 0; i < wrapSig.Params().Len(); i++ {
+		want := ctxParams.At(i + 1).Type()
+		got := wrapSig.Params().At(i).Type()
+		if !types.Identical(want, got) {
+			return "parameter " + wrapSig.Params().At(i).Name() + " is " + got.String() + ", context variant has " + want.String()
+		}
+	}
+	if wrapSig.Variadic() != ctxSig.Variadic() {
+		return "one variant is variadic"
+	}
+	ctxRes, wrapRes := ctxSig.Results(), wrapSig.Results()
+	switch ctxRes.Len() {
+	case wrapRes.Len():
+	case wrapRes.Len() + 1:
+		if !isErrorType(ctxRes.At(ctxRes.Len() - 1).Type()) {
+			return "result counts differ"
+		}
+		// Wrapper absorbs the trailing error: sanctioned.
+	default:
+		return "result counts differ"
+	}
+	for i := 0; i < wrapRes.Len(); i++ {
+		want := ctxRes.At(i).Type()
+		got := wrapRes.At(i).Type()
+		if !types.Identical(want, got) {
+			return "result " + got.String() + " differs from context variant's " + want.String()
+		}
+	}
+	return ""
+}

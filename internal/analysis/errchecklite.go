@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckLite enforces the repo's error contract at call sites: a
+// call into an intra-repo package whose signature returns an error may
+// not be used as a bare statement (including go/defer) — the error
+// must be consumed. An explicit `_ =` assignment is accepted as a
+// visible, reviewable discard. Standard-library calls are out of
+// scope: this is the project-invariant check ("our errors mean
+// something — pipeline failures, budget refusals, cancellations"),
+// not a general errcheck clone.
+var ErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "errors returned by intra-repo calls must not be silently discarded",
+	Run:  runErrCheckLite,
+}
+
+func runErrCheckLite(pass *Pass) error {
+	info := pass.Pkg.Info
+	mod := pass.Pkg.ModulePath
+	check := func(call *ast.CallExpr, how string) {
+		obj := calleeObj(info, call)
+		if !objFromRepo(obj, mod) {
+			return
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || tv.Type == nil {
+			return
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isErrorType(sig.Results().At(i).Type()) {
+				pass.Reportf(call.Pos(), "%s discards the error returned by %s.%s", how, obj.Pkg().Name(), obj.Name())
+				return
+			}
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+					check(call, "statement")
+				}
+			case *ast.GoStmt:
+				check(stmt.Call, "go statement")
+			case *ast.DeferStmt:
+				check(stmt.Call, "defer statement")
+			}
+			return true
+		})
+	}
+	return nil
+}

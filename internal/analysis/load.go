@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// PkgPath is the package's import path for packages inside the
+	// module, or its directory path for out-of-module directories
+	// (testdata fixtures).
+	PkgPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// ModulePath is the loader's module path, so analyzers can decide
+	// whether a referenced object is intra-repo.
+	ModulePath string
+	Fset       *token.FileSet
+	// Files holds the parsed non-test source files, sorted by name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems. A non-empty list
+	// means analyzer results may be incomplete; the driver treats it
+	// as a hard error.
+	TypeErrors []error
+}
+
+// A Loader loads and type-checks packages from source. Intra-module
+// import paths are resolved against the module directory; everything
+// else (the standard library) is type-checked from GOROOT source via
+// go/importer's "source" compiler, so no export data or external
+// tooling is needed. Loads are memoized per directory.
+//
+// Test files (_test.go) are never loaded: the analyzers' contracts
+// exempt test code, and skipping them keeps every loaded directory a
+// single package.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // keyed by absolute directory
+	loading map[string]bool
+}
+
+// NewLoader creates a loader rooted at moduleDir, which must contain a
+// go.mod naming the module.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        std,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", dir)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadDir loads, parses, and type-checks the single package in dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[abs]; ok {
+		return p, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", abs)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		PkgPath:    l.pkgPathFor(abs),
+		Dir:        abs,
+		ModulePath: l.ModulePath,
+		Fset:       l.fset,
+		Files:      files,
+	}
+	// Register before type-checking: Import on an in-progress
+	// directory is an import cycle and fails via the loading map.
+	l.pkgs[abs] = pkg
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(pkg.PkgPath, l.fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+func (l *Loader) pkgPathFor(absDir string) string {
+	rel, err := filepath.Rel(l.ModuleDir, absDir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(absDir)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from source inside the module, everything else defers to the GOROOT
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("analysis: %s has type errors: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Expand resolves package patterns relative to base into package
+// directories. Supported forms: a directory path ("./x", "x",
+// absolute), or a recursive pattern ("./...", "x/..."). Directories
+// named testdata or vendor, and hidden directories, are skipped during
+// recursion, matching the go tool's convention. Only directories that
+// contain at least one non-test .go file are returned.
+func Expand(base string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root := pat
+		recursive := false
+		if root == "..." {
+			root, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(root, "/..."); ok {
+			root, recursive = rest, true
+			if root == "" {
+				root = "/"
+			}
+		}
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(base, root)
+		}
+		root = filepath.Clean(root)
+		if !recursive {
+			if hasGoFiles(root) {
+				add(root)
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", root)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadPatterns expands patterns relative to base and loads every
+// matched directory.
+func (l *Loader) LoadPatterns(base string, patterns ...string) ([]*Package, error) {
+	dirs, err := Expand(base, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic enforces the library error contract from PR 3: library code
+// reports failures as errors (typed pipeerr.PipelineError on the
+// parallel paths), never by killing the process or unwinding through
+// the caller. panic, log.Fatal*, os.Exit, and Must* helpers are
+// therefore banned outside main packages; the pipeerr.Group recovery
+// net exists to contain *unexpected* panics, not to sanction
+// deliberate ones. Deliberate precondition panics that survive review
+// go in lint/allow.txt with a justification.
+//
+// Package-level initializers are exempt: they run once at program
+// start, so a Must* call there (var re = regexp.MustCompile(...)) is
+// fail-fast by construction, not a runtime unwinding path. Function
+// literals stored in such declarations execute at call time and keep
+// the full rule.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "library packages must return errors: no panic, log.Fatal*, os.Exit, or Must* calls",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	if !pass.IsLibrary() {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fd.Body != nil {
+					checkNoPanic(pass, fd.Body)
+				}
+				continue
+			}
+			// Package-level var/const/type declaration: the initializer
+			// expressions themselves are exempt, but descend into any
+			// function literal they store.
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkNoPanic(pass, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkNoPanic(pass *Pass, body ast.Node) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(), "panic in library code: return an error (or a typed pipeerr.PipelineError) instead")
+			} else if strings.HasPrefix(fun.Name, "Must") && isFuncUse(info.Uses[fun]) {
+				pass.Reportf(call.Pos(), "call of %s in library code: Must* helpers panic on failure, handle the error instead", fun.Name)
+			}
+		case *ast.SelectorExpr:
+			obj := info.Uses[fun.Sel]
+			name := fun.Sel.Name
+			switch {
+			case objFromPkg(obj, "log") && strings.HasPrefix(name, "Fatal"):
+				pass.Reportf(call.Pos(), "log.%s in library code exits the process: return an error instead", name)
+			case objFromPkg(obj, "os") && name == "Exit":
+				pass.Reportf(call.Pos(), "os.Exit in library code: only main packages may exit the process")
+			case strings.HasPrefix(name, "Must") && isFuncUse(obj):
+				pass.Reportf(call.Pos(), "call of %s in library code: Must* helpers panic on failure, handle the error instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func isFuncUse(obj types.Object) bool {
+	_, ok := obj.(*types.Func)
+	return ok
+}

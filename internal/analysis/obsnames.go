@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// obsNameRE is the metric-name grammar: dot-separated snake_case
+// segments, lower-case, starting with a letter ("mcsort.group_sorts",
+// "engine.pred_over_meas_x1000").
+var obsNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// ObsNames enforces metric naming discipline at the internal/obs
+// registration sites (NewCounter, NewGauge, NewTimer): literal names
+// must be snake_case with dot namespacing, and each literal name may
+// be registered only once per package — obs.New* returns the existing
+// metric on re-registration, so a duplicated name silently merges two
+// unrelated series. Dynamically built names (per-query counters) are
+// skipped: they can't be validated statically.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "obs metric names are snake_case literals registered once per package",
+	Run:  runObsNames,
+}
+
+func runObsNames(pass *Pass) error {
+	info := pass.Pkg.Info
+	firstAt := map[string]token.Position{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "NewCounter" && name != "NewGauge" && name != "NewTimer" {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic name; not statically checkable
+			}
+			metric, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !obsNameRE.MatchString(metric) {
+				pass.Reportf(lit.Pos(), "obs metric name %q is not snake_case (want dot-separated [a-z][a-z0-9_]* segments)", metric)
+			}
+			if prev, dup := firstAt[metric]; dup {
+				pass.Reportf(lit.Pos(), "obs metric %q already registered in this package at %s:%d; obs.%s would silently return the same series", metric, prev.Filename, prev.Line, name)
+			} else {
+				firstAt[metric] = pass.Pkg.Fset.Position(lit.Pos())
+			}
+			return true
+		})
+	}
+	return nil
+}

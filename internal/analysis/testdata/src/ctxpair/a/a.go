@@ -1,0 +1,67 @@
+// Package a is the ctxpair golden fixture: exported Context entry
+// points with present, missing, and drifted background wrappers.
+package a
+
+import "context"
+
+// Run / RunContext are a correct pair.
+func Run(x int) (int, error) { return RunContext(context.Background(), x) }
+
+// RunContext is the context entry point.
+func RunContext(ctx context.Context, x int) (int, error) { return x, ctx.Err() }
+
+// SoloContext has no background wrapper.
+func SoloContext(ctx context.Context, x int) error { return ctx.Err() } // want `exported SoloContext has no matching Solo background wrapper`
+
+// Drift exists but its signature has drifted from DriftContext.
+func Drift(x string) error { return nil } // want `Drift and DriftContext signatures disagree: parameter x is string, context variant has int`
+
+// DriftContext is the context entry point Drift fell behind.
+func DriftContext(ctx context.Context, x int) error { return ctx.Err() }
+
+// Wide / WideContext: the wrapper may drop the trailing error, but the
+// result it does keep must still match the context variant's.
+func Wide(x int) error { return nil } // want `Wide and WideContext signatures disagree: result error differs from context variant's int`
+
+// WideContext returns an extra result.
+func WideContext(ctx context.Context, x int) (int, error) { return x, ctx.Err() }
+
+// Drain / DrainContext: the wrapper absorbs the sole trailing error
+// (the legacy-wrapper convention) — sanctioned, no finding.
+func Drain(xs []int) []int {
+	out, err := DrainContext(context.Background(), xs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// DrainContext is the context entry point Drain absorbs errors for.
+func DrainContext(ctx context.Context, xs []int) ([]int, error) { return xs, ctx.Err() }
+
+// Narrow / NarrowContext: dropping a non-error trailing result is not
+// the absorb convention; the counts genuinely differ.
+func Narrow(x int) int { return x } // want `Narrow and NarrowContext signatures disagree: result counts differ`
+
+// NarrowContext returns two non-error results.
+func NarrowContext(ctx context.Context, x int) (int, int) { return x, x }
+
+// T carries the method cases.
+type T struct{}
+
+// Close / CloseContext are a correct method pair.
+func (t *T) Close() error { return t.CloseContext(context.Background()) }
+
+// CloseContext is the context entry point.
+func (t *T) CloseContext(ctx context.Context) error { return ctx.Err() }
+
+// FlushContext has no background wrapper on *T.
+func (t *T) FlushContext(ctx context.Context) error { return ctx.Err() } // want `exported \(\*T\)\.FlushContext has no matching Flush background wrapper`
+
+// soloContext is unexported: the pairing convention applies to the
+// exported API surface only.
+func soloContext(ctx context.Context) error { return ctx.Err() }
+
+// PlanContext takes no context despite the suffix: not an entry
+// point, so exempt.
+func PlanContext(name string) error { _ = soloContext; return nil }

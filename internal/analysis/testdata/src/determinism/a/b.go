@@ -1,0 +1,7 @@
+package a
+
+import "math/rand" // want `import of math/rand in library code`
+
+// Roll is why the import above is flagged; the diagnostic lands on
+// the import, once per file, not on every use.
+func Roll() int { return rand.Intn(6) }

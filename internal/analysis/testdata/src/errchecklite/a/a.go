@@ -1,0 +1,42 @@
+// Package a is the errchecklite golden fixture: discarded errors from
+// intra-repo calls, with stdlib calls and explicit discards exempt.
+package a
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Discards exercises the bare-statement forms.
+func Discards() {
+	obs.WriteText(io.Discard)     // want `statement discards the error returned by obs\.WriteText`
+	fmt.Fprintln(os.Stdout, "ok") // stdlib: out of scope
+	_ = obs.WriteText(io.Discard) // explicit, reviewable discard: accepted
+	if err := obs.WriteJSON(io.Discard); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	helper() // want `statement discards the error returned by a\.helper`
+}
+
+// DeferredAndGo exercises defer/go call positions.
+func DeferredAndGo() {
+	defer obs.WriteText(io.Discard) // want `defer statement discards the error returned by obs\.WriteText`
+	go obs.WriteText(io.Discard)    // want `go statement discards the error returned by obs\.WriteText`
+}
+
+// Method exercises a method call on an intra-repo type.
+func Method() {
+	var r obs.Report
+	r.WriteText(io.Discard) // want `statement discards the error returned by obs\.WriteText`
+}
+
+func helper() error { return nil }
+
+// NoError returns nothing; calling it bare is fine.
+func NoError() {}
+
+// Fine calls the no-error function.
+func Fine() { NoError() }

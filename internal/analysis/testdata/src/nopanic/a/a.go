@@ -1,0 +1,66 @@
+// Package a is the nopanic golden fixture: process-killing and
+// unwinding calls in library code.
+package a
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// reWord is a package-level initializer: Must* here is init-time
+// fail-fast, exempt.
+var reWord = regexp.MustCompile(`^\w+$`)
+
+// lateBoom is stored at package level but executes at call time: the
+// panic inside the literal is still a finding.
+var lateBoom = func(s string) {
+	if !reWord.MatchString(s) {
+		panic("not a word") // want `panic in library code`
+	}
+}
+
+// Parse is library code and reports failures properly.
+func Parse(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	return n, nil
+}
+
+// Validate demonstrates every banned form.
+func Validate(x int) error {
+	if x < 0 {
+		panic("negative input") // want `panic in library code`
+	}
+	if x == 1 {
+		log.Fatalf("bad value: %d", x) // want `log\.Fatalf in library code`
+	}
+	if x == 2 {
+		log.Fatal("bad value") // want `log\.Fatal in library code`
+	}
+	if x == 3 {
+		os.Exit(1) // want `os\.Exit in library code`
+	}
+	if x == 4 {
+		_ = MustParse("5") // want `call of MustParse in library code`
+	}
+	if x == 5 {
+		_ = regexp.MustCompile(`^x$`) // want `call of MustCompile in library code`
+	}
+	_ = lateBoom
+	return nil
+}
+
+// MustParse is itself a Must* helper; the panic inside it is also a
+// finding (a library package should not define one either).
+func MustParse(s string) int {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err) // want `panic in library code`
+	}
+	return n
+}

@@ -1,0 +1,25 @@
+// Package main is the nopanic exemption fixture: main packages (cmd/
+// binaries, examples) may exit and panic freely, so this package must
+// produce zero findings.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	if len(os.Args) > 2 {
+		log.Fatal("too many arguments")
+	}
+	if len(os.Args) > 1 {
+		os.Exit(2)
+	}
+	must(nil)
+}

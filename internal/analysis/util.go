@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeObj resolves the object a call expression invokes: the
+// function or method for ident and selector callees, nil for indirect
+// calls, conversions, and builtins without objects.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// objFromPkg reports whether obj belongs to the package with import
+// path pkgPath.
+func objFromPkg(obj types.Object, pkgPath string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// objFromRepo reports whether obj is declared inside the module.
+func objFromRepo(obj types.Object, modulePath string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == modulePath || strings.HasPrefix(p, modulePath+"/")
+}
+
+// funcName renders a readable name for the function node (a *ast.FuncDecl
+// or *ast.FuncLit) for use in diagnostics.
+func funcName(n ast.Node) string {
+	if d, ok := n.(*ast.FuncDecl); ok {
+		if d.Recv != nil && len(d.Recv.List) == 1 {
+			return recvTypeString(d.Recv.List[0].Type) + "." + d.Name.Name
+		}
+		return d.Name.Name
+	}
+	return "function literal"
+}
+
+// recvTypeString renders a receiver type expression ("T", "*T") as a
+// stable string key.
+func recvTypeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + recvTypeString(t.X)
+	case *ast.IndexExpr:
+		return recvTypeString(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeString(t.X)
+	}
+	return "?"
+}
+
+// ctxParams returns the objects of all parameters of fn's type that
+// are context.Context.
+func ctxParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}

@@ -195,6 +195,22 @@ func RunContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 	return res, nil
 }
 
+// identityRows builds the unfiltered row-id vector [0, n), polling
+// cancellation at the sequential-gather stride so a cancelled query
+// does not pay the full O(n) fill.
+func identityRows(ctx context.Context, n int) ([]uint32, error) {
+	rows := make([]uint32, n)
+	for i := range rows {
+		if i&(seqGatherCheckRows-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		rows[i] = uint32(i)
+	}
+	return rows, nil
+}
+
 func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -231,9 +247,9 @@ func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 		}
 		rows = acc.Rows()
 	} else {
-		rows = make([]uint32, t.N)
-		for i := range rows {
-			rows[i] = uint32(i)
+		var rerr error
+		if rows, rerr = identityRows(ctx, t.N); rerr != nil {
+			return nil, rerr
 		}
 	}
 	res.Timing.FilterScan = time.Since(start)
@@ -391,9 +407,9 @@ func MaterializeSortInputsContext(ctx context.Context, t *table.Table, q Query, 
 		}
 		rows = acc.Rows()
 	} else {
-		rows = make([]uint32, t.N)
-		for i := range rows {
-			rows[i] = uint32(i)
+		var rerr error
+		if rows, rerr = identityRows(ctx, t.N); rerr != nil {
+			return nil, rerr
 		}
 	}
 	sortCols := q.SortCols

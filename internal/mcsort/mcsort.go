@@ -175,6 +175,11 @@ func executeContext(ctx context.Context, inputs []massage.Input, p plan.Plan, op
 		Rounds: make([]RoundStats, len(p.Rounds)),
 	}
 	for i := range res.Perm {
+		if i&(1<<16-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Perm[i] = uint32(i)
 	}
 	if rows == 0 {

@@ -106,6 +106,11 @@ func parallelFullSort(ctx context.Context, bank int, keys []uint64, oids []uint3
 	counts := make([]int, workers)
 	bIdx := make([]uint8, n)
 	for i, k := range keys {
+		if i&(1<<16-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		b := bucket(k)
 		bIdx[i] = uint8(b)
 		counts[b]++
@@ -142,6 +147,11 @@ func parallelFullSort(ctx context.Context, bank int, keys []uint64, oids []uint3
 	scratchO := make([]uint32, n)
 	cursor := append([]int(nil), offsets[:workers]...)
 	for i := 0; i < n; i++ {
+		if i&(1<<16-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		b := bIdx[i]
 		scratchK[cursor[b]] = keys[i]
 		scratchO[cursor[b]] = oids[i]
@@ -235,6 +245,13 @@ func parallelGroupSort(ctx context.Context, bank int, keys []uint64, perm []uint
 	type seg struct{ lo, hi int }
 	var big, small []seg
 	for g := 0; g+1 < len(groups); g++ {
+		// Group counts approach the row count on high-cardinality
+		// rounds, so this classification scan polls like any O(n) pass.
+		if g&(1<<16-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		lo, hi := int(groups[g]), int(groups[g+1])
 		if hi-lo < 2 {
 			continue

@@ -7,6 +7,7 @@ package table
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/byteslice"
 	"repro/internal/column"
@@ -93,11 +94,12 @@ func (t *Table) Stats(name string) (costmodel.ColumnStats, error) {
 	return st, nil
 }
 
-// Columns lists the column names (order unspecified).
+// Columns lists the column names in sorted order.
 func (t *Table) Columns() []string {
 	names := make([]string, 0, len(t.cols))
 	for n := range t.cols {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }

@@ -2,7 +2,7 @@ package workloads
 
 import (
 	"context"
-	"time"
+	"sort"
 
 	"repro/internal/column"
 	"repro/internal/engine"
@@ -55,17 +55,29 @@ func RunQ13Context(ctx context.Context, t *table.Table, massaging bool, opts eng
 	}
 
 	// Derived table: one row per distinct c_count value after the inner
-	// grouping; custdist = number of customers per count.
+	// grouping; custdist = number of customers per count. The counting
+	// pass is O(customers), so it polls at the usual stride.
 	counts := map[uint64]uint64{}
-	for _, c := range r1.Aggregates {
+	for i, c := range r1.Aggregates {
+		if i&(1<<14-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		counts[c]++
 	}
+	// Collect-then-sort so the derived rows (and with them Perm and
+	// Groups downstream) do not inherit Go's randomized map order.
 	cCount := make([]uint64, 0, len(counts))
-	custDist := make([]uint64, 0, len(counts))
-	var maxCount, maxDist uint64
-	for c, d := range counts {
+	for c := range counts {
 		cCount = append(cCount, c)
-		custDist = append(custDist, d)
+	}
+	sort.Slice(cCount, func(i, j int) bool { return cCount[i] < cCount[j] })
+	custDist := make([]uint64, len(cCount))
+	var maxCount, maxDist uint64
+	for i, c := range cCount {
+		d := counts[c]
+		custDist[i] = d
 		if c > maxCount {
 			maxCount = c
 		}
@@ -89,12 +101,10 @@ func RunQ13Context(ctx context.Context, t *table.Table, massaging bool, opts eng
 	} else {
 		p = plan.ColumnAtATime(widths)
 	}
-	start := time.Now()
 	mres, err := mcsort.ExecuteContext(ctx, inputs, p, mcsort.Options{})
 	if err != nil {
 		return nil, err
 	}
-	_ = start
 
 	res := &Q13Result{
 		CCount:   make([]uint64, len(cCount)),
