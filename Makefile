@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race lint fault fuzz-smoke bench bench-regress bench-baseline
+.PHONY: test race lint fault fuzz-smoke smoke bench bench-regress bench-baseline
 
 test:
 	$(GO) vet ./...
@@ -29,6 +29,13 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRadixSort -fuzztime=20s ./internal/mergesort/
 	$(GO) test -fuzz=FuzzParallelMerge -fuzztime=30s ./internal/mergesort/
 	$(GO) test -fuzz=FuzzMassageRoundTrip -fuzztime=30s ./internal/massage/
+	$(GO) test -fuzz=FuzzQueryRequest -fuzztime=20s ./internal/server/
+
+# End-to-end mcsd smoke: build the daemon, start it on a small TPC-H
+# table, run one query twice (second must hit the plan cache, visible
+# on /metrics), SIGTERM, and require a clean drain (docs/serving.md).
+smoke:
+	./scripts/smoke_mcsd.sh
 
 # Human-readable worker-scaling numbers for the fixed 1M-row workload.
 bench:

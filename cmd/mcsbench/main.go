@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -30,9 +31,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/pipeerr"
 )
 
 func main() {
@@ -47,20 +50,14 @@ func main() {
 		metrics   = flag.String("metrics", "", "emit an obs metrics snapshot on stdout at exit: json | text")
 		trace     = flag.Bool("trace", false, "print the cumulative obs trace to stderr after each experiment")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
-		timeout   = flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no limit); cancellations show up under pipeline.* in -metrics")
+		timeout   = flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = no limit); queue-wait vs execution expiries are split under pipeline.cancellations_* in -metrics")
 	)
 	flag.Parse()
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := cliutil.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
-	switch *metrics {
-	case "", "json", "text":
-	default:
-		fmt.Fprintf(os.Stderr, "mcsbench: -metrics must be 'json' or 'text', got %q\n", *metrics)
+	if err := cliutil.ValidateMetricsMode(*metrics); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsbench: %v\n", err)
 		os.Exit(2)
 	}
 	if *metrics != "" || *trace || *debugAddr != "" {
@@ -110,10 +107,24 @@ func main() {
 		ids = experiments.All
 	}
 	for _, id := range ids {
+		// Admission point: a deadline that expired before this experiment
+		// starts is a queue-wait timeout — fail fast and typed, never
+		// start (or hang in) doomed pipeline work.
+		if err := cliutil.CheckAdmission(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsbench: %s not started: %v\n", id, err)
+			dumpMetrics(*metrics)
+			os.Exit(1)
+		}
 		start := time.Now()
 		rep, err := experiments.RunContext(ctx, id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcsbench: %v\n", err)
+			if pipeerr.IsCtxErr(err) && !errors.Is(err, pipeerr.ErrQueueTimeout) {
+				// Mid-experiment expiry: an execution timeout, counted
+				// separately from queue-wait expiries in the metrics.
+				fmt.Fprintf(os.Stderr, "mcsbench: %s cancelled during execution: %v\n", id, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "mcsbench: %v\n", err)
+			}
 			dumpMetrics(*metrics)
 			os.Exit(1)
 		}
@@ -132,19 +143,12 @@ func main() {
 }
 
 // dumpMetrics emits the obs snapshot, which includes the robustness
-// counters (pipeline.cancellations, pipeline.recovered_panics) when a
-// timeout or contained fault occurred during the run.
+// counters (pipeline.cancellations with its queue-wait/execution
+// split, pipeline.recovered_panics) when a timeout or contained fault
+// occurred during the run.
 func dumpMetrics(mode string) {
-	switch mode {
-	case "json":
-		if err := obs.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "mcsbench: metrics: %v\n", err)
-			os.Exit(1)
-		}
-	case "text":
-		if err := obs.WriteText(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "mcsbench: metrics: %v\n", err)
-			os.Exit(1)
-		}
+	if err := cliutil.DumpMetrics(os.Stdout, mode); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsbench: metrics: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,209 @@
+// Command mcsd is the MCS query daemon: a long-running concurrent
+// query service over WideTables (docs/serving.md). It loads the
+// requested workload tables once, shares them read-only across
+// queries, memoizes ROGA plan search in a calibration-aware plan
+// cache, and bounds concurrent work with an admission controller
+// (queue with deadline-aware timeouts, memory-budget worker
+// degradation, graceful drain on SIGINT/SIGTERM).
+//
+//	mcsd -addr :8080 -tables tpch -tablerows 60000
+//	mcsd -addr :8080 -tables tpch,tpcds,airline -max-concurrent 8 -max-bytes 2147483648
+//	mcsd -addr :8080 -tables tpch -model builtin       # skip calibration (smoke tests)
+//	mcsd -addr :8080 -tables tpch -calibration prof.json
+//
+// Endpoints: POST /query, GET /jobs/{id}, GET /jobs/{id}/result,
+// GET /tables, GET /metrics, GET /healthz. Example session:
+//
+//	curl -s localhost:8080/query -d '{"table":"tpch_wide","kind":"groupby",
+//	  "sort_cols":[{"name":"p_brand"},{"name":"p_size"}],
+//	  "agg":{"kind":"count"},"workers":4}'
+//	curl -s localhost:8080/jobs/j1
+//	curl -s localhost:8080/jobs/j1/result
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		tables        = flag.String("tables", "tpch", "comma-separated workloads to load: tpch, tpch-skew, tpcds, airline")
+		tableRows     = flag.Int("tablerows", 60_000, "rows per generated WideTable")
+		seed          = flag.Int64("seed", 1, "generator seed")
+		maxConcurrent = flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "queries executing at once; excess queries queue")
+		maxBytes      = flag.Int64("max-bytes", 0, "aggregate estimated-memory budget across executing queries (0 = unlimited)")
+		workers       = flag.Int("workers", 1, "default per-query worker count (requests may override)")
+		planCache     = flag.Int("plancache", server.DefaultPlanCacheSize, "plan cache capacity (entries)")
+		maxPlans      = flag.Int("max-plans", server.DefaultMaxPlans, "counted plan-search budget per query (deterministic, machine-independent)")
+		model         = flag.String("model", "calibrate", "cost model: calibrate | builtin")
+		calPath       = flag.String("calibration", "", "load a saved calibration profile instead of calibrating")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before running queries are cancelled")
+	)
+	flag.Parse()
+	if err := run(*addr, *tables, *tableRows, *seed, *maxConcurrent, *maxBytes,
+		*workers, *planCache, *maxPlans, *model, *calPath, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, tables string, tableRows int, seed int64, maxConcurrent int,
+	maxBytes int64, workers, planCache, maxPlans int, modelMode, calPath string,
+	drainTimeout time.Duration) error {
+	// The daemon's whole point is observability of the serving layer;
+	// obs is always on and scraped at /metrics.
+	obs.Enable()
+
+	m, err := loadModel(modelMode, calPath)
+	if err != nil {
+		return err
+	}
+
+	reg := server.NewRegistry()
+	for _, w := range strings.Split(tables, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		start := time.Now()
+		loaded, err := loadWorkload(w, tableRows, seed)
+		if err != nil {
+			return err
+		}
+		for _, t := range loaded {
+			if err := reg.Register(t); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "mcsd: loaded table %s (%d rows, %d cols) in %v\n",
+				t.Name, t.N, len(t.Columns()), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if len(reg.Names()) == 0 {
+		return fmt.Errorf("no tables loaded (-tables %q)", tables)
+	}
+
+	srv, err := server.New(server.Config{
+		Registry: reg,
+		Model:    m,
+		// No wall-clock rho + a counted search budget: plan choice is
+		// deterministic, so a plan-cache hit can never change a result.
+		Rho:            -1,
+		MaxPlans:       maxPlans,
+		MaxConcurrent:  maxConcurrent,
+		MaxBytes:       maxBytes,
+		DefaultWorkers: workers,
+		PlanCacheSize:  planCache,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "mcsd: serving %v on %s (max-concurrent %d, max-bytes %d)\n",
+		reg.Names(), ln.Addr(), maxConcurrent, maxBytes)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "mcsd: %v: draining (budget %v)...\n", sig, drainTimeout)
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting new connections first, then drain queries.
+	shutdownErr := hs.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsd: drain expired, running queries cancelled: %v\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "mcsd: drained cleanly")
+	}
+	if shutdownErr != nil && shutdownErr != http.ErrServerClosed {
+		return shutdownErr
+	}
+	return nil
+}
+
+// loadModel resolves the cost model per the -model/-calibration flags.
+func loadModel(mode, calPath string) (*costmodel.Model, error) {
+	if calPath != "" {
+		return costmodel.Load(calPath)
+	}
+	switch mode {
+	case "builtin":
+		return server.BuiltinModel(), nil
+	case "calibrate":
+		fmt.Fprintln(os.Stderr, "mcsd: calibrating the cost model (a few seconds; use -model builtin or -calibration to skip)...")
+		start := time.Now()
+		m, err := costmodel.Calibrate(costmodel.CalOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "mcsd: calibration done in %v\n", time.Since(start).Round(time.Millisecond))
+		return m, nil
+	default:
+		return nil, fmt.Errorf("-model must be 'calibrate' or 'builtin', got %q", mode)
+	}
+}
+
+// loadWorkload generates the named workload's WideTable(s).
+func loadWorkload(name string, rows int, seed int64) ([]*table.Table, error) {
+	switch name {
+	case "tpch":
+		t, err := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return []*table.Table{t}, nil
+	case "tpch-skew":
+		t, err := datagen.TPCH(datagen.TPCHConfig{SF: 1, Rows: rows, Skew: true, Seed: seed + 1})
+		if err != nil {
+			return nil, err
+		}
+		t.Name = "tpch_skew"
+		return []*table.Table{t}, nil
+	case "tpcds":
+		t, err := datagen.TPCDS(datagen.TPCDSConfig{SF: 1, Rows: rows, Seed: seed + 2})
+		if err != nil {
+			return nil, err
+		}
+		return []*table.Table{t}, nil
+	case "airline":
+		ticket, err := datagen.AirlineTicket(datagen.AirlineConfig{Rows: rows, Seed: seed + 3})
+		if err != nil {
+			return nil, err
+		}
+		market, err := datagen.AirlineMarket(datagen.AirlineConfig{Rows: rows, Seed: seed + 3})
+		if err != nil {
+			return nil, err
+		}
+		return []*table.Table{ticket, market}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want tpch, tpch-skew, tpcds, or airline)", name)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/costmodel"
 	"repro/internal/datagen"
 	"repro/internal/massage"
@@ -38,19 +39,13 @@ func main() {
 		metrics      = flag.String("metrics", "", "emit an obs metrics snapshot (search counters) at exit: json | text")
 		execute      = flag.Bool("execute", false, "generate -rows rows and execute the ROGA pick")
 		workers      = flag.Int("workers", 1, "worker goroutines for -execute (output is identical for any value)")
-		timeout      = flag.Duration("timeout", 0, "cancel the search and execution after this duration (0 = no limit); cancellations show up under pipeline.* in -metrics")
+		timeout      = flag.Duration("timeout", 0, "cancel the search and execution after this duration (0 = no limit); queue-wait vs execution expiries are split under pipeline.cancellations_* in -metrics")
 	)
 	flag.Parse()
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	switch *metrics {
-	case "", "json", "text":
-	default:
-		fmt.Fprintf(os.Stderr, "mcsplan: -metrics must be 'json' or 'text', got %q\n", *metrics)
+	ctx, cancel := cliutil.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := cliutil.ValidateMetricsMode(*metrics); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsplan: %v\n", err)
 		os.Exit(2)
 	}
 	if *metrics != "" {
@@ -113,8 +108,15 @@ func main() {
 	fmt.Printf("columns: widths=%v distinct=%v rows=%d (W=%d bits, clause=%s)\n",
 		widths, distinct, *rows, w, *clause)
 
-	base := planner.Choice{}
-	base = baseline(s)
+	// Admission point: a -timeout that already expired (calibration ate
+	// the budget, or the deadline was pre-expired) is a queue-wait
+	// timeout — fail fast and typed rather than entering the search.
+	if err := cliutil.CheckAdmission(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsplan: plan search not started: %v\n", err)
+		dumpMetrics(*metrics)
+		os.Exit(1)
+	}
+	base := baseline(s)
 	fmt.Printf("P0 (column-at-a-time): %-40s est %8.2f ms\n", base.Plan, base.Est/1e6)
 	roga, err := planner.ROGAContext(ctx, s)
 	if err != nil {
@@ -157,20 +159,15 @@ func main() {
 }
 
 // dumpMetrics emits the obs snapshot, which includes the robustness
-// counters (pipeline.cancellations, pipeline.recovered_panics) when a
-// timeout or contained fault occurred during the run.
+// counters (pipeline.cancellations with its queue-wait/execution
+// split, pipeline.recovered_panics) when a timeout or contained fault
+// occurred during the run.
 func dumpMetrics(mode string) {
-	switch mode {
-	case "json":
+	if mode != "" {
 		fmt.Println()
-		if err := obs.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "mcsplan: metrics: %v\n", err)
-		}
-	case "text":
-		fmt.Println()
-		if err := obs.WriteText(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "mcsplan: metrics: %v\n", err)
-		}
+	}
+	if err := cliutil.DumpMetrics(os.Stdout, mode); err != nil {
+		fmt.Fprintf(os.Stderr, "mcsplan: metrics: %v\n", err)
 	}
 }
 

@@ -11,6 +11,13 @@ func TestCtxPoll(t *testing.T) {
 	analysistest.Run(t, analysis.CtxPoll, "testdata/src/ctxpoll/a")
 }
 
+// TestCtxPollServerPatterns pins the serving-layer shapes: a job-table
+// sweep in a context-taking method must poll, an admission wait must
+// select on ctx.Done.
+func TestCtxPollServerPatterns(t *testing.T) {
+	analysistest.Run(t, analysis.CtxPoll, "testdata/src/ctxpoll/server")
+}
+
 func TestNoPanic(t *testing.T) {
 	analysistest.Run(t, analysis.NoPanic, "testdata/src/nopanic/a")
 }

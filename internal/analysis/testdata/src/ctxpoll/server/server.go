@@ -1,0 +1,64 @@
+// Package server is the ctxpoll golden fixture for serving-layer
+// patterns: admission queues, job scans, and drain loops. These mirror
+// internal/server shapes — an admission controller waiting for a slot
+// must select on ctx.Done while queued, and a job-table sweep in a
+// context-taking function must poll like any other data-bound loop.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+type job struct {
+	id   string
+	done bool
+}
+
+type srv struct {
+	mu   sync.Mutex
+	jobs []*job
+}
+
+// BadDrainScan sweeps the job table without polling: a server with many
+// jobs would ignore a cancelled drain context for the whole sweep.
+func (s *srv) BadDrainScan(ctx context.Context) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	finished := 0
+	for _, j := range s.jobs { // want `data-bound loop in \*srv.BadDrainScan does not poll ctx`
+		if j.done {
+			finished++
+		}
+	}
+	return finished
+}
+
+// GoodDrainScan polls the drain context per job.
+func (s *srv) GoodDrainScan(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	finished := 0
+	for _, j := range s.jobs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if j.done {
+			finished++
+		}
+	}
+	return finished, nil
+}
+
+// GoodAdmitWait is the admission-queue shape: the waiter blocks in a
+// select that includes ctx.Done, so a queued query honors its deadline.
+func GoodAdmitWait(ctx context.Context, turns []chan struct{}) error {
+	for _, turn := range turns {
+		select {
+		case <-turn:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

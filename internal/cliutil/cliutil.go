@@ -1,0 +1,74 @@
+// Package cliutil holds the flag conventions shared by the CLIs
+// (mcsbench, mcsplan, mcsd): the -timeout context, the -metrics
+// snapshot modes, and the queue-wait vs execution classification of
+// timeouts.
+//
+// The classification fixes a reporting gap: with -timeout, a deadline
+// that expires before any pipeline work starts (queue wait — flag
+// parsing, calibration, experiment setup) and one that expires
+// mid-query both used to surface as an undifferentiated
+// pipeline.cancellations increment. CheckAdmission turns the former
+// into the typed pipeerr.ErrQueueTimeout, which NoteCancel counts
+// under pipeline.cancellations_queue_wait; mid-execution expiries keep
+// counting under pipeline.cancellations_execution. A pre-expired
+// deadline therefore fails fast with a typed error — it can never hang
+// waiting on work that will not be admitted.
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+)
+
+// WithTimeout applies the -timeout flag: d <= 0 returns parent
+// unchanged with a no-op cancel.
+func WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// CheckAdmission polls ctx at an admission point — after setup,
+// before the next unit of pipeline work begins. A context that is
+// already done returns the typed pipeerr.ErrQueueTimeout (recorded
+// under pipeline.cancellations_queue_wait), so a pre-expired -timeout
+// produces an immediate typed failure instead of starting doomed work
+// or hanging.
+func CheckAdmission(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return pipeerr.NoteCancel(pipeerr.QueueTimeout(err))
+	}
+	return nil
+}
+
+// ValidateMetricsMode checks a -metrics flag value ("", "json",
+// "text").
+func ValidateMetricsMode(mode string) error {
+	switch mode {
+	case "", "json", "text":
+		return nil
+	default:
+		return fmt.Errorf("-metrics must be 'json' or 'text', got %q", mode)
+	}
+}
+
+// DumpMetrics writes the obs snapshot to w in the given mode; mode ""
+// writes nothing. The snapshot includes the robustness counters
+// (pipeline.cancellations and its queue-wait/execution split,
+// pipeline.recovered_panics) when a timeout or contained fault
+// occurred during the run.
+func DumpMetrics(w io.Writer, mode string) error {
+	switch mode {
+	case "json":
+		return obs.WriteJSON(w)
+	case "text":
+		return obs.WriteText(w)
+	}
+	return nil
+}

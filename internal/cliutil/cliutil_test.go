@@ -1,0 +1,102 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+)
+
+// A pre-expired -timeout must come back as the typed queue-wait error
+// immediately — the regression this pins is a CLI run with an already
+// expired deadline hanging in (or even starting) the pipeline instead
+// of failing fast with a typed error.
+func TestCheckAdmissionPreExpiredDeadline(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // guarantee expiry
+
+	done := make(chan error, 1)
+	go func() { done <- CheckAdmission(ctx) }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CheckAdmission hung on a pre-expired deadline")
+	}
+	if err == nil {
+		t.Fatal("CheckAdmission = nil, want typed queue-timeout error")
+	}
+	if !errors.Is(err, pipeerr.ErrQueueTimeout) {
+		t.Errorf("error %v does not wrap pipeerr.ErrQueueTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// A live context passes admission untouched.
+func TestCheckAdmissionLiveContext(t *testing.T) {
+	if err := CheckAdmission(context.Background()); err != nil {
+		t.Fatalf("CheckAdmission(Background) = %v, want nil", err)
+	}
+}
+
+// The emitted metrics must distinguish a queue-wait expiry from an
+// execution expiry: CheckAdmission failures land on
+// pipeline.cancellations_queue_wait, mid-execution context errors
+// (NoteCancel on a bare ctx error) on pipeline.cancellations_execution.
+func TestTimeoutMetricsDistinguishQueueFromExecution(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	queueC := obs.NewCounter("pipeline.cancellations_queue_wait")
+	execC := obs.NewCounter("pipeline.cancellations_execution")
+	totalC := obs.NewCounter("pipeline.cancellations")
+	q0, e0, t0 := queueC.Value(), execC.Value(), totalC.Value()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := CheckAdmission(ctx); err == nil {
+		t.Fatal("CheckAdmission on cancelled ctx = nil")
+	}
+	if got := queueC.Value() - q0; got != 1 {
+		t.Errorf("queue-wait cancellations = %d, want 1", got)
+	}
+
+	// An execution-phase cancellation: the pipeline's own NoteCancel on
+	// a bare context error.
+	_ = pipeerr.NoteCancel(context.Canceled)
+	if got := execC.Value() - e0; got != 1 {
+		t.Errorf("execution cancellations = %d, want 1", got)
+	}
+	if got := totalC.Value() - t0; got != 2 {
+		t.Errorf("total cancellations = %d, want 2 (both phases feed the total)", got)
+	}
+}
+
+// WithTimeout(d <= 0) must be a no-op passthrough.
+func TestWithTimeoutZeroIsPassthrough(t *testing.T) {
+	parent := context.Background()
+	ctx, cancel := WithTimeout(parent, 0)
+	defer cancel()
+	if ctx != parent {
+		t.Error("WithTimeout(0) wrapped the context")
+	}
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("WithTimeout(0) set a deadline")
+	}
+}
+
+func TestValidateMetricsMode(t *testing.T) {
+	for _, ok := range []string{"", "json", "text"} {
+		if err := ValidateMetricsMode(ok); err != nil {
+			t.Errorf("ValidateMetricsMode(%q) = %v", ok, err)
+		}
+	}
+	if err := ValidateMetricsMode("yaml"); err == nil {
+		t.Error("ValidateMetricsMode(yaml) = nil, want error")
+	}
+}

@@ -43,6 +43,16 @@ func estimatePipelineBytes(rows, nCols, nRounds, workers int) int64 {
 	return total
 }
 
+// EstimatePipelineBytes exposes the engine's transient-footprint model
+// to callers that must reserve memory before RunContext can compute it
+// themselves — the mcsd admission controller charges each admitted
+// query against the aggregate budget using the same estimate the
+// engine's own two-stage degradation applies, so the two layers never
+// disagree about whether a query fits.
+func EstimatePipelineBytes(rows, nCols, nRounds, workers int) int64 {
+	return estimatePipelineBytes(rows, nCols, nRounds, workers)
+}
+
 // budgetWorkers applies the degradation policy for one stage of the
 // budget check and keeps the obs counters/gauge current. It returns the
 // effective worker count, or ErrBudgetExceeded when the query cannot

@@ -153,6 +153,11 @@ type Options struct {
 	Massaging bool
 	Model     *costmodel.Model
 	Rho       float64
+	// MaxPlans caps the number of candidate plans the search costs
+	// (planner.Search.MaxPlans): a counted, machine-independent budget.
+	// Pair it with a negative Rho for deterministic plan choice under
+	// bounded search work; 0 means no cap.
+	MaxPlans int
 	// Workers parallelizes the whole pipeline when > 1: materialization
 	// gathers, massaging, every sorting round, and the aggregation
 	// scan. Results are byte-identical for any value.
@@ -467,7 +472,7 @@ func choosePlan(ctx context.Context, t *table.Table, q Query, sortCols []SortCol
 		st.Cols = append(st.Cols, cs)
 	}
 	start := time.Now()
-	search := &planner.Search{Model: model, Stats: st, Kind: q.Kind, Rho: opts.Rho}
+	search := &planner.Search{Model: model, Stats: st, Kind: q.Kind, Rho: opts.Rho, MaxPlans: opts.MaxPlans}
 	if q.Window != nil {
 		search.FixedTail = 1 // the window's ORDER BY column stays last
 	}

@@ -40,6 +40,8 @@ const (
 
 var (
 	obsCancellations   = obs.NewCounter("pipeline.cancellations")
+	obsCancelQueue     = obs.NewCounter("pipeline.cancellations_queue_wait")
+	obsCancelExec      = obs.NewCounter("pipeline.cancellations_execution")
 	obsRecoveredPanics = obs.NewCounter("pipeline.recovered_panics")
 )
 
@@ -47,6 +49,22 @@ var (
 // estimated memory footprint exceeds Options.MaxBytes even at the
 // lowest degradation step (sequential execution). Match with errors.Is.
 var ErrBudgetExceeded = errors.New("pipeline: memory budget exceeded")
+
+// ErrQueueTimeout reports that a query's context was cancelled or its
+// deadline expired before the pipeline started executing — while the
+// query was queued for admission (mcsd's scheduler) or between flag
+// parsing and the first unit of work (the CLIs' -timeout). It is
+// distinct from a mid-execution cancellation so operators can tell an
+// overloaded queue from a too-slow query. Match with errors.Is; the
+// wrapped cause is the context error, so IsCtxErr also holds.
+var ErrQueueTimeout = errors.New("pipeline: cancelled while queued")
+
+// QueueTimeout wraps a context error (ctx.Err() observed before
+// execution began) into the typed queue-wait form. Errors built here
+// satisfy both errors.Is(err, ErrQueueTimeout) and IsCtxErr(err).
+func QueueTimeout(ctxErr error) error {
+	return fmt.Errorf("%w: %w", ErrQueueTimeout, ctxErr)
+}
 
 // PipelineError is the typed failure of one pipeline worker: which
 // stage it ran, which sorting round (-1 when not applicable), which
@@ -97,10 +115,19 @@ func IsCtxErr(err error) bool {
 
 // NoteCancel records err on the pipeline.cancellations counter when it
 // is a context error, and returns err unchanged; entry points call it
-// once on their error return path.
+// once on their error return path. Cancellations are additionally
+// classified by phase: ErrQueueTimeout-typed errors count under
+// pipeline.cancellations_queue_wait, every other context error under
+// pipeline.cancellations_execution, so emitted metrics distinguish a
+// deadline that expired in the queue from one that expired mid-query.
 func NoteCancel(err error) error {
 	if err != nil && IsCtxErr(err) {
 		obsCancellations.Inc()
+		if errors.Is(err, ErrQueueTimeout) {
+			obsCancelQueue.Inc()
+		} else {
+			obsCancelExec.Inc()
+		}
 	}
 	return err
 }

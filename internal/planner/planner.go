@@ -63,6 +63,16 @@ type Search struct {
 	// time exceeds Rho × the estimated cost of the best plan so far.
 	// Zero means DefaultRho; negative means no threshold (N/S).
 	Rho float64
+	// MaxPlans caps how many candidate plans the search costs before
+	// stopping with the best found so far; 0 means no cap. Unlike the
+	// ρ stopwatch, the cap is counted, not timed: two searches over the
+	// same inputs cost the same candidates in the same enumeration
+	// order and choose the same plan on every machine. Long-running
+	// services (mcsd) rely on this for plan-cache coherence — a
+	// memoized choice must equal the choice a fresh search would make —
+	// while still bounding the m!-order searches of wide GROUP BY
+	// clauses (disable ρ with a negative value, set MaxPlans instead).
+	MaxPlans int
 	// FixedTail pins the last FixedTail columns in place when the
 	// clause kind would otherwise permute them: a window function's
 	// ORDER BY column must remain the final sort key of its

@@ -16,6 +16,7 @@ var (
 	obsRoundCounts   = obs.NewCounter("planner.round_counts_considered")
 	obsPlansCosted   = obs.NewCounter("planner.plans_costed")
 	obsSearchExpired = obs.NewCounter("planner.searches_expired")
+	obsSearchCapped  = obs.NewCounter("planner.searches_plan_capped")
 	obsChosenCostNS  = obs.NewGauge("planner.chosen_cost_ns")
 	obsChosenRounds  = obs.NewGauge("planner.chosen_rounds")
 	obsSearchT       = obs.NewTimer("planner.roga_search")
@@ -45,6 +46,7 @@ func ROGAContext(ctx context.Context, s *Search) (Choice, error) {
 	sw := &stopwatch{start: time.Now(), rho: s.rho()}
 	best := s.baseline()
 	m := len(s.Stats.Cols)
+	costed := 0
 	var ctxErr error
 
 	tryOrder := func(order []int) bool {
@@ -63,10 +65,15 @@ func ROGAContext(ctx context.Context, s *Search) (Choice, error) {
 					obsSearchExpired.Inc()
 					return false
 				}
+				if s.MaxPlans > 0 && costed >= s.MaxPlans {
+					obsSearchCapped.Inc()
+					return false
+				}
 				p, ok := greedyAssign(s, st, W, banks)
 				if !ok {
 					return true
 				}
+				costed++
 				obsPlansCosted.Inc()
 				if est := s.Model.TMCS(p, st); est < best.Est {
 					best = Choice{

@@ -1,0 +1,174 @@
+// Admission controller: bounds how many queries execute at once and
+// how many estimated bytes they may collectively pin, reusing the PR 3
+// budget machinery. A query that does not fit waits in a FIFO queue;
+// its context deadline is honored while it waits (a queue-expired
+// deadline returns the typed pipeerr.ErrQueueTimeout, never a hang),
+// and a query whose own floor estimate exceeds the aggregate budget is
+// refused up front with pipeerr.ErrBudgetExceeded. Close drains the
+// queue for shutdown: waiters fail fast with ErrShuttingDown while
+// already-admitted queries run to completion.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+)
+
+var (
+	obsAdmitted      = obs.NewCounter("server.admitted")
+	obsQueueTimeouts = obs.NewCounter("server.queue_timeouts")
+	obsRejectedShut  = obs.NewCounter("server.rejected_shutdown")
+	obsRejectedBudg  = obs.NewCounter("server.rejected_budget")
+	obsQueueWait     = obs.NewTimer("server.queue_wait")
+	obsInflight      = obs.NewGauge("server.inflight")
+	obsInflightBytes = obs.NewGauge("server.inflight_bytes")
+	obsQueuedPeak    = obs.NewGauge("server.queued_peak")
+)
+
+// ErrShuttingDown is returned for queries submitted or still queued
+// when the server begins its graceful drain.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// admission is the controller state. The zero value is not usable; use
+// newAdmission.
+type admission struct {
+	maxConcurrent int
+	maxBytes      int64 // aggregate estimated-byte budget; <= 0 unlimited
+
+	mu        sync.Mutex
+	running   int
+	usedBytes int64
+	waiters   []chan struct{}
+	closed    bool
+}
+
+// newAdmission returns a controller admitting up to maxConcurrent
+// queries whose estimates sum to at most maxBytes.
+func newAdmission(maxConcurrent int, maxBytes int64) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &admission{maxConcurrent: maxConcurrent, maxBytes: maxBytes}
+}
+
+// admit blocks until the query fits (a concurrency slot is free and
+// estBytes fits the remaining aggregate budget), its context ends, or
+// the controller closes. On success it returns a release function that
+// must be called exactly once when the query finishes. The returned
+// wait duration is how long the query queued.
+//
+// A query is also admitted when it is alone (running == 0) even if
+// estBytes exceeds the byte budget: the engine's own MaxBytes
+// degradation then decides between degrading workers and refusing, so
+// an over-budget query can never deadlock the queue.
+func (a *admission) admit(ctx context.Context, estBytes int64) (release func(), wait time.Duration, err error) {
+	start := time.Now()
+	for {
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			obsRejectedShut.Inc()
+			return nil, time.Since(start), ErrShuttingDown
+		}
+		if a.running < a.maxConcurrent &&
+			(a.maxBytes <= 0 || a.usedBytes+estBytes <= a.maxBytes || a.running == 0) {
+			a.running++
+			a.usedBytes += estBytes
+			obsInflight.Set(int64(a.running))
+			obsInflightBytes.Set(a.usedBytes)
+			a.mu.Unlock()
+			obsAdmitted.Inc()
+			w := time.Since(start)
+			obsQueueWait.Add(w)
+			return func() { a.release(estBytes) }, w, nil
+		}
+		turn := make(chan struct{})
+		a.waiters = append(a.waiters, turn)
+		obsQueuedPeak.SetMax(int64(len(a.waiters)))
+		a.mu.Unlock()
+		select {
+		case <-turn:
+			// A release or Close happened; re-check the fit.
+		case <-ctx.Done():
+			a.dropWaiter(turn)
+			obsQueueTimeouts.Inc()
+			return nil, time.Since(start), pipeerr.NoteCancel(pipeerr.QueueTimeout(ctx.Err()))
+		}
+	}
+}
+
+// release returns a query's slot and bytes and wakes every waiter to
+// re-check the fit (broadcast keeps the logic simple; the queue is
+// short by construction).
+func (a *admission) release(estBytes int64) {
+	a.mu.Lock()
+	a.running--
+	a.usedBytes -= estBytes
+	if a.running < 0 || a.usedBytes < 0 {
+		// A double release is a programming error in the server, but a
+		// serving process must not corrupt its accounting silently.
+		a.running = max(a.running, 0)
+		a.usedBytes = max(a.usedBytes, 0)
+	}
+	obsInflight.Set(int64(a.running))
+	obsInflightBytes.Set(a.usedBytes)
+	a.wakeAllLocked()
+	a.mu.Unlock()
+}
+
+// dropWaiter removes a timed-out waiter; its slot in line is gone.
+func (a *admission) dropWaiter(turn chan struct{}) {
+	a.mu.Lock()
+	for i, w := range a.waiters {
+		if w == turn {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
+}
+
+// wakeAllLocked signals every waiter and clears the list; woken
+// waiters re-enter admit's loop and re-queue if they still do not fit.
+func (a *admission) wakeAllLocked() {
+	for _, w := range a.waiters {
+		close(w)
+	}
+	a.waiters = nil
+}
+
+// close refuses new admissions and fails queued waiters with
+// ErrShuttingDown; running queries are unaffected.
+func (a *admission) close() {
+	a.mu.Lock()
+	a.closed = true
+	a.wakeAllLocked()
+	a.mu.Unlock()
+}
+
+// refuseOverBudget applies the up-front budget check: when even the
+// sequential-execution estimate of a query exceeds the aggregate
+// budget, it is refused with the typed pipeerr.ErrBudgetExceeded
+// before it ever queues. Otherwise it returns the worker count the
+// aggregate budget permits (the engine's per-query budget may degrade
+// it further once the true row count and plan are known).
+func (a *admission) refuseOverBudget(workers int, estimate func(workers int) int64) (int, error) {
+	if a.maxBytes <= 0 {
+		if workers < 1 {
+			workers = 1
+		}
+		return workers, nil
+	}
+	w, err := pipeerr.DegradeWorkers(workers, a.maxBytes, estimate)
+	if err != nil {
+		obsRejectedBudg.Inc()
+		return 0, fmt.Errorf("server: %w", err)
+	}
+	return w, nil
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pipeerr"
+	"repro/internal/testutil"
+)
+
+func TestAdmissionConcurrencyLimit(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	a := newAdmission(1, 0)
+	release, _, err := a.admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The second query must queue, then time out with the typed error.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := a.admit(ctx, 0); err == nil {
+		t.Fatal("second admit succeeded past maxConcurrent=1")
+	} else {
+		if !errors.Is(err, pipeerr.ErrQueueTimeout) {
+			t.Errorf("queue expiry error %v does not wrap ErrQueueTimeout", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("queue expiry error %v does not wrap DeadlineExceeded", err)
+		}
+	}
+
+	// After release the slot is available again.
+	release()
+	release2, _, err := a.admit(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	release2()
+}
+
+func TestAdmissionReleaseWakesWaiter(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	a := newAdmission(1, 0)
+	release, _, err := a.admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := make(chan error, 1)
+	go func() {
+		r, wait, err := a.admit(context.Background(), 0)
+		if err == nil {
+			if wait < 0 {
+				err = errors.New("negative queue wait")
+			}
+			r()
+		}
+		admitted <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue
+	release()
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("waiter not admitted after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still queued after release")
+	}
+}
+
+func TestAdmissionByteBudget(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	a := newAdmission(4, 100)
+	r1, _, err := a.admit(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 60 + 60 > 100: the second query queues despite free slots.
+	admitted := make(chan error, 1)
+	go func() {
+		r2, _, err := a.admit(context.Background(), 60)
+		if err == nil {
+			r2()
+		}
+		admitted <- err
+	}()
+	select {
+	case err := <-admitted:
+		t.Fatalf("over-budget query admitted immediately (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+		// Still queued: correct.
+	}
+	r1()
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("queued query failed after bytes freed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued query never admitted after bytes freed")
+	}
+}
+
+// A query whose estimate alone exceeds the budget must still be
+// admitted when nothing else runs — the engine's per-query budget then
+// degrades or refuses it; the queue must not deadlock.
+func TestAdmissionOverBudgetAloneAdmitted(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	a := newAdmission(4, 100)
+	release, _, err := a.admit(context.Background(), 1000)
+	if err != nil {
+		t.Fatalf("lone over-budget query refused at admission: %v", err)
+	}
+	release()
+}
+
+func TestAdmissionClose(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	a := newAdmission(1, 0)
+	release, _, err := a.admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A queued waiter fails fast with ErrShuttingDown on close.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := a.admit(context.Background(), 0)
+		waiterErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.close()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, ErrShuttingDown) {
+			t.Errorf("queued waiter error = %v, want ErrShuttingDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter hung through close")
+	}
+
+	// New admissions are refused; the running query's release is benign.
+	if _, _, err := a.admit(context.Background(), 0); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("post-close admit error = %v, want ErrShuttingDown", err)
+	}
+	release()
+}
+
+func TestRefuseOverBudget(t *testing.T) {
+	// Unlimited budget: workers pass through (floored at 1).
+	a := newAdmission(4, 0)
+	if w, err := a.refuseOverBudget(0, func(int) int64 { return 1 << 40 }); err != nil || w != 1 {
+		t.Errorf("unlimited budget: (%d, %v), want (1, nil)", w, err)
+	}
+
+	// Bounded budget degrades workers until the estimate fits.
+	a = newAdmission(4, 300)
+	w, err := a.refuseOverBudget(4, func(w int) int64 { return int64(w) * 200 })
+	if err != nil {
+		t.Fatalf("degradable query refused: %v", err)
+	}
+	if got := int64(w) * 200; got > 300 {
+		t.Errorf("degraded to %d workers (est %d), still over budget 300", w, got)
+	}
+
+	// Even sequential execution over budget: typed refusal.
+	if _, err := a.refuseOverBudget(4, func(int) int64 { return 1000 }); !errors.Is(err, pipeerr.ErrBudgetExceeded) {
+		t.Errorf("non-degradable query error = %v, want ErrBudgetExceeded", err)
+	}
+}

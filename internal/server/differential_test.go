@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/testutil"
+	"repro/internal/workloads"
+)
+
+// diffWorkers is the worker sweep of the differential battery.
+var diffWorkers = []int{1, 4, 8}
+
+// directOracle runs every TPC-H query directly through engine.RunContext
+// at the given worker count and returns query id -> canonical encoding.
+func directOracle(t *testing.T, srv *Server, items []workloads.Item, workers int) map[string][]byte {
+	t.Helper()
+	oracle := make(map[string][]byte, len(items))
+	for _, it := range items {
+		res, err := engine.RunContext(context.Background(), it.Table, it.Query, directOptions(srv, workers))
+		if err != nil {
+			t.Fatalf("direct %s (workers=%d): %v", it.ID, workers, err)
+		}
+		enc, err := canonEngine(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[it.ID] = enc
+	}
+	return oracle
+}
+
+// TestDifferentialHandlerVsEngine submits every TPC-H workload query
+// through the mcsd handler path and asserts the result encoding is
+// byte-identical to a direct engine.RunContext call, at workers
+// {1, 4, 8}, on both the uncached (plan-search) and cached
+// (PlanOverride replay) paths.
+func TestDifferentialHandlerVsEngine(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tbl := testTPCH(t, 4000)
+	items := workloads.TPCHQueries(tbl, "")
+	srv := newTestServer(t, Config{MaxConcurrent: 4}, tbl)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	for _, workers := range diffWorkers {
+		oracle := directOracle(t, srv, items, workers)
+		for _, it := range items {
+			req := reqFromQuery(t, tbl.Name, it.Query, workers)
+			for pass, wantHit := range []bool{false, true} {
+				res, err := doQuery(hs.URL, req)
+				if err != nil {
+					t.Fatalf("%s workers=%d pass=%d: %v", it.ID, workers, pass, err)
+				}
+				if res.PlanCacheHit != wantHit {
+					t.Errorf("%s workers=%d pass=%d: PlanCacheHit=%v, want %v",
+						it.ID, workers, pass, res.PlanCacheHit, wantHit)
+				}
+				got, err := canonServer(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, oracle[it.ID]) {
+					t.Errorf("%s workers=%d pass=%d (cached=%v): server result diverges from direct engine run\nserver: %s\ndirect: %s",
+						it.ID, workers, pass, wantHit, got, oracle[it.ID])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialConcurrentClients replays the oracle comparison under
+// client concurrency {1, 8, 32}: every client's every result must still
+// be byte-identical to the direct engine run, with queries contending
+// for admission slots and the shared plan cache.
+func TestDifferentialConcurrentClients(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tbl := testTPCH(t, 4000)
+	items := workloads.TPCHQueries(tbl, "")
+	srv := newTestServer(t, Config{MaxConcurrent: 4}, tbl)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	const workers = 4
+	oracle := directOracle(t, srv, items, workers)
+
+	for _, clients := range []int{1, 8, 32} {
+		t.Run(fmt.Sprintf("clients=%d", clients), func(t *testing.T) {
+			errCh := make(chan error, clients)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					// Each client walks the query set from its own offset so
+					// distinct queries are in flight simultaneously.
+					for i := 0; i < len(items); i++ {
+						it := items[(c+i)%len(items)]
+						req := reqFromQuery(t, tbl.Name, it.Query, workers)
+						res, err := doQuery(hs.URL, req)
+						if err != nil {
+							errCh <- fmt.Errorf("client %d %s: %w", c, it.ID, err)
+							return
+						}
+						got, err := canonServer(res)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if !bytes.Equal(got, oracle[it.ID]) {
+							errCh <- fmt.Errorf("client %d %s: result diverges from direct engine run", c, it.ID)
+							return
+						}
+					}
+					errCh <- nil
+				}(c)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSynchronousRun checks the in-process Run path (the
+// same admission + cache + engine pipeline without the job layer)
+// against the oracle, workers swept.
+func TestDifferentialSynchronousRun(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tbl := testTPCH(t, 4000)
+	items := workloads.TPCHQueries(tbl, "")
+	srv := newTestServer(t, Config{MaxConcurrent: 4}, tbl)
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	for _, workers := range diffWorkers {
+		oracle := directOracle(t, srv, items, workers)
+		for _, it := range items {
+			res, err := srv.Run(context.Background(), reqFromQuery(t, tbl.Name, it.Query, workers))
+			if err != nil {
+				t.Fatalf("Run %s workers=%d: %v", it.ID, workers, err)
+			}
+			got, err := canonServer(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, oracle[it.ID]) {
+				t.Errorf("Run %s workers=%d: result diverges from direct engine run", it.ID, workers)
+			}
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Wire surface of mcsd: HTTP/JSON on the stdlib mux.
+//
+//	POST /query            submit a query; returns {"job_id": "..."}
+//	GET  /jobs/{id}        poll a job's status
+//	GET  /jobs/{id}/result fetch a finished job's result
+//	GET  /tables           list registered tables
+//	GET  /metrics          obs snapshot as JSON (plan cache, admission,
+//	                       pipeline counters)
+//	GET  /healthz          liveness probe
+//
+// The request decoder is strict — unknown fields, absurd column lists,
+// and negative workers/budgets are rejected with a 400 before any
+// engine code runs — and fuzzed (FuzzQueryRequest) so no byte sequence
+// can panic the serving path.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/byteslice"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+	"repro/internal/planner"
+)
+
+// errInvalidRequest is the class every request-validation failure
+// wraps; the wire layer maps it to 400.
+var errInvalidRequest = errors.New("server: invalid request")
+
+// Validation bounds. Requests beyond them are rejected up front: the
+// engine would grind through them, but no legitimate query sorts more
+// than a handful of columns, and the serving layer must not let one
+// absurd request allocate unboundedly.
+const (
+	// MaxSortCols bounds the sort clause (the paper's widest evaluated
+	// clause is m = 7; 16 leaves headroom).
+	MaxSortCols = 16
+	// MaxFilters bounds the conjunctive filter list.
+	MaxFilters = 64
+	// MaxNameLen bounds any column or table name.
+	MaxNameLen = 256
+	// MaxWorkers bounds the per-query worker request.
+	MaxWorkers = 1024
+)
+
+// SortColReq names one sort column on the wire.
+type SortColReq struct {
+	Name string `json:"name"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+// FilterReq is one conjunctive predicate on the wire. Op is one of
+// eq, neq, lt, le, gt, ge — or empty with Between set.
+type FilterReq struct {
+	Col     string `json:"col"`
+	Op      string `json:"op,omitempty"`
+	Const   uint64 `json:"const,omitempty"`
+	Between bool   `json:"between,omitempty"`
+	Lo      uint64 `json:"lo,omitempty"`
+	Hi      uint64 `json:"hi,omitempty"`
+}
+
+// AggReq selects the grouped aggregate: count, sum, or avg.
+type AggReq struct {
+	Kind string `json:"kind"`
+	Col  string `json:"col,omitempty"`
+}
+
+// WindowReq describes RANK() OVER (PARTITION BY sort_cols ORDER BY
+// order_col).
+type WindowReq struct {
+	OrderCol string `json:"order_col"`
+	Desc     bool   `json:"desc,omitempty"`
+}
+
+// QueryRequest is the wire form of one query.
+type QueryRequest struct {
+	Table      string       `json:"table"`
+	ID         string       `json:"id,omitempty"`
+	Kind       string       `json:"kind"` // orderby | groupby | partitionby
+	SortCols   []SortColReq `json:"sort_cols"`
+	Filters    []FilterReq  `json:"filters,omitempty"`
+	Agg        *AggReq      `json:"agg,omitempty"`
+	Window     *WindowReq   `json:"window,omitempty"`
+	OrderByAgg bool         `json:"order_by_agg,omitempty"`
+	// Workers requests a per-query worker count (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// MaxBytes caps this query's estimated transient footprint
+	// (0 = the admission reservation / unlimited).
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// TimeoutMS bounds the query end to end, queue wait included
+	// (0 = none). A deadline that expires while queued fails with the
+	// typed queue_timeout kind, not a hang.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResult is the wire form of a finished query. The data fields
+// (Rows, GroupKeys, Aggregates, Ranks, RowOids) are exactly the
+// engine's — the differential battery asserts byte identity of their
+// encoding against a direct engine.RunContext call.
+type QueryResult struct {
+	JobID        string     `json:"job_id,omitempty"`
+	Table        string     `json:"table"`
+	Rows         int        `json:"rows"`
+	GroupKeys    [][]uint64 `json:"group_keys,omitempty"`
+	Aggregates   []uint64   `json:"aggregates,omitempty"`
+	Ranks        []uint32   `json:"ranks,omitempty"`
+	RowOids      []uint32   `json:"row_oids,omitempty"`
+	Workers      int        `json:"workers,omitempty"`
+	Plan         string     `json:"plan"`
+	ColOrder     []int      `json:"col_order"`
+	PlanCacheHit bool       `json:"plan_cache_hit"`
+	QueueWaitNS  int64      `json:"queue_wait_ns"`
+	ExecNS       int64      `json:"exec_ns"`
+}
+
+// ParseQueryRequest strictly decodes and validates one JSON request
+// body. Unknown fields, trailing garbage, and out-of-range values are
+// all errInvalidRequest failures.
+func ParseQueryRequest(data []byte) (*QueryRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", errInvalidRequest, err)
+	}
+	// Reject trailing non-whitespace (a second JSON document).
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", errInvalidRequest)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the request's shape without touching any table.
+func (r *QueryRequest) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", errInvalidRequest, fmt.Sprintf(format, args...))
+	}
+	if r.Table == "" || len(r.Table) > MaxNameLen {
+		return bad("table name must be 1..%d bytes", MaxNameLen)
+	}
+	if len(r.ID) > MaxNameLen {
+		return bad("query id longer than %d bytes", MaxNameLen)
+	}
+	if _, err := r.clauseKind(); err != nil {
+		return err
+	}
+	if len(r.SortCols) == 0 {
+		return bad("sort_cols must not be empty")
+	}
+	if len(r.SortCols) > MaxSortCols {
+		return bad("%d sort_cols, max %d", len(r.SortCols), MaxSortCols)
+	}
+	for i, sc := range r.SortCols {
+		if sc.Name == "" || len(sc.Name) > MaxNameLen {
+			return bad("sort_cols[%d].name must be 1..%d bytes", i, MaxNameLen)
+		}
+	}
+	if len(r.Filters) > MaxFilters {
+		return bad("%d filters, max %d", len(r.Filters), MaxFilters)
+	}
+	for i, f := range r.Filters {
+		if f.Col == "" || len(f.Col) > MaxNameLen {
+			return bad("filters[%d].col must be 1..%d bytes", i, MaxNameLen)
+		}
+		if f.Between {
+			if f.Op != "" {
+				return bad("filters[%d]: between and op are mutually exclusive", i)
+			}
+			if f.Lo > f.Hi {
+				return bad("filters[%d]: between lo %d > hi %d", i, f.Lo, f.Hi)
+			}
+		} else if _, err := filterOp(f.Op); err != nil {
+			return bad("filters[%d]: %v", i, err)
+		}
+	}
+	if r.Agg != nil {
+		switch r.Agg.Kind {
+		case "count":
+			// Col ignored.
+		case "sum", "avg":
+			if r.Agg.Col == "" || len(r.Agg.Col) > MaxNameLen {
+				return bad("agg.col must be 1..%d bytes for %s", MaxNameLen, r.Agg.Kind)
+			}
+		default:
+			return bad("agg.kind %q (want count, sum, or avg)", r.Agg.Kind)
+		}
+	}
+	if r.Window != nil {
+		if r.Window.OrderCol == "" || len(r.Window.OrderCol) > MaxNameLen {
+			return bad("window.order_col must be 1..%d bytes", MaxNameLen)
+		}
+		if r.Kind != "partitionby" {
+			return bad("window requires kind partitionby, got %q", r.Kind)
+		}
+		if r.Agg != nil {
+			return bad("window and agg are mutually exclusive")
+		}
+		if r.OrderByAgg {
+			return bad("window and order_by_agg are mutually exclusive")
+		}
+	}
+	if r.Kind == "partitionby" && r.Window == nil {
+		return bad("kind partitionby requires a window")
+	}
+	if r.OrderByAgg && r.Agg == nil {
+		return bad("order_by_agg requires an agg")
+	}
+	if r.Workers < 0 || r.Workers > MaxWorkers {
+		return bad("workers %d out of range [0, %d]", r.Workers, MaxWorkers)
+	}
+	if r.MaxBytes < 0 {
+		return bad("max_bytes %d must be >= 0", r.MaxBytes)
+	}
+	if r.TimeoutMS < 0 {
+		return bad("timeout_ms %d must be >= 0", r.TimeoutMS)
+	}
+	return nil
+}
+
+// clauseKind maps the wire kind to the planner's.
+func (r *QueryRequest) clauseKind() (planner.ClauseKind, error) {
+	switch r.Kind {
+	case "orderby":
+		return planner.OrderBy, nil
+	case "groupby":
+		return planner.GroupBy, nil
+	case "partitionby":
+		return planner.PartitionBy, nil
+	default:
+		return 0, fmt.Errorf("%w: kind %q (want orderby, groupby, or partitionby)", errInvalidRequest, r.Kind)
+	}
+}
+
+// filterOp maps a wire op to the scan operator.
+func filterOp(op string) (byteslice.Op, error) {
+	switch op {
+	case "eq":
+		return byteslice.EQ, nil
+	case "neq":
+		return byteslice.NEQ, nil
+	case "lt":
+		return byteslice.LT, nil
+	case "le":
+		return byteslice.LE, nil
+	case "gt":
+		return byteslice.GT, nil
+	case "ge":
+		return byteslice.GE, nil
+	default:
+		return 0, fmt.Errorf("op %q (want eq, neq, lt, le, gt, or ge)", op)
+	}
+}
+
+// ToEngineQuery converts a validated request into the engine's
+// declarative form. It must only be called after Validate succeeded.
+func (r *QueryRequest) ToEngineQuery() (engine.Query, error) {
+	kind, err := r.clauseKind()
+	if err != nil {
+		return engine.Query{}, err
+	}
+	q := engine.Query{ID: r.ID, Kind: kind, OrderByAgg: r.OrderByAgg}
+	for _, sc := range r.SortCols {
+		q.SortCols = append(q.SortCols, engine.SortCol{Name: sc.Name, Desc: sc.Desc})
+	}
+	for _, f := range r.Filters {
+		ef := engine.Filter{Col: f.Col, Between: f.Between, Lo: f.Lo, Hi: f.Hi, Const: f.Const}
+		if !f.Between {
+			op, err := filterOp(f.Op)
+			if err != nil {
+				return engine.Query{}, fmt.Errorf("%w: %v", errInvalidRequest, err)
+			}
+			ef.Op = op
+		}
+		q.Filters = append(q.Filters, ef)
+	}
+	if r.Agg != nil {
+		a := &engine.Agg{Col: r.Agg.Col}
+		switch r.Agg.Kind {
+		case "count":
+			a.Kind = engine.Count
+		case "sum":
+			a.Kind = engine.Sum
+		case "avg":
+			a.Kind = engine.Avg
+		}
+		q.Agg = a
+	}
+	if r.Window != nil {
+		q.Window = &engine.Window{OrderCol: r.Window.OrderCol, Desc: r.Window.Desc}
+	}
+	return q, nil
+}
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /tables", s.handleTables)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// maxRequestBytes bounds a request body read; a query description has
+// no business being larger.
+const maxRequestBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := ParseQueryRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Submit(*req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"job_id": id})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"tables": s.cfg.Registry.Names()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteJSON(w); err != nil {
+		// Headers are gone; nothing more to do than drop the conn.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readBody reads at most maxRequestBytes of the request body.
+func readBody(r *http.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, maxRequestBytes)); err != nil {
+		return nil, fmt.Errorf("%w: %v", errInvalidRequest, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// statusFor maps server errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errInvalidRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, errNoJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, pipeerr.ErrQueueTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, pipeerr.ErrBudgetExceeded):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusConflict
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the peer hung up; nothing to report to
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

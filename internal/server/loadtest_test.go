@@ -1,0 +1,153 @@
+// Load-test harness: N concurrent clients firing a mixed TPC-H/TPC-DS
+// workload at one server. The assertions are the serving layer's
+// contract, not throughput numbers: no goroutine leaks after drain,
+// queue latency bounded by the run itself, and plan-cache counters
+// that stay monotone and account for every lookup.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/internal/workloads"
+)
+
+func TestLoadMixedWorkload(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+
+	tpch := testTPCH(t, 5000)
+	tpcds := testTPCDS(t, 4000)
+	srv := newTestServer(t, Config{
+		MaxConcurrent: 4,
+		MaxBytes:      1 << 30, // engage byte accounting without refusals
+	}, tpch, tpcds)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// The mix: all TPC-H and TPC-DS queries at varying worker counts.
+	var mix []QueryRequest
+	for i, it := range workloads.TPCHQueries(tpch, "") {
+		mix = append(mix, reqFromQuery(t, tpch.Name, it.Query, 1+i%4))
+	}
+	for i, it := range workloads.TPCDSQueries(tpcds) {
+		mix = append(mix, reqFromQuery(t, tpcds.Name, it.Query, 1+i%4))
+	}
+
+	// Phase 1 — warm the plan cache: every mix entry once, sequentially.
+	for _, req := range mix {
+		if _, err := doQuery(hs.URL, req); err != nil {
+			t.Fatalf("warmup %s: %v", req.ID, err)
+		}
+	}
+	warmHits, warmMisses, warmEvict := srv.PlanCache().Stats()
+	if warmMisses != int64(len(mix)) {
+		t.Errorf("warmup misses = %d, want %d (one per distinct plan key)", warmMisses, len(mix))
+	}
+	if warmEvict != 0 {
+		t.Errorf("warmup evictions = %d, want 0 (cache holds the whole mix)", warmEvict)
+	}
+
+	// Phase 2 — the storm: clients × queriesPerClient over the warmed mix.
+	const (
+		clients          = 16
+		queriesPerClient = 8
+		queueWaitBound   = 60 * time.Second // generous; catches only unbounded waits
+	)
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerClient; i++ {
+				req := mix[(c*7+i)%len(mix)]
+				res, err := doQuery(hs.URL, req)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d query %d (%s): %w", c, i, req.ID, err)
+					return
+				}
+				if !res.PlanCacheHit {
+					errCh <- fmt.Errorf("client %d query %d (%s): plan-cache miss after warmup", c, i, req.ID)
+					return
+				}
+				if wait := time.Duration(res.QueueWaitNS); wait < 0 || wait > queueWaitBound {
+					errCh <- fmt.Errorf("client %d query %d (%s): queue wait %v out of [0, %v]", c, i, req.ID, wait, queueWaitBound)
+					return
+				}
+			}
+			errCh <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Counters are monotone and account exactly: the storm was all hits.
+	hits, misses, evict := srv.PlanCache().Stats()
+	if hits < warmHits || misses < warmMisses || evict < warmEvict {
+		t.Errorf("plan-cache counters went backwards: (%d,%d,%d) -> (%d,%d,%d)",
+			warmHits, warmMisses, warmEvict, hits, misses, evict)
+	}
+	if misses != warmMisses {
+		t.Errorf("storm added misses: %d -> %d (every plan was warmed)", warmMisses, misses)
+	}
+	if want := warmHits + clients*queriesPerClient; hits != want {
+		t.Errorf("hits = %d, want %d (every storm query a hit)", hits, want)
+	}
+	if evict != 0 {
+		t.Errorf("evictions = %d, want 0", evict)
+	}
+}
+
+// TestLoadSubmitDuringShutdown fires clients at a server while it
+// drains: every query must terminate (success or a typed refusal),
+// never hang, and the drain itself must complete.
+func TestLoadSubmitDuringShutdown(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+
+	tpch := testTPCH(t, 3000)
+	srv := newTestServer(t, Config{MaxConcurrent: 2}, tpch)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	items := workloads.TPCHQueries(tpch, "")
+	const clients = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 4; i++ {
+				req := reqFromQuery(t, tpch.Name, items[(c+i)%len(items)].Query, 2)
+				// Refusals (503 shutting down) are expected mid-drain; hangs
+				// and non-typed failures are not. doQuery surfaces both as
+				// errors, so just check it returns.
+				_, _ = doQuery(hs.URL, req)
+			}
+		}(c)
+	}
+	close(start)
+	time.Sleep(10 * time.Millisecond) // let some queries land mid-flight
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		t.Errorf("drain did not complete: %v", err)
+	}
+	wg.Wait()
+}

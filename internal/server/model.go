@@ -1,0 +1,34 @@
+// BuiltinModel: a fixed, conservative cost-model profile for
+// environments where a multi-second calibration run at startup is
+// unwanted (CI smoke tests, containers with noisy neighbors). The
+// constants are in the same regime as a real calibration on a modern
+// x86 server; plan quality degrades gracefully when they are off,
+// correctness never depends on them.
+package server
+
+import "repro/internal/costmodel"
+
+// BuiltinModel returns a process-independent cost model with fixed
+// constants. mcsd uses it under -model builtin; tests use it to keep
+// plan choices deterministic across machines.
+func BuiltinModel() *costmodel.Model {
+	return &costmodel.Model{
+		L2:     1 << 21,
+		LLC:    1 << 23,
+		Fanout: 8,
+		C: costmodel.Constants{
+			CCache:    2,
+			CMem:      60,
+			CMassage:  1,
+			CScan:     1.5,
+			SmallCall: 60,
+			SmallElem: 15,
+			SmallQuad: 1,
+			Bank: map[int]costmodel.BankConstants{
+				16: {COverhead: 400, CLinear: 220, COutOfCache: 40},
+				32: {COverhead: 400, CLinear: 300, COutOfCache: 55},
+				64: {COverhead: 400, CLinear: 420, COutOfCache: 80},
+			},
+		},
+	}
+}

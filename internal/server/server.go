@@ -1,0 +1,500 @@
+// Server core: the session/job layer of mcsd. Submit registers a query
+// as an asynchronous job and schedules it under the base context;
+// Status and Result poll it; Run is the synchronous form the handlers
+// and tests share. Every job flows through exactly one
+// engine.RunContext call, with the plan cache deciding whether the
+// ROGA search runs or a memoized choice is replayed via PlanOverride.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+	"repro/internal/planner"
+	"repro/internal/table"
+)
+
+var (
+	obsServerQueries = obs.NewCounter("server.queries")
+	obsServerErrors  = obs.NewCounter("server.query_errors")
+	obsExecTime      = obs.NewTimer("server.exec")
+)
+
+// DefaultMaxPlans is the counted plan-search budget when
+// Config.MaxPlans is 0: enough to search small clauses exhaustively
+// while keeping a 7-column free-order clause (the paper's widest)
+// bounded.
+const DefaultMaxPlans = 1 << 16
+
+// Config tunes a Server.
+type Config struct {
+	// Registry holds the queryable tables; required.
+	Registry *Registry
+	// Model is the calibrated cost model every plan search uses;
+	// required (mcsd calibrates or loads one at startup, tests inject a
+	// synthetic one).
+	Model *costmodel.Model
+	// Rho is the plan-search time threshold (planner.Search.Rho).
+	// mcsd runs with a negative value — no wall-clock cutoff — so the
+	// search outcome never depends on machine speed.
+	Rho float64
+	// MaxPlans is the counted plan-search budget (engine.Options
+	// .MaxPlans, DefaultMaxPlans when 0). Together with a negative Rho
+	// it makes plan choice deterministic: repeated identical queries
+	// pick identical plans, so a plan-cache hit can never change a
+	// query's result — only skip the search. It also bounds the
+	// m!-order search of wide GROUP BY clauses, which is combinatorially
+	// infeasible to run exhaustively.
+	MaxPlans int
+	// MaxConcurrent bounds the number of queries executing at once
+	// (default 1). Excess queries wait in the admission queue.
+	MaxConcurrent int
+	// MaxBytes bounds the aggregate estimated transient footprint of
+	// all executing queries; <= 0 means unlimited. A query that cannot
+	// fit alone even sequentially is refused with
+	// pipeerr.ErrBudgetExceeded.
+	MaxBytes int64
+	// DefaultWorkers is the per-query worker count used when a request
+	// does not name one (default 1).
+	DefaultWorkers int
+	// PlanCacheSize bounds the plan cache (DefaultPlanCacheSize when 0).
+	PlanCacheSize int
+}
+
+// Server is a concurrent query service over registered tables.
+type Server struct {
+	cfg   Config
+	cache *PlanCache
+	adm   *admission
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg sync.WaitGroup // running jobs
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+}
+
+// JobState is the lifecycle of one submitted query.
+type JobState string
+
+const (
+	// JobQueued: accepted, not yet executing (possibly waiting for
+	// admission).
+	JobQueued JobState = "queued"
+	// JobRunning: admitted and executing.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; the result is available.
+	JobDone JobState = "done"
+	// JobFailed: finished with an error.
+	JobFailed JobState = "failed"
+)
+
+// job is one submitted query and its terminal state.
+type job struct {
+	id  string
+	req QueryRequest
+
+	mu     sync.Mutex
+	state  JobState
+	res    *QueryResult
+	err    error
+	doneCh chan struct{}
+}
+
+// JobStatus is the pollable view of a job.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Error is the failure message (JobFailed only), with Kind its
+	// machine-readable class: "queue_timeout", "execution_timeout",
+	// "budget", "shutdown", "invalid", or "internal".
+	Error string `json:"error,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// New validates cfg and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("server: Config.Registry is required")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("server: Config.Model is required")
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.DefaultWorkers < 1 {
+		cfg.DefaultWorkers = 1
+	}
+	if cfg.MaxPlans <= 0 {
+		cfg.MaxPlans = DefaultMaxPlans
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		cache:      NewPlanCache(cfg.PlanCacheSize, cfg.Model),
+		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxBytes),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+	}, nil
+}
+
+// PlanCache exposes the server's plan cache (tests and /metrics-side
+// introspection).
+func (s *Server) PlanCache() *PlanCache { return s.cache }
+
+// Submit registers req as an asynchronous job and schedules it on the
+// server's base context (plus the request's own timeout, if any). It
+// returns the job id to poll.
+func (s *Server) Submit(req QueryRequest) (string, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrShuttingDown
+	}
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("j%d", s.nextID),
+		req:    req,
+		state:  JobQueued,
+		doneCh: make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		ctx := s.baseCtx
+		var cancel context.CancelFunc
+		if req.TimeoutMS > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		res, err := s.run(ctx, j, req)
+		j.mu.Lock()
+		if err != nil {
+			j.state, j.err = JobFailed, err
+		} else {
+			j.state, j.res = JobDone, res
+		}
+		j.mu.Unlock()
+		close(j.doneCh)
+	}()
+	return j.id, nil
+}
+
+// Status returns the job's current state.
+func (s *Server) Status(id string) (JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state}
+	if j.err != nil {
+		st.Error = j.err.Error()
+		st.Kind = errorKind(j.err)
+	}
+	return st, nil
+}
+
+// Result returns the finished job's result, or an error when the job
+// failed or has not finished yet.
+func (s *Server) Result(id string) (*QueryResult, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobDone:
+		return j.res, nil
+	case JobFailed:
+		return nil, j.err
+	default:
+		return nil, fmt.Errorf("server: job %s is %s", id, j.state)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends, then
+// returns its result as Result would.
+func (s *Server) Wait(ctx context.Context, id string) (*QueryResult, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.doneCh:
+		return s.Result(id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Run executes req synchronously on the caller's context: the same
+// admission, plan-cache, and engine path Submit's jobs take.
+func (s *Server) Run(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	return s.run(ctx, nil, req)
+}
+
+// Shutdown drains the server: new submissions are refused and queued
+// waiters fail with ErrShuttingDown, running queries get until ctx
+// ends to finish, then the base context is cancelled so stragglers
+// unwind through the pipeline's cooperative cancellation. It returns
+// nil when the drain completed cleanly and ctx.Err() when stragglers
+// had to be cancelled (they still complete before Shutdown returns —
+// no goroutine outlives it).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.adm.close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// errNoJob is wrapped by lookups of unknown job ids (wire: 404).
+var errNoJob = errors.New("server: no such job")
+
+// job looks up a submitted job by id.
+func (s *Server) job(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", errNoJob, id)
+	}
+	return j, nil
+}
+
+// run is the one execution path: resolve the table, consult the plan
+// cache, pass admission, and call engine.RunContext.
+func (s *Server) run(ctx context.Context, j *job, req QueryRequest) (*QueryResult, error) {
+	obsServerQueries.Inc()
+	res, err := s.execute(ctx, j, req)
+	if err != nil {
+		obsServerErrors.Inc()
+		return nil, pipeerr.NoteCancel(err)
+	}
+	return res, nil
+}
+
+func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryResult, error) {
+	t, err := s.cfg.Registry.Lookup(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	q, err := req.ToEngineQuery()
+	if err != nil {
+		return nil, err
+	}
+	widths, err := sortColWidths(t, q)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+	// Worst-case footprint: every table row selected, one round per
+	// 16-bit slice of the concatenated key (no plan can have more).
+	nCols := len(widths)
+	totalW := 0
+	for _, w := range widths {
+		totalW += w
+	}
+	maxRounds := (totalW + 15) / 16
+	if maxRounds < nCols {
+		maxRounds = nCols
+	}
+	estimate := func(w int) int64 {
+		return engine.EstimatePipelineBytes(t.N, nCols, maxRounds, w)
+	}
+	workers, err = s.adm.refuseOverBudget(workers, estimate)
+	if err != nil {
+		return nil, err
+	}
+	est := estimate(workers)
+
+	// Admission: queue until a slot and the bytes are free, honoring
+	// the request deadline while queued (typed ErrQueueTimeout).
+	release, queueWait, err := s.adm.admit(ctx, est)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if j != nil {
+		j.mu.Lock()
+		j.state = JobRunning
+		j.mu.Unlock()
+	}
+
+	key := planKey(t, q, widths, workers, s.cfg.Rho, s.cfg.MaxPlans)
+	choice, hit := s.cache.Get(key)
+	opts := engine.Options{
+		Massaging: true,
+		Model:     s.cfg.Model,
+		Rho:       s.cfg.Rho,
+		MaxPlans:  s.cfg.MaxPlans,
+		Workers:   workers,
+		MaxBytes:  maxQueryBytes(req.MaxBytes, s.cfg.MaxBytes, est),
+	}
+	if hit {
+		opts.PlanOverride = &choice
+	}
+	execStart := time.Now()
+	eres, err := engine.RunContext(ctx, t, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	obsExecTime.Add(time.Since(execStart))
+	if !hit {
+		s.cache.Put(key, planner.Choice{
+			ColOrder: eres.ColOrder,
+			Plan:     eres.Plan,
+			Est:      eres.PredictedMCS,
+		})
+	}
+	return buildResult(j, req, eres, hit, queueWait, time.Since(execStart)), nil
+}
+
+// maxQueryBytes resolves the per-query engine budget: the request's own
+// cap when given, otherwise the admission reservation (so a query never
+// uses more than it was admitted for) when the server budget is bounded,
+// otherwise unlimited.
+func maxQueryBytes(reqBytes, serverBytes, reserved int64) int64 {
+	if reqBytes > 0 {
+		return reqBytes
+	}
+	if serverBytes > 0 {
+		return reserved
+	}
+	return 0
+}
+
+// sortColWidths resolves the bit width of every sort column (including
+// a window's order column), validating the columns exist.
+func sortColWidths(t *table.Table, q engine.Query) ([]int, error) {
+	cols := make([]string, 0, len(q.SortCols)+1)
+	for _, sc := range q.SortCols {
+		cols = append(cols, sc.Name)
+	}
+	if q.Window != nil {
+		cols = append(cols, q.Window.OrderCol)
+	}
+	widths := make([]int, len(cols))
+	for i, name := range cols {
+		bs, err := t.ByteSlice(name)
+		if err != nil {
+			return nil, err
+		}
+		widths[i] = bs.Width
+	}
+	return widths, nil
+}
+
+// planKey builds the cache key: everything the search outcome depends
+// on. Filters are included because they change the row count the cost
+// model sees; workers because calibration may become worker-aware.
+func planKey(t *table.Table, q engine.Query, widths []int, workers int, rho float64, maxPlans int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%s|n=%d|k=%d|rho=%g|mp=%d|w=%d|oba=%t", t.Name, t.N, q.Kind, rho, maxPlans, workers, q.OrderByAgg)
+	for i, sc := range q.SortCols {
+		fmt.Fprintf(&b, "|c=%s/%d/%t", sc.Name, widths[i], sc.Desc)
+	}
+	if q.Window != nil {
+		fmt.Fprintf(&b, "|win=%s/%d/%t", q.Window.OrderCol, widths[len(widths)-1], q.Window.Desc)
+	}
+	for _, f := range q.Filters {
+		if f.Between {
+			fmt.Fprintf(&b, "|f=%s between %d %d", f.Col, f.Lo, f.Hi)
+		} else {
+			fmt.Fprintf(&b, "|f=%s %d %d", f.Col, f.Op, f.Const)
+		}
+	}
+	return b.String()
+}
+
+// buildResult converts an engine result into the wire form.
+func buildResult(j *job, req QueryRequest, eres *engine.Result, cacheHit bool, queueWait, exec time.Duration) *QueryResult {
+	res := &QueryResult{
+		Table:        req.Table,
+		Rows:         eres.Rows,
+		GroupKeys:    eres.GroupKeys,
+		Aggregates:   eres.Aggregates,
+		Ranks:        eres.Ranks,
+		RowOids:      eres.RowOids,
+		Workers:      eres.Workers,
+		Plan:         eres.Plan.String(),
+		ColOrder:     eres.ColOrder,
+		PlanCacheHit: cacheHit,
+		QueueWaitNS:  queueWait.Nanoseconds(),
+		ExecNS:       exec.Nanoseconds(),
+	}
+	if j != nil {
+		res.JobID = j.id
+	}
+	return res
+}
+
+// errorKind classifies a job failure for the wire (JobStatus.Kind).
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, pipeerr.ErrQueueTimeout):
+		return "queue_timeout"
+	case errors.Is(err, pipeerr.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutdown"
+	case pipeerr.IsCtxErr(err):
+		return "execution_timeout"
+	case errors.Is(err, errInvalidRequest):
+		return "invalid"
+	default:
+		return "internal"
+	}
+}

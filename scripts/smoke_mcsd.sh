@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the mcsd query daemon (docs/serving.md):
+# build, start against a small TPC-H table, run the same query twice,
+# assert the second run hit the plan cache (visible on /metrics),
+# then SIGTERM and require a clean drain (exit 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${MCSD_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/mcsd"
+LOG="$(mktemp)"
+
+cleanup() {
+  if [[ -n "${MCSD_PID:-}" ]] && kill -0 "$MCSD_PID" 2>/dev/null; then
+    kill -KILL "$MCSD_PID" 2>/dev/null || true
+  fi
+  rm -f "$BIN" "$LOG"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "smoke_mcsd: FAIL: $*" >&2
+  echo "--- mcsd log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+echo "smoke_mcsd: building mcsd"
+go build -o "$BIN" ./cmd/mcsd
+
+echo "smoke_mcsd: starting mcsd on $ADDR"
+"$BIN" -addr "$ADDR" -tables tpch -tablerows 8000 -model builtin \
+  -max-concurrent 2 -workers 2 -drain-timeout 20s >"$LOG" 2>&1 &
+MCSD_PID=$!
+
+# Wait for readiness.
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$MCSD_PID" 2>/dev/null || fail "mcsd exited during startup"
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" | grep -q '"ok"' || fail "healthz not ok"
+
+QUERY='{"table":"tpch_wide","kind":"groupby","sort_cols":[{"name":"p_brand"},{"name":"p_type"},{"name":"p_size"}],"filters":[{"col":"p_size","op":"neq","const":15}],"agg":{"kind":"count"},"order_by_agg":true,"workers":2}'
+
+run_query() {
+  local job state
+  job=$(curl -fsS "$BASE/query" -d "$QUERY" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+  [[ -n "$job" ]] || fail "submit returned no job_id"
+  for _ in $(seq 1 200); do
+    state=$(curl -fsS "$BASE/jobs/$job" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$state" in
+      done) curl -fsS "$BASE/jobs/$job/result"; return 0 ;;
+      failed) fail "job $job failed: $(curl -fsS "$BASE/jobs/$job")" ;;
+    esac
+    sleep 0.1
+  done
+  fail "job $job did not finish"
+}
+
+echo "smoke_mcsd: first query (plan-cache miss)"
+run_query | grep -q '"plan_cache_hit":false' || fail "first query reported a cache hit"
+
+echo "smoke_mcsd: second query (plan-cache hit)"
+run_query | grep -q '"plan_cache_hit":true' || fail "second query missed the plan cache"
+
+echo "smoke_mcsd: checking /metrics for plancache hits"
+METRICS=$(curl -fsS "$BASE/metrics")
+HITS=$(printf '%s' "$METRICS" | tr -d ' \n' \
+  | sed -n 's/.*"name":"server\.plancache_hits","value":\([0-9]*\).*/\1/p')
+[[ -n "$HITS" && "$HITS" -ge 1 ]] || fail "server.plancache_hits=$HITS, want >= 1"
+
+echo "smoke_mcsd: draining with SIGTERM"
+kill -TERM "$MCSD_PID"
+if ! wait "$MCSD_PID"; then
+  fail "mcsd exited non-zero on SIGTERM"
+fi
+MCSD_PID=
+grep -q "drained cleanly" "$LOG" || fail "no clean-drain message in log"
+
+echo "smoke_mcsd: PASS"
