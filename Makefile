@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzMergesortSort -fuzztime=30s ./internal/mergesort/
 	$(GO) test -fuzz=FuzzRadixSort -fuzztime=20s ./internal/mergesort/
 	$(GO) test -fuzz=FuzzParallelMerge -fuzztime=30s ./internal/mergesort/
+	$(GO) test -fuzz=FuzzOVCMerge -fuzztime=30s ./internal/mergesort/
 	$(GO) test -fuzz=FuzzMassageRoundTrip -fuzztime=30s ./internal/massage/
 	$(GO) test -fuzz=FuzzQueryRequest -fuzztime=20s ./internal/server/
 
@@ -44,7 +45,7 @@ bench:
 # CI gate: emit BENCH_pr2.json and fail on a >5% normalized
 # single-thread regression against bench/baseline_pr2.json.
 bench-regress:
-	BENCH_REGRESS=1 $(GO) test -run TestBenchRegression -v -timeout 20m .
+	BENCH_REGRESS=1 $(GO) test -run 'TestBenchRegression|TestBenchOVCSkewSweep' -v -timeout 20m .
 
 # Regenerate the committed baseline (run on a quiet machine).
 bench-baseline:

@@ -35,6 +35,7 @@ import (
 const (
 	benchRows      = 1 << 20
 	benchReps      = 3
+	benchOVCReps   = 5 // paired on/off reps; the 5% gate needs the extra stability
 	benchTolerance = 0.05
 	benchBaseline  = "bench/baseline_pr2.json"
 	benchOutput    = "BENCH_pr2.json"
@@ -239,4 +240,136 @@ func TestBenchRegression(t *testing.T) {
 			100*(rep.NormSingleTh/base.NormSingleTh-1), 100*tol)
 	}
 	t.Logf("within tolerance: normalized %.3f vs baseline %.3f", rep.NormSingleTh, base.NormSingleTh)
+}
+
+// --- OVC skew sweep -------------------------------------------------
+//
+// TestBenchOVCSkewSweep measures the offset-value-coded merge against
+// the plain merge across duplicate fractions 0 → 0.99 (8 pre-sorted
+// 1M-row runs, single worker so the comparison is pure merge work).
+// Two gates: unique keys must not regress more than benchTolerance
+// (OVC overhead bound), and dup ≥ 0.9 must not be slower than plain
+// (the tie fast path must at least break even; the speedup figure is
+// emitted into BENCH_pr6.json for tracking).
+
+const benchOVCOutput = "BENCH_pr6.json"
+
+type benchOVCRun struct {
+	DupFrac  float64 `json:"dup_frac"`
+	OnNs     int64   `json:"ovc_on_ns"`
+	OffNs    int64   `json:"ovc_off_ns"`
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+type benchOVCReport struct {
+	Benchmark string        `json:"benchmark"`
+	Rows      int           `json:"rows"`
+	RunsK     int           `json:"runs"`
+	Runs      []benchOVCRun `json:"sweep"`
+}
+
+// benchOVCKeys builds n 32-bit keys with the given duplicate fraction
+// (dup = 1 − distinct/n), cut into nRuns sorted runs.
+func benchOVCKeys(n, nRuns int, dup float64) ([]uint64, []uint32, []int) {
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+	if dup <= 0 {
+		// An odd-multiplier scramble is bijective mod 2^32: all unique.
+		for i := range keys {
+			keys[i] = uint64(uint32(i) * 2654435761)
+		}
+	} else {
+		card := int(float64(n)*(1-dup) + 0.5)
+		if card < 1 {
+			card = 1
+		}
+		rng := rand.New(rand.NewSource(int64(card)))
+		for i := range keys {
+			keys[i] = uint64(uint32(rng.Intn(card)) * 2654435761)
+		}
+	}
+	for i := range oids {
+		oids[i] = uint32(i)
+	}
+	runs := make([]int, nRuns+1)
+	for r := 0; r <= nRuns; r++ {
+		runs[r] = n * r / nRuns
+	}
+	for r := 0; r < nRuns; r++ {
+		mergesort.Sort(32, keys[runs[r]:runs[r+1]], oids[runs[r]:runs[r+1]])
+	}
+	return keys, oids, runs
+}
+
+// benchOVCPair times the plain and the offset-value-coded merge
+// back to back, rep by rep, so slow drift (thermal, scheduler) hits
+// both sides equally; it returns the best rep of each. One untimed
+// warmup pass faults in the working buffers first.
+func benchOVCPair(keys []uint64, oids []uint32, runs []int, reps int) (off, on time.Duration) {
+	pOff := mergesort.DefaultParams(4)
+	pOff.DisableOVC = true
+	pOn := mergesort.DefaultParams(4)
+	k := make([]uint64, len(keys))
+	o := make([]uint32, len(oids))
+	measure := func(p mergesort.Params) time.Duration {
+		copy(k, keys)
+		copy(o, oids)
+		t0 := time.Now()
+		mergesort.ParallelMergeWithParams(32, k, o, runs, p, 1)
+		return time.Since(t0)
+	}
+	measure(pOff)
+	for r := 0; r < reps; r++ {
+		if d := measure(pOff); off == 0 || d < off {
+			off = d
+		}
+		if d := measure(pOn); on == 0 || d < on {
+			on = d
+		}
+	}
+	return off, on
+}
+
+func TestBenchOVCSkewSweep(t *testing.T) {
+	if os.Getenv("BENCH_REGRESS") == "" {
+		t.Skip("set BENCH_REGRESS=1 to run the benchmark-regression gate")
+	}
+	const nRuns = 8
+	rep := benchOVCReport{Benchmark: "ovc_merge_skew_sweep", Rows: benchRows, RunsK: nRuns}
+	for _, dup := range []float64{0, 0.5, 0.9, 0.99} {
+		keys, oids, runs := benchOVCKeys(benchRows, nRuns, dup)
+		off, on := benchOVCPair(keys, oids, runs, benchOVCReps)
+		rep.Runs = append(rep.Runs, benchOVCRun{
+			DupFrac:  dup,
+			OnNs:     on.Nanoseconds(),
+			OffNs:    off.Nanoseconds(),
+			SpeedupX: float64(off.Nanoseconds()) / float64(on.Nanoseconds()),
+		})
+		t.Logf("dup=%.2f: ovc on %.2fms, off %.2fms (%.2fx)",
+			dup, float64(on.Nanoseconds())/1e6, float64(off.Nanoseconds())/1e6,
+			float64(off.Nanoseconds())/float64(on.Nanoseconds()))
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPath := os.Getenv("BENCH_OVC_OUT")
+	if outPath == "" {
+		outPath = benchOVCOutput
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", outPath)
+
+	if r0 := rep.Runs[0]; float64(r0.OnNs) > float64(r0.OffNs)*(1+benchTolerance) {
+		t.Errorf("unique keys: OVC merge %.2fms vs plain %.2fms — overhead above %.0f%%",
+			float64(r0.OnNs)/1e6, float64(r0.OffNs)/1e6, 100*benchTolerance)
+	}
+	for _, r := range rep.Runs {
+		if r.DupFrac >= 0.9 && r.SpeedupX < 1 {
+			t.Errorf("dup=%.2f: OVC merge slower than plain (%.2fx)", r.DupFrac, r.SpeedupX)
+		}
+	}
 }

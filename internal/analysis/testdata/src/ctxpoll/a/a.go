@@ -167,3 +167,46 @@ func OwnCtxClosure(parent context.Context, xs []int) error {
 	}
 	return run(parent)
 }
+
+// CreditBatch is the coded-merge emission shape: an unconditional
+// outer loop pops variable-length tie stretches and polls once every
+// credit's worth of emitted elements; the stretch-emission inner loop
+// is exempt because the enclosing loop polls.
+func CreditBatch(ctx context.Context, batches [][]int) (int, error) {
+	total := 0
+	credit := 1 << 14
+	i := 0
+	for {
+		if i >= len(batches) {
+			return total, nil
+		}
+		b := batches[i]
+		i++
+		for _, x := range b {
+			total += x
+		}
+		if credit -= len(b); credit <= 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			credit = 1 << 14
+		}
+	}
+}
+
+// BadCreditBatch emits the same batches but forgot the credit poll:
+// both the outer pop loop and the inner emission loop are findings.
+func BadCreditBatch(ctx context.Context, batches [][]int) int {
+	total := 0
+	i := 0
+	for { // want `data-bound loop in BadCreditBatch does not poll ctx`
+		if i >= len(batches) {
+			return total
+		}
+		b := batches[i]
+		i++
+		for _, x := range b { // want `data-bound loop in BadCreditBatch does not poll ctx`
+			total += x
+		}
+	}
+}

@@ -63,7 +63,67 @@ func Calibrate(opts CalOptions) (*Model, error) {
 		m.C.Bank[bank] = calibrateBank(rng, opts.NCal, bank, m)
 	}
 	m.C.SmallCall, m.C.SmallElem, m.C.SmallQuad = calibrateSmall(rng, opts.NCal)
+	m.C.OVCMergeDiscount = calibrateOVCDiscount(rng, opts.NCal)
 	return m, nil
+}
+
+// calibrateOVCDiscount measures how much cheaper the offset-value-coded
+// multiway merge gets on all-duplicate input relative to unique input:
+// the discount applied to the out-of-cache term at duplicate fraction 1
+// (TSortOneDup). Both runs pay the same pack/unpack overhead, so the
+// measured ratio understates the pure merge saving — a conservative
+// discount. Clamped to [0, 0.9]: even an all-ties merge keeps its data
+// movement.
+func calibrateOVCDiscount(rng *rand.Rand, n int) float64 {
+	const runsK = 8
+	if n < runsK*64 {
+		n = runsK * 64
+	}
+	runs := make([]int, runsK+1)
+	for r := 0; r <= runsK; r++ {
+		runs[r] = n * r / runsK
+	}
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+
+	measure := func(gen func(i int) uint64) float64 {
+		base := make([]uint64, n)
+		baseO := make([]uint32, n)
+		for i := range base {
+			base[i] = gen(i)
+			baseO[i] = uint32(i)
+		}
+		for r := 0; r+1 < len(runs); r++ {
+			mergesort.Sort(32, base[runs[r]:runs[r+1]], baseO[runs[r]:runs[r+1]])
+		}
+		best := 0.0
+		const reps = 3
+		for rep := 0; rep < reps; rep++ {
+			copy(keys, base)
+			copy(oids, baseO)
+			start := time.Now()
+			mergesort.ParallelMerge(32, keys, oids, runs, 1)
+			if el := float64(time.Since(start).Nanoseconds()); best == 0 || el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	mask := column.Mask(32)
+	tUnique := measure(func(int) uint64 { return rng.Uint64() & mask })
+	tDup := measure(func(int) uint64 { return 42 })
+	if tUnique <= 0 {
+		return 0
+	}
+	disc := 1 - tDup/tUnique
+	if disc < 0 {
+		return 0
+	}
+	if disc > 0.9 {
+		return 0.9
+	}
+	return disc
 }
 
 // calibrateSmall measures the small-sort regime: segmented sorts whose

@@ -38,6 +38,13 @@ type Constants struct {
 	SmallCall float64
 	SmallElem float64
 	SmallQuad float64
+	// OVCMergeDiscount is the measured fraction of the out-of-cache
+	// merge cost that offset-value coding removes on all-duplicate
+	// input (mergesort/ovc.go): the effective per-pass constant is
+	// COutOfCache·(1 − OVCMergeDiscount·dupFrac). Zero (e.g. a profile
+	// saved before calibration knew about OVC) disables the duplicate
+	// discount and reproduces the old model exactly.
+	OVCMergeDiscount float64
 }
 
 // SmallSortThreshold mirrors the sorter's insertion-sort cutoff: groups
@@ -112,6 +119,24 @@ func (s Stats) distinctOfPrefix(bits int) float64 {
 		}
 	}
 	return d
+}
+
+// DupFrac estimates the duplicate fraction of the first `bits` bits of
+// the column concatenation: 1 − distinct/N, clamped to [0, 1]. It is
+// the dup-fraction regressor of the OVC merge discount — rows sharing a
+// full round key resolve their merge comparisons on codes alone.
+func (s Stats) DupFrac(bits int) float64 {
+	if s.N <= 0 {
+		return 0
+	}
+	f := 1 - s.distinctOfPrefix(bits)/float64(s.N)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
 }
 
 // groupProfile estimates, for tuples grouped by their first `bits` bits:
@@ -192,6 +217,15 @@ func (m *Model) outOfCachePasses(n float64, bank int) float64 {
 // with a b-bit bank. Below the insertion threshold the sorter never
 // enters the merge-sort phases, so the small-sort regime applies.
 func (m *Model) TSortOne(n float64, bank int) float64 {
+	return m.TSortOneDup(n, bank, 0)
+}
+
+// TSortOneDup is TSortOne with a duplicate fraction: the out-of-cache
+// merge term shrinks by OVCMergeDiscount·dup, modeling the offset-value
+// coded loser trees resolving tied comparisons without key accesses.
+// The in-cache phases are compare-exchange networks with no early-out,
+// so only the merge term is duplicate-sensitive.
+func (m *Model) TSortOneDup(n float64, bank int, dup float64) float64 {
 	if n < 2 {
 		// Singleton groups are not sorted at all.
 		return 0
@@ -200,23 +234,50 @@ func (m *Model) TSortOne(n float64, bank int) float64 {
 		return m.C.SmallCall + m.C.SmallElem*n + m.C.SmallQuad*n*n
 	}
 	bc := m.C.Bank[bank]
-	return bc.COverhead + bc.CLinear*n + bc.COutOfCache*n*m.outOfCachePasses(n, bank)
+	ooc := bc.COutOfCache * n * m.outOfCachePasses(n, bank)
+	if dup > 0 && m.C.OVCMergeDiscount > 0 {
+		disc := m.C.OVCMergeDiscount
+		if disc > 1 {
+			disc = 1
+		}
+		if dup > 1 {
+			dup = 1
+		}
+		ooc *= 1 - disc*dup
+	}
+	return bc.COverhead + bc.CLinear*n + ooc
 }
 
 // TSortAfter estimates the summed SIMD-sort cost of a round that uses a
 // b-bit bank after bitsBefore bits have already been sorted: Equation 1
 // over the group profile those bits induce. This is the quantity the
-// greedy plan search minimizes when assigning bits to a round.
+// greedy plan search minimizes when assigning bits to a round; since
+// the round width is not fixed yet, the duplicate fraction uses the
+// widest key the bank could hold as a surrogate.
 func (m *Model) TSortAfter(st Stats, bitsBefore, bank int) float64 {
+	width := st.TotalWidth() - bitsBefore
+	if width > bank {
+		width = bank
+	}
+	return m.tSortAfterWidth(st, bitsBefore, width, bank)
+}
+
+// tSortAfterWidth is TSortAfter with the round's actual key width, so
+// the duplicate fraction covers exactly the bits this round sorts. The
+// fraction is taken over all rows (not only rows in non-singleton
+// groups) — an approximation that errs toward less discount, since
+// singleton rows are globally unique.
+func (m *Model) tSortAfterWidth(st Stats, bitsBefore, width, bank int) float64 {
+	dup := st.DupFrac(bitsBefore + width)
 	if bitsBefore <= 0 {
-		return m.TSortOne(float64(st.N), bank)
+		return m.TSortOneDup(float64(st.N), bank, dup)
 	}
 	_, nSort, rows := st.groupProfile(bitsBefore)
 	if nSort < 1 {
 		return 0
 	}
 	avg := rows / nSort
-	return nSort * m.TSortOne(avg, bank)
+	return nSort * m.TSortOneDup(avg, bank, dup)
 }
 
 // TSortRound is Equation 1 for round k (1-based) of plan p.
@@ -225,7 +286,7 @@ func (m *Model) TSortRound(p plan.Plan, st Stats, k int) float64 {
 	for i := 0; i < k-1; i++ {
 		bitsBefore += p.Rounds[i].Width
 	}
-	return m.TSortAfter(st, bitsBefore, p.Rounds[k-1].Bank)
+	return m.tSortAfterWidth(st, bitsBefore, p.Rounds[k-1].Width, p.Rounds[k-1].Bank)
 }
 
 // TMCS estimates the total multi-column sorting time of plan p: massage

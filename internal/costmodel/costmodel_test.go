@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"math"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -261,5 +262,96 @@ func geometric(w int) []float64 {
 func TestMask(t *testing.T) {
 	if column.Mask(64) != ^uint64(0) {
 		t.Error("Mask(64)")
+	}
+}
+
+func TestDupFrac(t *testing.T) {
+	// 1600 rows over exactly 16 distinct 4-bit values: at full width
+	// 1 - 16/1600 of the rows duplicate an earlier one; a zero-bit
+	// prefix makes every row a duplicate of the first.
+	codes := make([]uint64, 1600)
+	for i := range codes {
+		codes[i] = uint64(i % 16)
+	}
+	st := CollectStats([][]uint64{codes}, []int{4})
+	if got, want := st.DupFrac(4), 1-16.0/1600; got != want {
+		t.Errorf("DupFrac(4) = %v, want %v", got, want)
+	}
+	if got, want := st.DupFrac(0), 1-1.0/1600; got != want {
+		t.Errorf("DupFrac(0) = %v, want %v", got, want)
+	}
+	if got := st.DupFrac(2); got <= st.DupFrac(4) {
+		t.Errorf("narrower prefix must have more duplicates: DupFrac(2)=%v DupFrac(4)=%v",
+			got, st.DupFrac(4))
+	}
+	// All-unique rows: no duplicates at full width.
+	uniq := make([]uint64, 256)
+	for i := range uniq {
+		uniq[i] = uint64(i)
+	}
+	su := CollectStats([][]uint64{uniq}, []int{8})
+	if got := su.DupFrac(8); got != 0 {
+		t.Errorf("unique DupFrac = %v, want 0", got)
+	}
+}
+
+func TestTSortOneDupDiscount(t *testing.T) {
+	m := testModel()
+	m.C.OVCMergeDiscount = 0.5
+	n := float64(1 << 20) // out of cache for every bank
+
+	// dup = 0 reproduces TSortOne exactly; so does a zero discount.
+	if got, want := m.TSortOneDup(n, 32, 0), m.TSortOne(n, 32); got != want {
+		t.Errorf("dup=0: %v, want %v", got, want)
+	}
+	m0 := testModel() // OVCMergeDiscount zero
+	if got, want := m0.TSortOneDup(n, 32, 1), m0.TSortOne(n, 32); got != want {
+		t.Errorf("zero discount: %v, want %v", got, want)
+	}
+
+	// The discount removes exactly disc·dup of the out-of-cache term.
+	bc := m.C.Bank[32]
+	ooc := bc.COutOfCache * n * m.outOfCachePasses(n, 32)
+	if ooc <= 0 {
+		t.Fatal("test input must be out of cache")
+	}
+	got := m.TSortOneDup(n, 32, 1)
+	want := m.TSortOne(n, 32) - 0.5*ooc
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("dup=1: %v, want %v", got, want)
+	}
+	// Monotone in dup, and clamped beyond 1.
+	if !(m.TSortOneDup(n, 32, 0.9) < m.TSortOneDup(n, 32, 0.5)) {
+		t.Error("cost must decrease with dup fraction")
+	}
+	if m.TSortOneDup(n, 32, 5) != m.TSortOneDup(n, 32, 1) {
+		t.Error("dup must clamp at 1")
+	}
+	// The in-cache regime ignores duplicates entirely.
+	if m.TSortOneDup(10, 32, 1) != m.TSortOne(10, 32) {
+		t.Error("small-sort regime must not be discounted")
+	}
+}
+
+func TestTSortAfterDupAware(t *testing.T) {
+	// 2^16 rows over 16 distinct 20-bit values: heavy duplication. A
+	// discounted model must estimate the dup-heavy sort cheaper than
+	// the undiscounted one, and an all-distinct column must be immune.
+	m := testModel()
+	md := testModel()
+	md.C.OVCMergeDiscount = 0.9
+	heavy := uniformStats(1<<18, []int{20}, []int{16})
+	if !(md.TSortAfter(heavy, 0, 32) < m.TSortAfter(heavy, 0, 32)) {
+		t.Error("discounted model must price dup-heavy sorts cheaper")
+	}
+	// An all-unique column has DupFrac 0 — the discount must not move it.
+	uniq := make([]uint64, 1<<18)
+	for i := range uniq {
+		uniq[i] = uint64(i)
+	}
+	light := CollectStats([][]uint64{uniq}, []int{20})
+	lg, lw := md.TSortAfter(light, 0, 32), m.TSortAfter(light, 0, 32)
+	if lg != lw {
+		t.Errorf("unique column must be unaffected: %v vs %v", lg, lw)
 	}
 }

@@ -169,7 +169,9 @@ type Options struct {
 	// pipeerr.ErrBudgetExceeded. <= 0 means unlimited.
 	MaxBytes int64
 	// SortParams overrides the sorter's phase parameters and parallel
-	// thresholds (tests force the parallel paths on small inputs).
+	// thresholds (tests force the parallel paths on small inputs), and
+	// carries the DisableOVC switch for the offset-value-coded merge
+	// path; output is byte-identical either way.
 	SortParams *mergesort.Params
 	// PlanOverride skips the search and uses the given choice.
 	PlanOverride *planner.Choice

@@ -275,3 +275,53 @@ func ExampleExecute_deterministic() {
 	// [1 3 0 2]
 	// [1 3 0 2]
 }
+
+// TestExecuteOVCOnOffIdentical lifts the OVC differential to the whole
+// multi-round sort: for every key cardinality (all-ties to nearly
+// unique) and worker count, disabling offset-value coding must not
+// change a single byte of Perm or Groups.
+func TestExecuteOVCOnOffIdentical(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	const rows = 4096
+	for _, card := range []int{1, 2, 16, 1024} {
+		rng := rand.New(rand.NewSource(int64(29 + card)))
+		inputs := []massage.Input{
+			{Codes: make([]uint64, rows), Width: 9},
+			{Codes: make([]uint64, rows), Width: 13, Desc: true},
+		}
+		for i := 0; i < rows; i++ {
+			inputs[0].Codes[i] = uint64(rng.Intn(card)) & (1<<9 - 1)
+			inputs[1].Codes[i] = uint64(rng.Intn(card)) & (1<<13 - 1)
+		}
+		for planName, p := range execPlans() {
+			for _, w := range []int{1, 2, 4, 8} {
+				spOn := forcedParams(16)
+				spOff := forcedParams(16)
+				spOff.DisableOVC = true
+				on, err := Execute(inputs, p, Options{Workers: w, SortParams: &spOn})
+				if err != nil {
+					t.Fatalf("card=%d %s workers=%d: %v", card, planName, w, err)
+				}
+				off, err := Execute(inputs, p, Options{Workers: w, SortParams: &spOff})
+				if err != nil {
+					t.Fatalf("card=%d %s workers=%d (ovc off): %v", card, planName, w, err)
+				}
+				if len(on.Perm) != len(off.Perm) || len(on.Groups) != len(off.Groups) {
+					t.Fatalf("card=%d %s workers=%d: shape differs with OVC off", card, planName, w)
+				}
+				for i := range on.Perm {
+					if on.Perm[i] != off.Perm[i] {
+						t.Fatalf("card=%d %s workers=%d: Perm diverges at %d with OVC off",
+							card, planName, w, i)
+					}
+				}
+				for i := range on.Groups {
+					if on.Groups[i] != off.Groups[i] {
+						t.Fatalf("card=%d %s workers=%d: Groups diverge at %d with OVC off",
+							card, planName, w, i)
+					}
+				}
+			}
+		}
+	}
+}

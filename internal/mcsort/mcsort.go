@@ -118,6 +118,7 @@ func (o Options) sortParams(bank int) mergesort.Params {
 	if o.SortParams.PivotSamplePerWorker > 0 {
 		p.PivotSamplePerWorker = o.SortParams.PivotSamplePerWorker
 	}
+	p.DisableOVC = o.SortParams.DisableOVC
 	return p
 }
 

@@ -1,0 +1,411 @@
+package mergesort
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property and audit tests for offset-value coding (ovc.go). The audit
+// battery re-checks every code-resolved loser-tree comparison against
+// the full keys while the trees run the real merge paths, so a single
+// stale code anywhere in build, replay, or re-derive shows up as a
+// mismatch count.
+
+// ovcInputs are the adversarial distributions of the OVC battery:
+// all-equal (every comparison resolves at code 0), run-length-skewed
+// (a few huge tie runs among unique keys), and single-distinct-byte
+// (keys differ in exactly one byte position, so every nonzero code
+// shares its offset and the value byte alone must decide).
+func ovcInputs(n, bank int, seed int64) map[string][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	mask := maskFor(bank)
+	in := map[string][]uint64{
+		"allequal":  make([]uint64, n),
+		"runskewed": make([]uint64, n),
+		"onebyte":   make([]uint64, n),
+		"uniform":   make([]uint64, n),
+	}
+	for i := range in["allequal"] {
+		in["allequal"][i] = 42 & mask
+	}
+	for i := 0; i < n; {
+		v := rng.Uint64() & mask
+		runLen := 1
+		if rng.Intn(4) == 0 {
+			runLen = 1 + rng.Intn(n/4+1)
+		}
+		for j := 0; j < runLen && i < n; j++ {
+			in["runskewed"][i] = v
+			i++
+		}
+	}
+	shift := uint(8 * rng.Intn(bank/8))
+	for i := range in["onebyte"] {
+		in["onebyte"][i] = (uint64(rng.Intn(256)) << shift) & mask
+	}
+	for i := range in["uniform"] {
+		in["uniform"][i] = rng.Uint64() & mask
+	}
+	return in
+}
+
+func TestOVCRelProperties(t *testing.T) {
+	// Pinned examples: offset counts bytes from the low end, the value
+	// is the first differing byte of the larger key.
+	cases := []struct {
+		key, base uint64
+		want      uint32
+	}{
+		{0, 0, 0},
+		{42, 42, 0},
+		{1, 0, 1<<8 | 1},
+		{0xFF, 0, 1<<8 | 0xFF},
+		{0x100, 0xFF, 2<<8 | 0x01}, // carry: differs in byte 2
+		{0x1234, 0x1233, 1<<8 | 0x34},
+		{1 << 56, 0, 8<<8 | 1},
+		{^uint64(0), 0, 8<<8 | 0xFF},
+	}
+	for _, c := range cases {
+		if got := ovcRel(c.key, c.base); got != c.want {
+			t.Errorf("ovcRel(%#x, %#x) = %#x, want %#x", c.key, c.base, got, c.want)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200000; trial++ {
+		// Random base ≤ a, b with clustered high bits so equal and
+		// near-equal keys are common.
+		base := rng.Uint64() >> uint(rng.Intn(64))
+		a := base + uint64(rng.Intn(1<<uint(rng.Intn(20))))
+		b := base + uint64(rng.Intn(1<<uint(rng.Intn(20))))
+		ca, cb := ovcRel(a, base), ovcRel(b, base)
+		// Property 1: code order implies key order.
+		if ca < cb && !(a < b) {
+			t.Fatalf("code(%#x)=%#x < code(%#x)=%#x but keys not ordered (base %#x)", a, ca, b, cb, base)
+		}
+		// Property 2: two zero codes mean both equal the base.
+		if ca == 0 && cb == 0 && (a != base || b != base) {
+			t.Fatalf("zero codes for a=%#x b=%#x base=%#x", a, b, base)
+		}
+		// No-update lemma: when codes differ, the loser's code against
+		// the winner equals its code against the old base.
+		if ca < cb {
+			if got := ovcRel(b, a); got != cb {
+				t.Fatalf("no-update lemma: code(%#x, %#x)=%#x, want %#x (base %#x)", b, a, got, cb, base)
+			}
+		}
+	}
+}
+
+// withOVCAudit runs f with the audit instrumentation armed and fails
+// the test if any code verdict contradicted the full keys. It returns
+// the (resolved, fallback) counter values.
+func withOVCAudit(t *testing.T, f func()) (int64, int64) {
+	t.Helper()
+	ovcAuditReset()
+	ovcAuditEnabled = true
+	defer func() { ovcAuditEnabled = false }()
+	f()
+	if m := ovcAuditMismatches.Load(); m != 0 {
+		t.Fatalf("%d OVC comparisons contradicted the full keys", m)
+	}
+	return ovcAuditResolved.Load(), ovcAuditFallbacks.Load()
+}
+
+// forcePhase3 lowers the in-cache run target so phase 3 (the only OVC
+// consumer in the sequential sort) always runs on test-sized inputs.
+func forcePhase3(bank int) Params {
+	p := testParams(bank)
+	p.InCacheElems = 64
+	p.Fanout = 4
+	return p
+}
+
+func TestOVCAuditSequentialSort(t *testing.T) {
+	const n = 3000
+	for _, bank := range Banks {
+		for name, keys := range ovcInputs(n, bank, int64(bank)) {
+			wantK := append([]uint64(nil), keys...)
+			wantO := make([]uint32, n)
+			gotO := make([]uint32, n)
+			for i := range wantO {
+				wantO[i], gotO[i] = uint32(i), uint32(i)
+			}
+			off := forcePhase3(bank)
+			off.DisableOVC = true
+			SortWithParams(bank, wantK, wantO, off)
+
+			gotK := append([]uint64(nil), keys...)
+			resolved, _ := withOVCAudit(t, func() {
+				SortWithParams(bank, gotK, gotO, forcePhase3(bank))
+			})
+			if resolved == 0 {
+				t.Errorf("%s bank=%d: no comparisons resolved by codes", name, bank)
+			}
+			if name == "allequal" {
+				if fb := ovcAuditFallbacks.Load(); fb != 0 {
+					t.Errorf("allequal bank=%d: %d key-byte fallbacks, want 0", bank, fb)
+				}
+			}
+			for i := range gotK {
+				if gotK[i] != wantK[i] || gotO[i] != wantO[i] {
+					t.Fatalf("%s bank=%d: OVC sort diverges from plain at %d", name, bank, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOVCAuditParallelMerge(t *testing.T) {
+	const n = 3000
+	for _, bank := range Banks {
+		for name, keys := range ovcInputs(n, bank, 97+int64(bank)) {
+			oids := make([]uint32, n)
+			for i := range oids {
+				oids[i] = uint32(i)
+			}
+			k := append([]uint64(nil), keys...)
+			runs := sortedRuns(k, oids, 7)
+			wantK, wantO := mergeOracle(k, oids, runs)
+			for _, w := range []int{1, 2, 4, 8} {
+				gotK := append([]uint64(nil), k...)
+				gotO := append([]uint32(nil), oids...)
+				resolved, _ := withOVCAudit(t, func() {
+					ParallelMergeWithParams(bank, gotK, gotO, runs, testParams(bank), w)
+				})
+				// Duplicate-heavy inputs may bypass comparisons
+				// entirely via the code-0 replay skip; either a code
+				// verdict or a skipped replay proves codes were live.
+				if resolved == 0 && ovcAuditSkips.Load() == 0 {
+					t.Errorf("%s bank=%d workers=%d: no comparisons resolved or skipped by codes", name, bank, w)
+				}
+				if name == "allequal" {
+					if fb := ovcAuditFallbacks.Load(); fb != 0 {
+						t.Errorf("allequal bank=%d workers=%d: %d key-byte fallbacks, want 0", bank, w, fb)
+					}
+					if sk := ovcAuditSkips.Load(); sk == 0 {
+						t.Errorf("allequal bank=%d workers=%d: code-0 fast path never fired", bank, w)
+					}
+				}
+				for i := range gotK {
+					if gotK[i] != wantK[i] || gotO[i] != wantO[i] {
+						t.Fatalf("%s bank=%d workers=%d: diverges from oracle at %d", name, bank, w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOVCAuditParallelSort(t *testing.T) {
+	const n = 5000
+	for _, bank := range Banks {
+		for name, keys := range ovcInputs(n, bank, 131+int64(bank)) {
+			wantK := append([]uint64(nil), keys...)
+			wantO := make([]uint32, n)
+			for i := range wantO {
+				wantO[i] = uint32(i)
+			}
+			off := forcePhase3(bank)
+			off.DisableOVC = true
+			ParallelSortWithParams(bank, wantK, wantO, off, 4)
+			canonicalOids(wantK, wantO)
+			for _, w := range []int{2, 8} {
+				gotK := append([]uint64(nil), keys...)
+				gotO := make([]uint32, n)
+				for i := range gotO {
+					gotO[i] = uint32(i)
+				}
+				withOVCAudit(t, func() {
+					ParallelSortWithParams(bank, gotK, gotO, forcePhase3(bank), w)
+				})
+				canonicalOids(gotK, gotO)
+				for i := range gotK {
+					if gotK[i] != wantK[i] || gotO[i] != wantO[i] {
+						t.Fatalf("%s bank=%d workers=%d: diverges at %d", name, bank, w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOVCPassThroughVec pins the pass-through invariant on the packed
+// key/oid loser tree: the code popWithCode hands out alongside each
+// record — maintained purely by duels and inline successor re-basing,
+// never derived — must equal a fresh derive over the merged output, and
+// the merged records must match the plain tree's byte for byte.
+func TestOVCPassThroughVec(t *testing.T) {
+	const n = 2000
+	for _, bank := range Banks {
+		lanes := kernelsFor(bank).lanes
+		for name, keys := range ovcInputs(n, bank, 7+int64(bank)) {
+			oids := make([]uint32, n)
+			for i := range oids {
+				oids[i] = uint32(i)
+			}
+			k := append([]uint64(nil), keys...)
+			runs := sortedRuns(k, oids, 9)
+			kw, ow := pack(k, oids, lanes)
+			kw2, ow2 := make([]uint64, len(kw)), make([]uint64, len(ow))
+			dstOVC := make([]uint32, n)
+
+			lt := newLoserTreePacked(kw, lanes, runs, true)
+			d := 0
+			for {
+				pos, code := lt.popWithCode()
+				if pos < 0 {
+					break
+				}
+				key := keyAt(kw, pos, lanes)
+				setKeyAt(kw2, d, lanes, key)
+				setOidAt(ow2, d, oidAt(ow, pos))
+				if d == 0 {
+					code = ovcRel(key, 0) // output run start
+				}
+				dstOVC[d] = code
+				d++
+			}
+			if d != n {
+				t.Fatalf("%s bank=%d: popped %d of %d", name, bank, d, n)
+			}
+			want := make([]uint32, n)
+			deriveOVCRunsPacked(kw2, lanes, []int{0, n}, want)
+			for i := range want {
+				if dstOVC[i] != want[i] {
+					t.Fatalf("%s bank=%d: emitted code at %d is %#x, want %#x",
+						name, bank, i, dstOVC[i], want[i])
+				}
+			}
+
+			plainK, plainO := make([]uint64, len(kw)), make([]uint64, len(ow))
+			plain := newLoserTreePacked(kw, lanes, runs, false)
+			d = 0
+			for {
+				pos := plain.pop()
+				if pos < 0 {
+					break
+				}
+				setKeyAt(plainK, d, lanes, keyAt(kw, pos, lanes))
+				setOidAt(plainO, d, oidAt(ow, pos))
+				d++
+			}
+			for i := 0; i < n; i++ {
+				if keyAt(kw2, i, lanes) != keyAt(plainK, i, lanes) || oidAt(ow2, i) != oidAt(plainO, i) {
+					t.Fatalf("%s bank=%d: OVC tree diverges from plain at %d", name, bank, i)
+				}
+			}
+		}
+	}
+}
+
+// TestOVCPassThroughElems is the same invariant on the packed
+// key<<32|oid element path (16/32-bit bank sorts): emitted codes equal
+// the derive spec, and the OVC merge pass is byte-identical to the
+// plain one.
+func TestOVCPassThroughElems(t *testing.T) {
+	const n = 2000
+	for name, keys := range ovcInputs(n, 32, 13) {
+		elems := make([]uint64, n)
+		for i, k := range keys {
+			elems[i] = k<<32 | uint64(i)
+		}
+		oids := make([]uint32, n) // unused placeholder for sortedRuns
+		runs := sortedRuns(elems, oids, 6)
+		dst := make([]uint64, n)
+		dstOVC := make([]uint32, n)
+
+		multiwayMergePackedOVC(elems, runs, dst, dstOVC)
+		want := make([]uint32, n)
+		deriveOVCRunsElems(dst, []int{0, n}, want)
+		for i := range want {
+			if dstOVC[i] != want[i] {
+				t.Fatalf("%s: emitted code at %d is %#x, want %#x", name, i, dstOVC[i], want[i])
+			}
+		}
+		// The merged elements must be byte-identical to the plain pass,
+		// through the pass-level entry point both ways.
+		dstOn := make([]uint64, n)
+		dstPlain := make([]uint64, n)
+		mergePassMultiwayPacked(elems, runs, 4, dstOn, true)
+		mergePassMultiwayPacked(elems, runs, 4, dstPlain, false)
+		for i := range dstOn {
+			if dstOn[i] != dstPlain[i] {
+				t.Fatalf("%s: OVC pass changed the output at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestOVCPassThroughGeneric exercises the typed-key loser tree
+// (multiwayMergeOVC / deriveOVCRunsKeys) used by scalar kernels.
+func TestOVCPassThroughGeneric(t *testing.T) {
+	const n = 1500
+	for name, keys64 := range ovcInputs(n, 32, 19) {
+		keys := make([]uint32, n)
+		oids := make([]uint32, n)
+		for i, k := range keys64 {
+			keys[i] = uint32(k)
+			oids[i] = uint32(i)
+		}
+		tmp := append([]uint64(nil), keys64...)
+		runs := sortedRuns(tmp, oids, 5)
+		for i, k := range tmp {
+			keys[i] = uint32(k)
+		}
+		dstK, dstO := make([]uint32, n), make([]uint32, n)
+		dstOVC := make([]uint32, n)
+		resolved, _ := withOVCAudit(t, func() {
+			multiwayMergeOVC(keys, oids, runs, dstK, dstO, dstOVC)
+		})
+		if resolved == 0 {
+			t.Errorf("%s: no comparisons resolved by codes", name)
+		}
+
+		plainK, plainO := make([]uint32, n), make([]uint32, n)
+		multiwayMerge(keys, oids, runs, plainK, plainO)
+		for i := range dstK {
+			if dstK[i] != plainK[i] || dstO[i] != plainO[i] {
+				t.Fatalf("%s: OVC merge diverges from plain at %d", name, i)
+			}
+		}
+		want := make([]uint32, n)
+		deriveOVCRunsKeys(dstK, []int{0, n}, want)
+		for i := range want {
+			if dstOVC[i] != want[i] {
+				t.Fatalf("%s: emitted code at %d is %#x, want %#x", name, i, dstOVC[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRadixSortOVC(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 4000
+	keys := make([]uint64, n)
+	oids := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(64)) << uint(8*rng.Intn(4)) // tie-heavy
+		oids[i] = uint32(i)
+	}
+	ovc := RadixSortOVC(keys, oids, 32, DefaultRadixBits)
+	for i := 1; i < n; i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	want := DeriveOVC(keys)
+	for i := range want {
+		if ovc[i] != want[i] {
+			t.Fatalf("code at %d is %#x, want %#x", i, ovc[i], want[i])
+		}
+	}
+	if ovc[0] != ovcRel(keys[0], 0) {
+		t.Errorf("run-start code %#x, want %#x", ovc[0], ovcRel(keys[0], 0))
+	}
+	for i := 1; i < n; i++ {
+		if ovc[i] != ovcRel(keys[i], keys[i-1]) {
+			t.Fatalf("code at %d not relative to predecessor", i)
+		}
+	}
+}

@@ -77,9 +77,11 @@ func sortElems(elems []uint64, p Params) {
 		runSize *= 2
 	}
 
-	// Phase 3: multiway loser-tree merging with fanout F.
+	// Phase 3: multiway loser-tree merging with fanout F. With OVC on,
+	// the loser trees code over the whole 64-bit element (key<<32|oid —
+	// the element is the comparison unit, so it is the code unit too).
 	for len(runs) > 2 {
-		runs = mergePassMultiwayPacked(src, runs, p.Fanout, dst)
+		runs = mergePassMultiwayPacked(src, runs, p.Fanout, dst, !p.DisableOVC)
 		src, dst = dst, src
 	}
 
@@ -157,9 +159,12 @@ func mergePacked(src []uint64, a0, m, b1 int, dst []uint64) {
 	copy(dst[d:], src[j:b1])
 }
 
-// Packed multiway merge via loser tree over packed elements.
+// Packed multiway merge via loser tree over packed elements. With
+// useOVC the loser trees compare offset-value codes before elements
+// (ovc.go); binary groups use the plain two-cursor merge either way.
+// The merged elements are byte-identical either way.
 
-func mergePassMultiwayPacked(src []uint64, runs []int, fanout int, dst []uint64) []int {
+func mergePassMultiwayPacked(src []uint64, runs []int, fanout int, dst []uint64, useOVC bool) []int {
 	newRuns := []int{runs[0]}
 	for lo := 0; lo < len(runs)-1; lo += fanout {
 		hi := lo + fanout
@@ -173,15 +178,15 @@ func mergePassMultiwayPacked(src []uint64, runs []int, fanout int, dst []uint64)
 		case 3:
 			mergePacked(src, group[0], group[1], group[2], dst)
 		default:
-			multiwayMergePacked(src, group, dst)
+			multiwayMergePacked(src, group, dst, useOVC)
 		}
 		newRuns = append(newRuns, group[len(group)-1])
 	}
 	return newRuns
 }
 
-func multiwayMergePacked(src []uint64, runs []int, dst []uint64) {
-	lt := newLoserTree(src, runs)
+func multiwayMergePacked(src []uint64, runs []int, dst []uint64, useOVC bool) {
+	lt := newLoserTreeOVC(src, runs, useOVC)
 	d := runs[0]
 	for {
 		pos := lt.pop()
@@ -189,6 +194,27 @@ func multiwayMergePacked(src []uint64, runs []int, dst []uint64) {
 			break
 		}
 		dst[d] = src[pos]
+		d++
+	}
+}
+
+// multiwayMergePackedOVC is multiwayMergePacked emitting the output's
+// run-predecessor codes via the popWithCode pass-through (each code
+// falls out of the tree state; no rescan of the output).
+func multiwayMergePackedOVC(src []uint64, runs []int, dst []uint64, dstOVC []uint32) {
+	lt := newLoserTreeOVC(src, runs, true)
+	d := runs[0]
+	for {
+		pos, code := lt.popWithCode()
+		if pos < 0 {
+			break
+		}
+		e := src[pos]
+		dst[d] = e
+		if d == runs[0] {
+			code = ovcRel(e, 0) // output run start
+		}
+		dstOVC[d] = code
 		d++
 	}
 }

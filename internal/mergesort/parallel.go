@@ -130,7 +130,6 @@ func ParallelSortWithParamsContext(ctx context.Context, bank int, keys []uint64,
 	kw, ow := pack(keys, oids, k.lanes)
 	kw2 := make([]uint64, len(kw))
 	ow2 := make([]uint64, len(ow))
-
 	var busy atomic64
 	g := pipeerr.NewGroup(ctx)
 	for c := 0; c+1 < len(bounds); c++ {
@@ -144,7 +143,7 @@ func ParallelSortWithParamsContext(ctx context.Context, bank int, keys []uint64,
 			if tracing {
 				t0 = time.Now()
 			}
-			err := sortPackedChunk(gctx, kw, ow, kw2, ow2, k, lo, hi, p)
+			err := sortPackedChunk(gctx, kw, ow, kw2, ow2, k, lo, hi, p, !p.DisableOVC)
 			if tracing {
 				busy.add(int64(time.Since(t0)))
 			}
@@ -157,7 +156,7 @@ func ParallelSortWithParamsContext(ctx context.Context, bank int, keys []uint64,
 
 	// Cooperative multiway merge of the sorted chunks into the scratch
 	// arrays, then a parallel unpack back into the caller's slices.
-	if err := parallelMergePacked(ctx, kw, ow, kw2, ow2, k.lanes, bank, bounds, workers, &busy, tracing); err != nil {
+	if err := parallelMergePacked(ctx, kw, ow, kw2, ow2, k.lanes, bank, bounds, !p.DisableOVC, workers, &busy, tracing); err != nil {
 		return err
 	}
 	if err := parallelUnpack(ctx, kw2, ow2, k.lanes, keys, oids, workers); err != nil {
@@ -179,15 +178,29 @@ func ParallelSortWithParamsContext(ctx context.Context, bank int, keys []uint64,
 // panics are re-raised on the caller's goroutine as
 // *pipeerr.PipelineError.
 func ParallelMerge(bank int, keys []uint64, oids []uint32, runs []int, workers int) {
-	if err := ParallelMergeContext(context.Background(), bank, keys, oids, runs, workers); err != nil {
-		panic(err)
-	}
+	ParallelMergeWithParams(bank, keys, oids, runs, defaultParams(bank/8), workers)
 }
 
 // ParallelMergeContext is ParallelMerge with cooperative cancellation
 // and panic containment; on error the keys/oids are in unspecified
 // order.
 func ParallelMergeContext(ctx context.Context, bank int, keys []uint64, oids []uint32, runs []int, workers int) error {
+	return ParallelMergeWithParamsContext(ctx, bank, keys, oids, runs, defaultParams(bank/8), workers)
+}
+
+// ParallelMergeWithParams is ParallelMerge with explicit parameters —
+// in particular Params.DisableOVC, which differential tests use to
+// compare the offset-value-coded merge against the plain one.
+func ParallelMergeWithParams(bank int, keys []uint64, oids []uint32, runs []int, p Params, workers int) {
+	if err := ParallelMergeWithParamsContext(context.Background(), bank, keys, oids, runs, p, workers); err != nil {
+		panic(err)
+	}
+}
+
+// ParallelMergeWithParamsContext is ParallelMergeWithParams with
+// cooperative cancellation and panic containment; on error the
+// keys/oids are in unspecified order.
+func ParallelMergeWithParamsContext(ctx context.Context, bank int, keys []uint64, oids []uint32, runs []int, p Params, workers int) error {
 	n := len(keys)
 	if n != len(oids) {
 		panic("mergesort: keys and oids length mismatch")
@@ -213,7 +226,7 @@ func ParallelMergeContext(ctx context.Context, bank int, keys []uint64, oids []u
 	kw2 := make([]uint64, len(kw))
 	ow2 := make([]uint64, len(ow))
 	var busy atomic64
-	if err := parallelMergePacked(ctx, kw, ow, kw2, ow2, k.lanes, bank, runs, workers, &busy, tracing); err != nil {
+	if err := parallelMergePacked(ctx, kw, ow, kw2, ow2, k.lanes, bank, runs, !p.DisableOVC, workers, &busy, tracing); err != nil {
 		return err
 	}
 	if err := parallelUnpack(ctx, kw2, ow2, k.lanes, keys, oids, workers); err != nil {
@@ -229,8 +242,10 @@ func ParallelMergeContext(ctx context.Context, bank int, keys []uint64, oids []u
 // packed arrays, leaving the sorted range in (kw, ow). lo must start a
 // whole in-register block. The context is polled between merge passes —
 // each pass touches the whole chunk once, so cancellation lands within
-// one pass over one chunk.
-func sortPackedChunk(ctx context.Context, kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Params) error {
+// one pass over one chunk. With useOVC the chunk's phase-3 passes run
+// offset-value coded; no codes survive the chunk (each merge pass
+// re-materializes entering codes from adjacent elements, see pop).
+func sortPackedChunk(ctx context.Context, kw, ow, kw2, ow2 []uint64, k bankKernels, lo, hi int, p Params, useOVC bool) error {
 	if hi-lo < 2 {
 		return nil
 	}
@@ -269,7 +284,7 @@ func sortPackedChunk(ctx context.Context, kw, ow, kw2, ow2 []uint64, k bankKerne
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		runs = mergePassMultiwayVec(srcK, srcO, k.lanes, runs, p.Fanout, dstK, dstO)
+		runs = mergePassMultiwayVec(srcK, srcO, k.lanes, runs, p.Fanout, dstK, dstO, useOVC)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
 		inPrimary = !inPrimary
 	}
@@ -284,16 +299,19 @@ func sortPackedChunk(ctx context.Context, kw, ow, kw2, ow2 []uint64, k bankKerne
 // rank; a multisequence selection finds, for each output boundary, the
 // matching cut in every run, and each worker then merges its
 // co-partition with a run-index-stable loser tree.
-func parallelMergePacked(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes, bank int, runs []int, workers int, busy *atomic64, tracing bool) error {
+func parallelMergePacked(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes, bank int, runs []int, useOVC bool, workers int, busy *atomic64, tracing bool) error {
 	total := runs[len(runs)-1] - runs[0]
 	if total == 0 {
 		return nil
 	}
 	obsParMerges.Inc()
 	obsParMergeElems.Add(int64(total))
+	if useOVC {
+		obsOVCMerges.Inc()
+	}
 	if workers < 2 {
 		cuts := [][]int{runStarts(runs), runEnds(runs)}
-		return mergeCoPartition(ctx, kw, ow, dstK, dstO, lanes, cuts[0], cuts[1], runs[0])
+		return mergeCoPartition(ctx, kw, ow, dstK, dstO, lanes, cuts[0], cuts[1], useOVC, runs[0])
 	}
 
 	// Worker output boundaries: equal rank shares, aligned so no two
@@ -326,7 +344,7 @@ func parallelMergePacked(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes
 			if tracing {
 				t0 = time.Now()
 			}
-			err := mergeCoPartition(gctx, kw, ow, dstK, dstO, lanes, cuts[w], cuts[w+1], targets[w])
+			err := mergeCoPartition(gctx, kw, ow, dstK, dstO, lanes, cuts[w], cuts[w+1], useOVC, targets[w])
 			if tracing {
 				busy.add(int64(time.Since(t0)))
 			}
@@ -416,20 +434,25 @@ func upperBoundPacked(kw []uint64, lanes, lo, hi int, v uint64) int {
 
 // mergeCoPartition merges the per-run slices [from[r], to[r]) into dst
 // starting at element d, stable by run index, polling the context every
-// mergeCheckEvery emitted elements.
-func mergeCoPartition(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes int, from, to []int, d int) error {
+// mergeCheckEvery emitted elements. With useOVC the tree carries an
+// offset-value code per run head; the co-partition cut needs no special
+// handling because first elements are re-based by the tree build and
+// every later entering code is computed from its in-run predecessor.
+func mergeCoPartition(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes int, from, to []int, useOVC bool, d int) error {
 	faultinject.Fire(faultinject.LoserMerge)
-	lt := newStableLoserTree(kw, lanes, from, to)
+	lt := newStableLoserTree(kw, lanes, from, to, useOVC)
 	credit := mergeCheckEvery
 	for {
-		pos := lt.pop()
+		pos, cnt, key := lt.popStretch(credit)
 		if pos < 0 {
 			return nil
 		}
-		setKeyAt(dstK, d, lanes, keyAt(kw, pos, lanes))
-		setOidAt(dstO, d, oidAt(ow, pos))
-		d++
-		if credit--; credit == 0 {
+		for i := 0; i < cnt; i++ {
+			setKeyAt(dstK, d, lanes, key)
+			setOidAt(dstO, d, oidAt(ow, pos+i))
+			d++
+		}
+		if credit -= cnt; credit <= 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -442,6 +465,11 @@ func mergeCoPartition(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes in
 // comparison is the strict total order (key, run index): equal keys
 // resolve to the lower-index run, making the merged order independent
 // of the tree shape and therefore of how the output was partitioned.
+// With useOVC each run head carries an offset-value code (see ovc.go):
+// comparisons consult codes first and read key bytes only on code
+// ties. The (key, run index) order is computed either way, so the OVC
+// tree's decisions — and the merged output — are identical to the
+// plain tree's.
 type stableLoserTree struct {
 	tree   []int
 	heads  []int
@@ -450,9 +478,10 @@ type stableLoserTree struct {
 	lanes  int
 	kPow2  int
 	winner int
+	codes  []uint32 // per-run head code, re-based during replay (nil: OVC off)
 }
 
-func newStableLoserTree(kw []uint64, lanes int, from, to []int) *stableLoserTree {
+func newStableLoserTree(kw []uint64, lanes int, from, to []int, useOVC bool) *stableLoserTree {
 	k := len(from)
 	kPow2 := 1
 	for kPow2 < k {
@@ -466,6 +495,13 @@ func newStableLoserTree(kw []uint64, lanes int, from, to []int) *stableLoserTree
 		lanes: lanes,
 		kPow2: kPow2,
 	}
+	if useOVC {
+		// No seeding: the build duels below re-base every loser's code
+		// against the record that beat it, and the overall winner's
+		// code is rewritten at its first pop before any comparison
+		// reads it.
+		lt.codes = make([]uint32, k)
+	}
 	winners := make([]int, 2*kPow2)
 	for i := 0; i < kPow2; i++ {
 		if i < k {
@@ -475,8 +511,11 @@ func newStableLoserTree(kw []uint64, lanes int, from, to []int) *stableLoserTree
 		}
 	}
 	for node := kPow2 - 1; node >= 1; node-- {
+		// Build duels use full keys, establishing the code invariant:
+		// each stored loser's code is relative to the record that last
+		// went up through its node.
 		a, b := winners[2*node], winners[2*node+1]
-		if lt.beats(a, b) {
+		if lt.duelFull(a, b) {
 			winners[node], lt.tree[node] = a, b
 		} else {
 			winners[node], lt.tree[node] = b, a
@@ -484,6 +523,39 @@ func newStableLoserTree(kw []uint64, lanes int, from, to []int) *stableLoserTree
 	}
 	lt.winner = winners[1]
 	return lt
+}
+
+// duelFull compares run heads under the (key, run index) order by full
+// keys and, with OVC on, re-bases the loser's code against the winner.
+func (lt *stableLoserTree) duelFull(a, b int) bool {
+	if a < 0 || lt.heads[a] >= lt.ends[a] {
+		return false
+	}
+	if b < 0 || lt.heads[b] >= lt.ends[b] {
+		return true
+	}
+	ka := keyAt(lt.kw, lt.heads[a], lt.lanes)
+	kb := keyAt(lt.kw, lt.heads[b], lt.lanes)
+	if lt.codes == nil {
+		if ka != kb {
+			return ka < kb
+		}
+		return a < b
+	}
+	switch {
+	case ka < kb:
+		lt.codes[b] = ovcRel(kb, ka)
+		return true
+	case ka > kb:
+		lt.codes[a] = ovcRel(ka, kb)
+		return false
+	case a < b:
+		lt.codes[b] = 0
+		return true
+	default:
+		lt.codes[a] = 0
+		return false
+	}
 }
 
 // beats reports whether run a's head precedes run b's head under the
@@ -495,29 +567,159 @@ func (lt *stableLoserTree) beats(a, b int) bool {
 	if b < 0 || lt.heads[b] >= lt.ends[b] {
 		return true
 	}
-	ka := keyAt(lt.kw, lt.heads[a], lt.lanes)
-	kb := keyAt(lt.kw, lt.heads[b], lt.lanes)
-	if ka != kb {
-		return ka < kb
+	if lt.codes == nil {
+		ka := keyAt(lt.kw, lt.heads[a], lt.lanes)
+		kb := keyAt(lt.kw, lt.heads[b], lt.lanes)
+		if ka != kb {
+			return ka < kb
+		}
+		return a < b
 	}
-	return a < b
+	ca, cb := lt.codes[a], lt.codes[b]
+	if ca != cb {
+		if ovcAuditEnabled {
+			claim := ovcClaimLess
+			if ca > cb {
+				claim = ovcClaimGreater
+			}
+			ovcAudit(claim, keyAt(lt.kw, lt.heads[a], lt.lanes), keyAt(lt.kw, lt.heads[b], lt.lanes))
+		}
+		return ca < cb
+	}
+	if ca == 0 {
+		// Both heads equal the common base, hence each other: the
+		// run-index tie-break fires with no key access — the
+		// duplicate-heavy fast path.
+		if ovcAuditEnabled {
+			ovcAudit(ovcClaimEqual, keyAt(lt.kw, lt.heads[a], lt.lanes), keyAt(lt.kw, lt.heads[b], lt.lanes))
+		}
+		return a < b
+	}
+	// Equal nonzero codes: fall back to full keys, re-basing the loser.
+	if ovcAuditEnabled {
+		ovcAuditFallbacks.Add(1)
+	}
+	return lt.duelFull(a, b)
 }
 
 func (lt *stableLoserTree) pop() int {
+	pos, _, _ := lt.popStretch(1)
+	return pos
+}
+
+// popStretch pops the winning run's head and, with OVC on, also claims
+// its immediate in-run successors that tie it — at most max elements in
+// total. It returns the first popped position, the element count, and
+// the popped key ((-1, 0, 0) when all runs are exhausted); the claimed
+// elements are contiguous in the source run and share the key.
+//
+// Correctness of the batch: a successor that equals the record it
+// replaces carries the exact (key, run index) tuple that just won every
+// duel on this path — under this tree's strict total order it wins them
+// all again, and no duel can re-base a stored code (each is either 0,
+// tying on run index, or nonzero, losing to 0 outright). Skipping those
+// replays leaves the tree in the precise state full replays would, so
+// the output stays byte-identical; duplicate-heavy merges collapse into
+// stretch scans plus one replay per distinct key. (The
+// tie-to-stored-loser trees cannot skip — an equal-key stored loser
+// legitimately wins there.)
+func (lt *stableLoserTree) popStretch(max int) (int, int, uint64) {
 	w := lt.winner
 	if w < 0 || lt.heads[w] >= lt.ends[w] {
-		return -1
+		return -1, 0, 0
 	}
 	pos := lt.heads[w]
-	lt.heads[w]++
+	key := keyAt(lt.kw, pos, lt.lanes)
+	cnt := 1
+	if lt.codes != nil {
+		next := pos + 1
+		if next < lt.ends[w] {
+			nk := keyAt(lt.kw, next, lt.lanes)
+			if nk == key {
+				// Tie stretch: scan it out before touching the tree.
+				end := lt.ends[w]
+				if lim := pos + max; lim < end {
+					end = lim
+				}
+				cnt++
+				for pos+cnt < end && keyAt(lt.kw, pos+cnt, lt.lanes) == key {
+					cnt++
+				}
+				if ovcAuditEnabled {
+					ovcAuditSkips.Add(int64(cnt - 1))
+				}
+				lt.heads[w] = pos + cnt
+				if pos+cnt < lt.ends[w] {
+					c := ovcRel(keyAt(lt.kw, pos+cnt, lt.lanes), key)
+					lt.codes[w] = c
+					if c == 0 {
+						// Only reachable when max cut a stretch short:
+						// the continuation ties and wins outright on
+						// the next call.
+						if ovcAuditEnabled {
+							ovcAuditSkips.Add(1)
+						}
+						return pos, cnt, key
+					}
+				}
+			} else {
+				// The successor enters with its code relative to the
+				// record that just popped — its in-run predecessor,
+				// adjacent in kw and cache-hot, so the code costs a
+				// few ALU ops and no side array. nk != key, so the
+				// code is nonzero and the replay runs.
+				lt.heads[w] = next
+				lt.codes[w] = ovcRel(nk, key)
+			}
+		} else {
+			lt.heads[w] = next
+		}
+	} else {
+		lt.heads[w]++
+	}
 	cur := w
-	for node := (lt.kPow2 + w) / 2; node >= 1; node /= 2 {
-		if lt.beats(lt.tree[node], cur) {
-			lt.tree[node], cur = cur, lt.tree[node]
+	if lt.codes != nil && !ovcAuditEnabled {
+		// Tight replay for the production coded path: beats carries
+		// audit hooks whose flag loads cost measurable time in this
+		// innermost loop, so the code comparison is inlined here. The
+		// logic mirrors beats exactly — codes first, run index on
+		// double zero, duelFull (which re-bases the loser) on equal
+		// nonzero codes — and the on/off differential batteries pin
+		// this loop to the audited one byte for byte.
+		heads, ends, codes, tree := lt.heads, lt.ends, lt.codes, lt.tree
+		curLive := heads[cur] < ends[cur]
+		for node := (lt.kPow2 + w) / 2; node >= 1; node /= 2 {
+			s := tree[node]
+			if s < 0 || heads[s] >= ends[s] {
+				continue
+			}
+			if !curLive {
+				tree[node], cur = cur, s
+				curLive = true
+				continue
+			}
+			ca, cb := codes[s], codes[cur]
+			var sWins bool
+			if ca != cb {
+				sWins = ca < cb
+			} else if ca == 0 {
+				sWins = s < cur
+			} else {
+				sWins = lt.duelFull(s, cur)
+			}
+			if sWins {
+				tree[node], cur = cur, s
+			}
+		}
+	} else {
+		for node := (lt.kPow2 + w) / 2; node >= 1; node /= 2 {
+			if lt.beats(lt.tree[node], cur) {
+				lt.tree[node], cur = cur, lt.tree[node]
+			}
 		}
 	}
 	lt.winner = cur
-	return pos
+	return pos, cnt, key
 }
 
 // parallelUnpack converts the packed arrays back into keys/oids across

@@ -224,3 +224,46 @@ func TestSplitRunsConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelMergeOVCOnOffIdentical sweeps key cardinality (all-ties
+// through nearly-unique) against worker count and pins that the
+// offset-value-coded merge and the plain merge produce byte-identical
+// (keys, oids) — and that both match the stable oracle.
+func TestParallelMergeOVCOnOffIdentical(t *testing.T) {
+	const n = 4000
+	for _, bank := range Banks {
+		for _, card := range []int{1, 2, 16, 1024} {
+			rng := rand.New(rand.NewSource(int64(bank*10000 + card)))
+			keys := make([]uint64, n)
+			oids := make([]uint32, n)
+			mask := maskFor(bank)
+			for i := range keys {
+				keys[i] = uint64(rng.Intn(card)) * 0x9E3779B1 & mask
+				oids[i] = uint32(i)
+			}
+			runs := sortedRuns(keys, oids, 6)
+			wantK, wantO := mergeOracle(keys, oids, runs)
+			for _, w := range []int{1, 2, 4, 8} {
+				pOn := testParams(bank)
+				pOff := testParams(bank)
+				pOff.DisableOVC = true
+				onK := append([]uint64(nil), keys...)
+				onO := append([]uint32(nil), oids...)
+				ParallelMergeWithParams(bank, onK, onO, runs, pOn, w)
+				offK := append([]uint64(nil), keys...)
+				offO := append([]uint32(nil), oids...)
+				ParallelMergeWithParams(bank, offK, offO, runs, pOff, w)
+				for i := 0; i < n; i++ {
+					if onK[i] != offK[i] || onO[i] != offO[i] {
+						t.Fatalf("bank=%d card=%d workers=%d: OVC on/off diverge at %d: (%d,%d) vs (%d,%d)",
+							bank, card, w, i, onK[i], onO[i], offK[i], offO[i])
+					}
+					if onK[i] != wantK[i] || onO[i] != wantO[i] {
+						t.Fatalf("bank=%d card=%d workers=%d: diverges from oracle at %d",
+							bank, card, w, i)
+					}
+				}
+			}
+		}
+	}
+}

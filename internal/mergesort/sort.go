@@ -26,6 +26,11 @@ type Params struct {
 	// range-partitioning pivot sampler draws (mcsort's first-round
 	// partitioner). Zero means DefaultPivotSamplePerWorker.
 	PivotSamplePerWorker int
+	// DisableOVC turns off offset-value coding in the out-of-cache
+	// loser-tree merges (see ovc.go). The zero value leaves OVC on;
+	// the flag exists for differential testing and benchmarking — the
+	// merged output is byte-identical either way.
+	DisableOVC bool
 }
 
 // DefaultFanout is the out-of-cache merge fanout F used when callers do
@@ -181,12 +186,15 @@ func SortWithParamsContext(ctx context.Context, bank int, keys []uint64, oids []
 	}
 
 	// Phase 3: multiway loser-tree merging over packed data, fanout F.
+	// With OVC on, each tree materializes a run head's entering code
+	// from its adjacent in-run predecessor at replacement time — no
+	// derive sweep and no per-element code array (see ovc.go).
 	passes = 0
 	for len(runs) > 2 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		runs = mergePassMultiwayVec(srcK, srcO, lanes, runs, p.Fanout, dstK, dstO)
+		runs = mergePassMultiwayVec(srcK, srcO, lanes, runs, p.Fanout, dstK, dstO, !p.DisableOVC)
 		srcK, srcO, dstK, dstO = dstK, dstO, srcK, srcO
 		passes++
 	}

@@ -280,3 +280,40 @@ func TestPermutationsCount(t *testing.T) {
 		t.Errorf("aborted enumeration ran %d times", count)
 	}
 }
+
+func TestROGAExploitsOVCDiscount(t *testing.T) {
+	// Dup-heavy columns (16×4 distinct value combinations over 2^20
+	// rows) make the big stitched sort almost all ties, so the
+	// offset-value-coded merge discount erases most of its
+	// out-of-cache term. Without the discount the model prefers
+	// sorting column-at-a-time; with it, the one-round stitch wins —
+	// and ROGA must follow the model both times.
+	st := uniformStats(31, 1<<20, []int{15, 31}, []int{16, 4})
+	m0 := testModel()
+	m9 := testModel()
+	m9.C.OVCMergeDiscount = 0.9
+
+	stitch := plan.Plan{Rounds: []plan.Round{{Width: 46, Bank: 64}}}
+	byCol := plan.Plan{Rounds: []plan.Round{{Width: 15, Bank: 16}, {Width: 31, Bank: 32}}}
+	if !(m0.TMCS(byCol, st) < m0.TMCS(stitch, st)) {
+		t.Fatalf("undiscounted model must prefer column-at-a-time: %.3g vs %.3g",
+			m0.TMCS(byCol, st), m0.TMCS(stitch, st))
+	}
+	if !(m9.TMCS(stitch, st) < m9.TMCS(byCol, st)) {
+		t.Fatalf("discounted model must prefer the stitch: %.3g vs %.3g",
+			m9.TMCS(stitch, st), m9.TMCS(byCol, st))
+	}
+
+	g0 := ROGA(&Search{Model: m0, Stats: st, Kind: OrderBy, Rho: -1})
+	g9 := ROGA(&Search{Model: m9, Stats: st, Kind: OrderBy, Rho: -1})
+	if g0.Plan.Equal(g9.Plan) {
+		t.Errorf("discount did not shift the ROGA plan: both chose %v", g0.Plan)
+	}
+	if len(g9.Plan.Rounds) != 1 {
+		t.Errorf("discounted ROGA plan %v, want the one-round stitch", g9.Plan)
+	}
+	if g9.Est > m9.TMCS(byCol, st) {
+		t.Errorf("discounted ROGA est %.3g worse than column-at-a-time %.3g",
+			g9.Est, m9.TMCS(byCol, st))
+	}
+}

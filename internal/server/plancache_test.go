@@ -27,6 +27,13 @@ func TestModelFingerprint(t *testing.T) {
 	if ModelFingerprint(nil) == ModelFingerprint(cacheModelA()) {
 		t.Error("nil model shares a fingerprint with a real one")
 	}
+	// Recalibrating only the OVC merge discount must invalidate cached
+	// plans too: the discount shifts ROGA's round assignments.
+	ovc := cacheModelA()
+	ovc.C.OVCMergeDiscount = 0.4
+	if ModelFingerprint(cacheModelA()) == ModelFingerprint(ovc) {
+		t.Error("models differing only in OVCMergeDiscount share a fingerprint")
+	}
 }
 
 func TestPlanCacheHitMissStats(t *testing.T) {
