@@ -31,6 +31,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzOVCMerge -fuzztime=30s ./internal/mergesort/
 	$(GO) test -fuzz=FuzzMassageRoundTrip -fuzztime=30s ./internal/massage/
 	$(GO) test -fuzz=FuzzQueryRequest -fuzztime=20s ./internal/server/
+	$(GO) test -fuzz=FuzzTopKMerge -fuzztime=30s ./internal/mergesort/
+	$(GO) test -fuzz=FuzzLimitQuery -fuzztime=20s ./internal/server/
 
 # End-to-end mcsd smoke: build the daemon, start it on a small TPC-H
 # table, run one query twice (second must hit the plan cache, visible
@@ -45,7 +47,7 @@ bench:
 # CI gate: emit BENCH_pr2.json and fail on a >5% normalized
 # single-thread regression against bench/baseline_pr2.json.
 bench-regress:
-	BENCH_REGRESS=1 $(GO) test -run 'TestBenchRegression|TestBenchOVCSkewSweep' -v -timeout 20m .
+	BENCH_REGRESS=1 $(GO) test -run 'TestBenchRegression|TestBenchOVCSkewSweep|TestBenchTopK' -v -timeout 20m .
 
 # Regenerate the committed baseline (run on a quiet machine).
 bench-baseline:

@@ -242,6 +242,162 @@ func TestBenchRegression(t *testing.T) {
 	t.Logf("within tolerance: normalized %.3f vs baseline %.3f", rep.NormSingleTh, base.NormSingleTh)
 }
 
+// --- Top-K sweep ----------------------------------------------------
+//
+// TestBenchTopK measures LIMIT-aware execution (mcsort.Options.LimitRows,
+// docs/topk.md) against the full sort on the 1M-row 4-column workload,
+// swept over K in {1, 100, 10k} and duplicate fractions {0, 0.99}.
+// Gates: the truncated path must be at least 2x faster than the full
+// sort at K=100 (unique keys, single worker — the serving case), and
+// the unlimited path measured in the same process must stay within the
+// PR 2 tolerance of bench/baseline_pr2.json (the truncation plumbing
+// must not tax full sorts). Results land in BENCH_pr7.json.
+
+const benchTopKOutput = "BENCH_pr7.json"
+
+type benchTopKRun struct {
+	Limit    int     `json:"limit"`
+	DupFrac  float64 `json:"dup_frac"`
+	Workers  int     `json:"workers"`
+	TopKNs   int64   `json:"topk_ns"`
+	FullNs   int64   `json:"full_ns"`
+	SpeedupX float64 `json:"speedup_x"`
+	RowsOut  int     `json:"rows_out"`
+}
+
+type benchTopKReport struct {
+	Benchmark    string        `json:"benchmark"`
+	Rows         int           `json:"rows"`
+	Widths       []int         `json:"widths"`
+	Plan         string        `json:"plan"`
+	Runs         []benchTopKRun `json:"sweep"`
+	NormSingleTh float64       `json:"unlimited_normalized_single_thread"`
+}
+
+// benchDupInputs builds the 1M-row 4-column workload with the given
+// duplicate fraction on every column (dup = 1 - distinct/n, capped at
+// each column's domain).
+func benchDupInputs(dup float64) []massage.Input {
+	if dup <= 0 {
+		return benchInputs()
+	}
+	rng := rand.New(rand.NewSource(13))
+	card := int(float64(benchRows)*(1-dup) + 0.5)
+	if card < 1 {
+		card = 1
+	}
+	inputs := make([]massage.Input, len(benchWidths))
+	for i, w := range benchWidths {
+		dom := 1 << uint(w)
+		c := card
+		if c > dom {
+			c = dom
+		}
+		codes := make([]uint64, benchRows)
+		for j := range codes {
+			codes[j] = uint64(rng.Intn(c))
+		}
+		inputs[i] = massage.Input{Codes: codes, Width: w}
+	}
+	return inputs
+}
+
+// measureTopK returns the best-of-reps wall time of the truncated sort
+// and the surviving row count.
+func measureTopK(tb testing.TB, inputs []massage.Input, limit, workers, reps int) (time.Duration, int) {
+	tb.Helper()
+	best := time.Duration(0)
+	rows := 0
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		res, err := mcsort.Execute(inputs, benchPlan, mcsort.Options{Workers: workers, LimitRows: limit})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		d := time.Since(t0)
+		if best == 0 || d < best {
+			best = d
+		}
+		rows = len(res.Perm)
+	}
+	return best, rows
+}
+
+func TestBenchTopK(t *testing.T) {
+	if os.Getenv("BENCH_REGRESS") == "" {
+		t.Skip("set BENCH_REGRESS=1 to run the benchmark-regression gate")
+	}
+	rep := benchTopKReport{
+		Benchmark: "topk_1m_4col_skew_sweep",
+		Rows:      benchRows,
+		Widths:    benchWidths,
+		Plan:      benchPlan.String(),
+	}
+
+	// Unlimited-path regression guard: the same normalized single-thread
+	// figure as TestBenchRegression, measured in this process so the
+	// truncation plumbing in the shared pipeline is what is on trial.
+	refNs := measureReference(benchReps).Nanoseconds()
+	var gate100 float64
+	for _, dup := range []float64{0, 0.99} {
+		inputs := benchDupInputs(dup)
+		for _, workers := range []int{1, 4} {
+			full, _ := measurePipeline(t, inputs, workers, benchReps)
+			if dup == 0 && workers == 1 {
+				rep.NormSingleTh = float64(full.Nanoseconds()) / float64(refNs)
+			}
+			for _, k := range []int{1, 100, 10_000} {
+				d, rows := measureTopK(t, inputs, k, workers, benchReps)
+				sp := float64(full.Nanoseconds()) / float64(d.Nanoseconds())
+				if dup == 0 && workers == 1 && k == 100 {
+					gate100 = sp
+				}
+				rep.Runs = append(rep.Runs, benchTopKRun{
+					Limit: k, DupFrac: dup, Workers: workers,
+					TopKNs: d.Nanoseconds(), FullNs: full.Nanoseconds(),
+					SpeedupX: sp, RowsOut: rows,
+				})
+				t.Logf("dup=%.2f workers=%d K=%d: topk %.2fms vs full %.2fms (%.2fx), %d rows",
+					dup, workers, k, float64(d.Nanoseconds())/1e6, float64(full.Nanoseconds())/1e6, sp, rows)
+			}
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPath := os.Getenv("BENCH_TOPK_OUT")
+	if outPath == "" {
+		outPath = benchTopKOutput
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", outPath)
+
+	if gate100 < 2 {
+		t.Errorf("K=100 truncated sort only %.2fx faster than the full sort, gate requires >= 2x", gate100)
+	}
+	raw, err := os.ReadFile(benchBaseline)
+	if err != nil {
+		t.Fatalf("no committed baseline (%v)", err)
+	}
+	var base benchBaselineDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	tol := base.Tolerance
+	if tol == 0 {
+		tol = benchTolerance
+	}
+	if rep.NormSingleTh > base.NormSingleTh*(1+tol) {
+		t.Errorf("unlimited path regression: normalized %.3f vs baseline %.3f (+%.1f%% > %.0f%% tolerance)",
+			rep.NormSingleTh, base.NormSingleTh,
+			100*(rep.NormSingleTh/base.NormSingleTh-1), 100*tol)
+	}
+}
+
 // --- OVC skew sweep -------------------------------------------------
 //
 // TestBenchOVCSkewSweep measures the offset-value-coded merge against

@@ -10,7 +10,7 @@
 //	mcsbench -exp all -debug-addr :6060 # live pprof + expvar
 //
 // Experiment ids: fig1, fig3a, fig3b, fig3c, fig4a, fig4b, fig5, fig7,
-// tab1, tab2, fig8, fig9, fig10, fig12.
+// tab1, tab2, fig8, fig9, fig10, fig12, topk.
 //
 // Observability (docs/observability.md): -trace and -metrics enable the
 // internal/obs subsystem, which records per-phase sort timings, massage
@@ -46,6 +46,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		quick     = flag.Bool("quick", false, "reduced populations and scales")
 		workers   = flag.Int("workers", 1, "worker goroutines for engine passes (plan measurements stay sequential)")
+		limit     = flag.Int("limit", 0, "override the topk experiment's K sweep with a single K (0 = default sweep)")
 		calPath   = flag.String("calibration", "", "load a saved calibration profile instead of calibrating")
 		metrics   = flag.String("metrics", "", "emit an obs metrics snapshot on stdout at exit: json | text")
 		trace     = flag.Bool("trace", false, "print the cumulative obs trace to stderr after each experiment")
@@ -82,6 +83,7 @@ func main() {
 		Seed:      *seed,
 		Quick:     *quick,
 		Workers:   *workers,
+		Limit:     *limit,
 	}
 	if *calPath != "" {
 		m, err := costmodel.Load(*calPath)

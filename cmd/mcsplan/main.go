@@ -39,6 +39,8 @@ func main() {
 		metrics      = flag.String("metrics", "", "emit an obs metrics snapshot (search counters) at exit: json | text")
 		execute      = flag.Bool("execute", false, "generate -rows rows and execute the ROGA pick")
 		workers      = flag.Int("workers", 1, "worker goroutines for -execute (output is identical for any value)")
+		limit        = flag.Int("limit", 0, "with -execute: top-K run, materializing only the first limit+offset rows of the sort order (0 = full output)")
+		offset       = flag.Int("offset", 0, "with -execute and -limit: leading rows to skip before the limit window")
 		timeout      = flag.Duration("timeout", 0, "cancel the search and execution after this duration (0 = no limit); queue-wait vs execution expiries are split under pipeline.cancellations_* in -metrics")
 	)
 	flag.Parse()
@@ -129,6 +131,11 @@ func main() {
 	fmt.Printf("RRS pick:              %-40s est %8.2f ms (order %v)\n",
 		rrs.Plan, rrs.Est/1e6, rrs.ColOrder)
 
+	if *limit < 0 || *offset < 0 {
+		fmt.Fprintln(os.Stderr, "mcsplan: -limit and -offset must be non-negative")
+		os.Exit(2)
+	}
+
 	if *execute {
 		inputs := make([]massage.Input, len(widths))
 		for _, c := range roga.ColOrder {
@@ -141,7 +148,14 @@ func main() {
 		for i, c := range roga.ColOrder {
 			ordered[i] = inputs[c]
 		}
-		res, err := mcsort.ExecuteContext(ctx, ordered, roga.Plan, mcsort.Options{Workers: *workers})
+		mopts := mcsort.Options{Workers: *workers}
+		if *limit > 0 {
+			// The engine's LIMIT/OFFSET semantics at the mcsort layer:
+			// materialize the first offset+limit rows, then drop the
+			// leading offset ones.
+			mopts.LimitRows = *limit + *offset
+		}
+		res, err := mcsort.ExecuteContext(ctx, ordered, roga.Plan, mopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcsplan: execute: %v\n", err)
 			dumpMetrics(*metrics)
@@ -153,6 +167,14 @@ func main() {
 			float64(t.Massage.Nanoseconds())/1e6, float64(t.Sort.Nanoseconds())/1e6,
 			float64(t.Lookup.Nanoseconds())/1e6, float64(t.Scan.Nanoseconds())/1e6,
 			len(res.Groups)-1)
+		if *limit > 0 {
+			kept := len(res.Perm) - *offset
+			if kept < 0 {
+				kept = 0
+			}
+			fmt.Printf("top-K: limit=%d offset=%d materialized %d of %d rows, returned %d\n",
+				*limit, *offset, len(res.Perm), *rows, kept)
+		}
 	}
 
 	dumpMetrics(*metrics)

@@ -210,3 +210,65 @@ func BadCreditBatch(ctx context.Context, batches [][]int) int {
 		}
 	}
 }
+
+// BoundedHeap is the top-K chunk-filter shape: a data-bound scan that
+// polls on a decrementing credit and displaces the heap root on a
+// smaller key. The heapify countdown is bounded by the limit parameter
+// rather than the data, so it is exempt; the sift helper owns no
+// context, so its log-bounded loop is out of scope.
+func BoundedHeap(ctx context.Context, xs []uint64, limit int) (uint64, error) {
+	heap := make([]uint64, limit)
+	copy(heap, xs[:limit])
+	for i := limit/2 - 1; i >= 0; i-- {
+		sift(heap, i)
+	}
+	credit := 1 << 12
+	for i := limit; i < len(xs); i++ {
+		if credit--; credit <= 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			credit = 1 << 12
+		}
+		if xs[i] < heap[0] {
+			heap[0] = xs[i]
+			sift(heap, 0)
+		}
+	}
+	return heap[0], nil
+}
+
+// BadBoundedHeap scans without the credit poll: the displacement scan
+// is a finding (the limit-bounded heapify stays exempt).
+func BadBoundedHeap(ctx context.Context, xs []uint64, limit int) uint64 {
+	heap := make([]uint64, limit)
+	copy(heap, xs[:limit])
+	for i := limit/2 - 1; i >= 0; i-- {
+		sift(heap, i)
+	}
+	for i := limit; i < len(xs); i++ { // want `data-bound loop in BadBoundedHeap does not poll ctx`
+		if xs[i] < heap[0] {
+			heap[0] = xs[i]
+			sift(heap, 0)
+		}
+	}
+	return heap[0]
+}
+
+// sift has no context parameter: its loop is exempt however it runs.
+func sift(h []uint64, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		if r := l + 1; r < len(h) && h[r] > h[l] {
+			l = r
+		}
+		if h[l] <= h[i] {
+			return
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+}

@@ -73,6 +73,18 @@ type ColumnStats struct {
 type Stats struct {
 	N    int
 	Cols []ColumnStats
+	// LimitRows is the query's output row-rank truncation target
+	// (offset+limit) when the LIMIT path runs in row units (window
+	// queries): round 1 becomes a top-K filter plus a sort of the ~
+	// LimitRows survivors, and later rounds massage, gather, sort, and
+	// scan survivors only (docs/topk.md). 0 = unlimited; then every
+	// estimate reproduces the unlimited model exactly, so the plan-cache
+	// model fingerprint does not change.
+	LimitRows int
+	// LimitGroups is the truncation target in group units (group-by
+	// queries): round 1 sorts fully, later rounds shrink to the rows of
+	// the first LimitGroups groups. 0 = unlimited.
+	LimitGroups int
 }
 
 // Permute returns the stats with columns reordered by perm: Cols[i] of
@@ -83,7 +95,37 @@ func (s Stats) Permute(perm []int) Stats {
 	for i, p := range perm {
 		cols[i] = s.Cols[p]
 	}
-	return Stats{N: s.N, Cols: cols}
+	return Stats{N: s.N, Cols: cols, LimitRows: s.LimitRows, LimitGroups: s.LimitGroups}
+}
+
+// survivorsAfter estimates how many rows remain in the pipeline after
+// truncation at group boundaries once the first `bits` bits are sorted:
+// the rank target plus the expected boundary group (LimitRows — the cut
+// is tie-extended) or the expected rows of the first LimitGroups groups
+// (LimitGroups), clamped to [1, N]. Unlimited stats return N.
+func (s Stats) survivorsAfter(bits int) float64 {
+	n := float64(s.N)
+	if (s.LimitRows <= 0 && s.LimitGroups <= 0) || bits <= 0 || s.N <= 0 {
+		return n
+	}
+	nGroup, _, _ := s.groupProfile(bits)
+	if nGroup < 1 {
+		nGroup = 1
+	}
+	avg := n / nGroup
+	var v float64
+	if s.LimitRows > 0 {
+		v = float64(s.LimitRows) + avg
+	} else {
+		v = float64(s.LimitGroups) * avg
+	}
+	if v > n {
+		v = n
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
 }
 
 // TotalWidth returns the summed column width W.
@@ -270,11 +312,34 @@ func (m *Model) TSortAfter(st Stats, bitsBefore, bank int) float64 {
 func (m *Model) tSortAfterWidth(st Stats, bitsBefore, width, bank int) float64 {
 	dup := st.DupFrac(bitsBefore + width)
 	if bitsBefore <= 0 {
+		if st.LimitRows > 0 && st.N > 0 {
+			// Round 1 of a row-truncated query is the bounded-heap top-K
+			// sort: a sequential filter pass over all N rows (costed with
+			// the scan constant — same access pattern, no new calibrated
+			// constant so the model fingerprint is unchanged) plus a sort
+			// of only the survivors. This is what teaches ROGA that wide
+			// stitched first rounds are nearly free under small K — the
+			// sort term collapses — so massaging pays only via its own
+			// upfront cost.
+			surv := st.survivorsAfter(width)
+			if surv < float64(st.N) {
+				return m.TScan(st.N) + m.TSortOneDup(surv, bank, dup)
+			}
+		}
 		return m.TSortOneDup(float64(st.N), bank, dup)
 	}
 	_, nSort, rows := st.groupProfile(bitsBefore)
 	if nSort < 1 {
 		return 0
+	}
+	// Truncated executions only sort the groups that survive the cut:
+	// scale the group population by the surviving-row fraction.
+	if scale := st.survivorsAfter(bitsBefore) / float64(st.N); scale < 1 {
+		nSort *= scale
+		rows *= scale
+		if nSort < 1 {
+			nSort = 1
+		}
 	}
 	avg := rows / nSort
 	return nSort * m.TSortOneDup(avg, bank, dup)
@@ -291,11 +356,35 @@ func (m *Model) TSortRound(p plan.Plan, st Stats, k int) float64 {
 
 // TMCS estimates the total multi-column sorting time of plan p: massage
 // upfront, then per round a lookup (rounds ≥ 2), the SIMD-sorts, and a
-// group-extraction scan.
+// group-extraction scan. Truncated stats (LimitRows/LimitGroups > 0)
+// model the deferred execution instead: massage is paid per round — in
+// full for round 1, then only over the surviving prefix — and the
+// lookup and scan passes shrink with the survivors, which is what makes
+// massaging rarely pay below small K (the upfront FIP work no longer
+// amortizes over cheap later rounds).
 func (m *Model) TMCS(p plan.Plan, st Stats) float64 {
 	inWidths := make([]int, len(st.Cols))
 	for i, c := range st.Cols {
 		inWidths[i] = c.Width
+	}
+	if st.LimitRows > 0 || st.LimitGroups > 0 {
+		rf := plan.RoundFIPs(inWidths, p.Widths())
+		t := 0.0
+		bitsBefore := 0
+		for k := 1; k <= len(p.Rounds); k++ {
+			surv := st.N
+			if k > 1 {
+				surv = int(st.survivorsAfter(bitsBefore))
+			}
+			t += m.TMassage(rf[k-1], surv)
+			if k > 1 {
+				t += m.TLookup(surv, p.Rounds[k-1].Width)
+			}
+			t += m.TSortRound(p, st, k)
+			t += m.TScan(surv)
+			bitsBefore += p.Rounds[k-1].Width
+		}
+		return t
 	}
 	t := m.TMassage(plan.IFIP(inWidths, p.Widths()), st.N)
 	for k := 1; k <= len(p.Rounds); k++ {

@@ -57,6 +57,48 @@ func TestRunContextCancelAtSites(t *testing.T) {
 	}
 }
 
+// TestRunContextLimitedCancelAtTopKSite cancels a LIMIT query from the
+// truncated-merge site: the limited pipeline must unwind with
+// context.Canceled and leak nothing.
+func TestRunContextLimitedCancelAtTopKSite(t *testing.T) {
+	defer faultinject.Reset()
+	tbl := makeTable(t, 8000, 25)
+	q := Query{
+		ID:       "cancel-limited",
+		Kind:     planner.PartitionBy,
+		SortCols: []SortCol{{Name: "a"}},
+		Window:   &Window{OrderCol: "v"},
+	}
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			defer testutil.CheckNoLeaks(t)()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var fired atomic.Bool
+			restore := faultinject.Set(faultinject.TopKMerge, func() {
+				fired.Store(true)
+				cancel()
+			})
+			defer restore()
+			lim := 10
+			opts := limitOptions(workers)
+			opts.Limit = &lim
+			res, err := RunContext(ctx, tbl, q, opts)
+			if fired.Load() {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("site fired but err = %v, want context.Canceled", err)
+				}
+				if res != nil {
+					t.Fatal("cancelled query must not return a result")
+				}
+			} else if err != nil {
+				t.Fatalf("site never fired but err = %v", err)
+			}
+		})
+	}
+}
+
 func TestRunContextPreCancelled(t *testing.T) {
 	defer testutil.CheckNoLeaks(t)()
 	tbl := makeTable(t, 1000, 22)

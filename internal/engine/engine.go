@@ -175,6 +175,18 @@ type Options struct {
 	SortParams *mergesort.Params
 	// PlanOverride skips the search and uses the given choice.
 	PlanOverride *planner.Choice
+	// Limit caps the output entries (docs/topk.md): ranked rows for
+	// window queries, groups otherwise. nil is unlimited; 0 produces an
+	// empty result without sorting. When set, the sort pipeline runs the
+	// truncated path — bounded-heap round 0, survivors-only later rounds
+	// — cut at rank Offset+Limit, and the result is byte-identical to
+	// the unlimited result sliced to [Offset, Offset+Limit) at any
+	// worker count, cached or uncached.
+	Limit *int
+	// Offset drops the first Offset output entries (applied after the
+	// sort, before Limit counts). Negative values are rejected. An
+	// Offset without a Limit slices the full result.
+	Offset int
 }
 
 // Run executes q against t.
@@ -222,6 +234,20 @@ func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if opts.Limit != nil && *opts.Limit < 0 {
+		return nil, fmt.Errorf("%s: negative limit %d", q.ID, *opts.Limit)
+	}
+	if opts.Offset < 0 {
+		return nil, fmt.Errorf("%s: negative offset %d", q.ID, opts.Offset)
+	}
+	truncate := opts.Limit != nil
+	cut := 0
+	if truncate {
+		cut = opts.Offset + *opts.Limit
+		if cut < *opts.Limit {
+			return nil, fmt.Errorf("%s: limit %d + offset %d overflows", q.ID, *opts.Limit, opts.Offset)
+		}
+	}
 	res := &Result{}
 
 	// 1. Filters: ByteSlice scans ANDed into one bit vector.
@@ -261,6 +287,13 @@ func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 	}
 	res.Timing.FilterScan = time.Since(start)
 	res.Rows = len(rows)
+
+	// LIMIT 0: the result is empty whatever the data; skip the sort
+	// pipeline entirely (the filter already ran, so Rows is still the
+	// filtered count, matching the unlimited execution).
+	if truncate && *opts.Limit == 0 {
+		return res, nil
+	}
 
 	sortCols := q.SortCols
 	if q.Window != nil {
@@ -310,12 +343,25 @@ func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 	}
 	res.Workers = workers
 
-	// 4. Multi-column sort under the chosen column order and plan.
+	// 4. Multi-column sort under the chosen column order and plan. A
+	// Limit truncates the sort itself: window queries consume ranked
+	// rows, so they cut at the row rank; everything else consumes the
+	// group table, so it cuts at the group rank. ORDER BY <aggregate>
+	// reorders groups *after* the sort, so it needs every group and only
+	// the final output is sliced.
+	mopts := mcsort.Options{Workers: workers, SortParams: opts.SortParams}
+	if truncate {
+		if q.Window != nil {
+			mopts.LimitRows = cut
+		} else if !q.OrderByAgg {
+			mopts.LimitGroups = cut
+		}
+	}
 	ordered := make([]massage.Input, len(inputs))
 	for i, c := range choice.ColOrder {
 		ordered[i] = inputs[c]
 	}
-	mres, err := mcsort.ExecuteContext(ctx, ordered, choice.Plan, mcsort.Options{Workers: workers, SortParams: opts.SortParams})
+	mres, err := mcsort.ExecuteContext(ctx, ordered, choice.Plan, mopts)
 	if err != nil {
 		return nil, err
 	}
@@ -330,6 +376,16 @@ func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 		}
 		start = time.Now()
 		computeRanks(res, q, inputs, rows, mres)
+		// Ranks are prefix-computable (a row's rank depends only on rows
+		// at or before it), so ranking the truncated permutation and
+		// slicing off the offset equals slicing the full ranking.
+		if off := opts.Offset; off > 0 {
+			if off > len(res.Ranks) {
+				off = len(res.Ranks)
+			}
+			res.Ranks = res.Ranks[off:]
+			res.RowOids = res.RowOids[off:]
+		}
 		res.Timing.Aggregate = time.Since(start)
 		return res, nil
 	}
@@ -347,6 +403,22 @@ func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 		start = time.Now()
 		sortGroupsByAggregate(res)
 		res.Timing.PostSort = time.Since(start)
+	}
+
+	// 7. Slice the group table to [Offset, Offset+Limit). The sort
+	// already truncated to at most Offset+Limit groups unless OrderByAgg
+	// reordered them above (then every group was kept and the slice does
+	// all the work).
+	if truncate || opts.Offset > 0 {
+		lo, hi := opts.Offset, len(res.Aggregates)
+		if lo > hi {
+			lo = hi
+		}
+		if truncate && lo+*opts.Limit < hi {
+			hi = lo + *opts.Limit
+		}
+		res.GroupKeys = res.GroupKeys[lo:hi]
+		res.Aggregates = res.Aggregates[lo:hi]
 	}
 	return res, nil
 }
@@ -466,6 +538,18 @@ func choosePlan(ctx context.Context, t *table.Table, q Query, sortCols []SortCol
 		}
 	}
 	st := costmodel.Stats{N: len(inputs[0].Codes)}
+	if opts.Limit != nil && *opts.Limit > 0 {
+		// Teach the search about the truncation (docs/topk.md): the
+		// truncated TMCS pays massage per round over a shrinking survivor
+		// set, which shifts the stitch-vs-sort crossovers toward narrow
+		// plans at small K.
+		cut := opts.Offset + *opts.Limit
+		if q.Window != nil {
+			st.LimitRows = cut
+		} else if !q.OrderByAgg {
+			st.LimitGroups = cut
+		}
+	}
 	for _, sc := range sortCols {
 		cs, err := t.Stats(sc.Name)
 		if err != nil {
@@ -548,7 +632,10 @@ func sortGroupsByAggregate(res *Result) {
 // partition columns form a partition; within it, rows share a rank when
 // tied on the order column, and rank counts rows, not distinct values.
 func computeRanks(res *Result, q Query, inputs []massage.Input, rows []uint32, mres *mcsort.Result) {
-	n := len(rows)
+	// The permutation may be a truncated prefix of the sorted rows
+	// (Options.Limit); ranks only ever look backward, so ranking the
+	// prefix is exact.
+	n := len(mres.Perm)
 	res.Ranks = make([]uint32, n)
 	res.RowOids = make([]uint32, n)
 	nPart := len(q.SortCols) // partition columns; order column is last

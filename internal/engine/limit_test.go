@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/mergesort"
+	"repro/internal/planner"
+	"repro/internal/table"
+	"repro/internal/testutil"
+)
+
+// The oracle-differential truncation battery: every LIMIT/OFFSET result
+// must be byte-identical to the unlimited result sliced to
+// [Offset, Offset+Limit), at every worker count, for duplicate-free and
+// duplicate-heavy data. The server-side battery (internal/server)
+// covers the cached-vs-uncached dimension over the same semantics; this
+// one covers the engine/mcsort/mergesort layers directly.
+
+// limitSweepK returns the K sweep of the battery relative to n. -1 is
+// the sentinel for "no limit" (offset-only slicing).
+func limitSweepK(n int) []int {
+	return []int{-1, 0, 1, 100, n - 1, n, n + 7}
+}
+
+// makeDupTable builds a table whose sort columns carry the given
+// duplicate fraction (dup = 1 - distinct/n).
+func makeDupTable(t *testing.T, n int, dup float64, seed int64) *table.Table {
+	t.Helper()
+	distinct := int(float64(n)*(1-dup) + 0.5)
+	if distinct < 1 {
+		distinct = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.New("t", n)
+	add := func(name string, width, card int) {
+		codes := make([]uint64, n)
+		for i := range codes {
+			codes[i] = uint64(rng.Intn(card))
+		}
+		if err := tbl.Add(column.FromCodes(name, width, codes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxCard := 1 << 11
+	if distinct > maxCard {
+		distinct = maxCard
+	}
+	add("s1", 11, distinct)
+	add("s2", 11, distinct)
+	add("v", 8, 200)
+	add("f", 6, 50)
+	return tbl
+}
+
+// limitQueries are the clause shapes the battery sweeps: a grouped
+// aggregate with a filter, a plain ORDER BY, an unfiltered window rank
+// (so row-rank truncation bites below n), and an aggregate-ordered
+// group-by (which truncates by slicing only — the sort cannot cut what
+// the aggregate reorders).
+func limitQueries() []Query {
+	return []Query{
+		{
+			ID:       "lim-groupby",
+			Kind:     planner.GroupBy,
+			SortCols: []SortCol{{Name: "s1"}, {Name: "s2"}},
+			Agg:      &Agg{Kind: Sum, Col: "v"},
+			Filters:  []Filter{{Col: "f", Between: true, Lo: 5, Hi: 44}},
+		},
+		{
+			ID:       "lim-orderby",
+			Kind:     planner.OrderBy,
+			SortCols: []SortCol{{Name: "s1", Desc: true}, {Name: "s2"}},
+		},
+		{
+			ID:       "lim-window",
+			Kind:     planner.PartitionBy,
+			SortCols: []SortCol{{Name: "s1"}},
+			Window:   &Window{OrderCol: "v"},
+		},
+		{
+			ID:         "lim-orderbyagg",
+			Kind:       planner.GroupBy,
+			SortCols:   []SortCol{{Name: "s1"}},
+			Agg:        &Agg{Kind: Count},
+			OrderByAgg: true,
+		},
+	}
+}
+
+// limitOptions forces the parallel sort paths at battery scale and
+// keeps the plan choice deterministic (counted search budget, no wall
+// clock).
+func limitOptions(workers int) Options {
+	p := mergesort.DefaultParams(4)
+	p.ParallelThreshold = 256
+	p.PivotSamplePerWorker = 16
+	return Options{
+		Massaging:  true,
+		Model:      testModel(),
+		Rho:        -1,
+		MaxPlans:   64,
+		Workers:    workers,
+		SortParams: &p,
+	}
+}
+
+// sliceOracle applies the documented LIMIT/OFFSET semantics to an
+// unlimited result: entries [off, off+limit) of the ranked rows for
+// window queries, of the group table otherwise. limit == nil slices
+// [off:].
+func sliceOracle(full *Result, window bool, limit *int, off int) *Result {
+	cut := func(n int) (int, int) {
+		lo := off
+		if lo > n {
+			lo = n
+		}
+		hi := n
+		if limit != nil && lo+*limit < hi {
+			hi = lo + *limit
+		}
+		return lo, hi
+	}
+	out := &Result{Rows: full.Rows}
+	if window {
+		lo, hi := cut(len(full.Ranks))
+		out.Ranks = full.Ranks[lo:hi]
+		out.RowOids = full.RowOids[lo:hi]
+		return out
+	}
+	lo, hi := cut(len(full.GroupKeys))
+	out.GroupKeys = full.GroupKeys[lo:hi]
+	out.Aggregates = full.Aggregates[lo:hi]
+	return out
+}
+
+// canonResult renders the query-data fields of a result with nil and
+// empty slices identified, so a truncated run and a sliced oracle
+// compare byte-for-byte.
+func canonResult(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rows=%d\n", res.Rows)
+	for _, gk := range res.GroupKeys {
+		fmt.Fprintf(&sb, "g %v\n", gk)
+	}
+	for _, a := range res.Aggregates {
+		fmt.Fprintf(&sb, "a %d\n", a)
+	}
+	for i := range res.Ranks {
+		fmt.Fprintf(&sb, "r %d %d\n", res.Ranks[i], res.RowOids[i])
+	}
+	return sb.String()
+}
+
+// TestLimitOffsetOracleDifferential is the engine-layer battery:
+// workers {1,2,4,8} x K {nil,0,1,100,n-1,n,n+7} x offsets {0,3,n} x
+// duplicate fractions {0,0.99}, every combination compared against
+// full-sort-then-slice.
+func TestLimitOffsetOracleDifferential(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	const n = 1200
+	for _, dup := range []float64{0, 0.99} {
+		tbl := makeDupTable(t, n, dup, 42)
+		for _, q := range limitQueries() {
+			q := q
+			t.Run(fmt.Sprintf("dup=%g/%s", dup, q.ID), func(t *testing.T) {
+				full, err := Run(tbl, q, limitOptions(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					for _, k := range limitSweepK(n) {
+						for _, off := range []int{0, 3, n} {
+							opts := limitOptions(workers)
+							opts.Offset = off
+							var limit *int
+							if k >= 0 {
+								kk := k
+								limit = &kk
+								opts.Limit = &kk
+							}
+							got, err := Run(tbl, q, opts)
+							if err != nil {
+								t.Fatalf("workers=%d k=%d off=%d: %v", workers, k, off, err)
+							}
+							want := sliceOracle(full, q.Window != nil, limit, off)
+							if g, w := canonResult(got), canonResult(want); g != w {
+								t.Fatalf("workers=%d k=%d off=%d: diverges from full-sort-then-slice\ngot:\n%s\nwant:\n%s",
+									workers, k, off, g, w)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLimitValidation pins the error paths: negative limit, negative
+// offset, and an offset+limit sum that overflows int.
+func TestLimitValidation(t *testing.T) {
+	tbl := makeDupTable(t, 100, 0, 1)
+	q := limitQueries()[1]
+	neg := -1
+	if _, err := Run(tbl, q, Options{Limit: &neg}); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if _, err := Run(tbl, q, Options{Offset: -5}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	huge := int(^uint(0) >> 1)
+	if _, err := Run(tbl, q, Options{Limit: &huge, Offset: 10}); err == nil {
+		t.Error("overflowing offset+limit accepted")
+	}
+}

@@ -38,6 +38,9 @@ type Config struct {
 	// stay sequential regardless, so measured times remain comparable
 	// to the sequentially calibrated cost model.
 	Workers int
+	// Limit overrides the topk experiment's K sweep with a single K
+	// (0 keeps the default sweep). Other experiments ignore it.
+	Limit int
 
 	// ctx carries the cancellation context set by RunContext; nil means
 	// context.Background(). Unexported so the zero Config stays valid.
@@ -137,7 +140,7 @@ func speedup(base, improved time.Duration) string {
 // All lists every experiment id, in presentation order.
 var All = []string{
 	"fig1", "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig5",
-	"fig7", "tab1", "tab2", "fig8", "fig9", "fig10", "fig12",
+	"fig7", "tab1", "tab2", "fig8", "fig9", "fig10", "fig12", "topk",
 }
 
 // Run dispatches an experiment by id.
@@ -180,6 +183,8 @@ func RunContext(ctx context.Context, id string, cfg Config) (*Report, error) {
 		return Figure10(cfg)
 	case "fig12":
 		return Figure12(cfg)
+	case "topk":
+		return TopK(cfg)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q (have %v)", id, All)
 	}

@@ -37,6 +37,9 @@ const (
 	// LoserMerge: mergesort's cooperative multiway merge, once per
 	// worker co-partition.
 	LoserMerge = "mergesort.loser_merge"
+	// TopKMerge: mergesort's rank-truncated merge, once per top-K merge
+	// after the tie-extended cut is selected.
+	TopKMerge = "mergesort.topk_merge"
 	// MassageChunk: the massage FIP pass, once per row chunk.
 	MassageChunk = "massage.chunk"
 	// Gather: the engine's materialization gather, once per chunk.
@@ -47,7 +50,7 @@ const (
 
 // Sites lists every named site, for test batteries that iterate them.
 var Sites = []string{
-	PivotSelect, GroupSort, Permute, ChunkSort, LoserMerge,
+	PivotSelect, GroupSort, Permute, ChunkSort, LoserMerge, TopKMerge,
 	MassageChunk, Gather, Aggregate,
 }
 

@@ -10,6 +10,7 @@ package mcsort
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/massage"
@@ -23,14 +24,16 @@ import (
 // plus per-round sort/group counters. Writes are no-ops until
 // obs.Enable().
 var (
-	obsExecutes    = obs.NewCounter("mcsort.executes")
-	obsRoundsRun   = obs.NewCounter("mcsort.rounds")
-	obsGroupSorts  = obs.NewCounter("mcsort.group_sorts")
-	obsGroupsFinal = obs.NewGauge("mcsort.groups_final")
-	obsMassageT    = obs.NewTimer("mcsort.phase_massage")
-	obsSortT       = obs.NewTimer("mcsort.phase_sort")
-	obsLookupT     = obs.NewTimer("mcsort.phase_lookup")
-	obsScanT       = obs.NewTimer("mcsort.phase_scan")
+	obsExecutes     = obs.NewCounter("mcsort.executes")
+	obsRoundsRun    = obs.NewCounter("mcsort.rounds")
+	obsGroupSorts   = obs.NewCounter("mcsort.group_sorts")
+	obsGroupsFinal  = obs.NewGauge("mcsort.groups_final")
+	obsLimitedExecs = obs.NewCounter("mcsort.limited_executes")
+	obsRowsCut      = obs.NewCounter("mcsort.rows_truncated")
+	obsMassageT     = obs.NewTimer("mcsort.phase_massage")
+	obsSortT        = obs.NewTimer("mcsort.phase_sort")
+	obsLookupT      = obs.NewTimer("mcsort.phase_lookup")
+	obsScanT        = obs.NewTimer("mcsort.phase_scan")
 )
 
 // Timings records where the wall time of a multi-column sort went —
@@ -96,6 +99,22 @@ type Options struct {
 	// defaults; tests lower ParallelThreshold to exercise the parallel
 	// paths on small inputs.
 	SortParams *mergesort.Params
+	// LimitRows truncates execution to the first LimitRows positions of
+	// the final permutation (docs/topk.md): round 0 runs the bounded-heap
+	// top-K sort instead of the full sort, later rounds only massage,
+	// gather, and sort the surviving prefix, and intermediate truncation
+	// always cuts at group boundaries (a raw rank cut would split a tied
+	// group whose internal order later rounds still change). The returned
+	// Perm has exactly min(LimitRows, rows) entries — byte-identical to
+	// the unlimited Perm's prefix at any worker count — and Groups covers
+	// it, the last group clipped at the cut. 0 disables.
+	LimitRows int
+	// LimitGroups truncates to the first LimitGroups full groups (the
+	// group-by analogue of LimitRows): round 0 sorts fully, then each
+	// scan keeps only the groups that can still contain the first
+	// LimitGroups final groups. Perm covers exactly the surviving rows.
+	// 0 disables.
+	LimitGroups int
 }
 
 // sortParams resolves the effective phase parameters for a round's
@@ -188,9 +207,29 @@ func executeContext(ctx context.Context, inputs []massage.Input, p plan.Plan, op
 		return res, nil
 	}
 
+	// Truncation (docs/topk.md): a LimitRows at or past the row count is
+	// the full sort; either limit switches execution to the deferred
+	// per-round massage path, where later rounds massage and gather only
+	// the surviving prefix.
+	limitRows, limitGroups := opts.LimitRows, opts.LimitGroups
+	if limitRows < 0 || limitRows >= rows {
+		limitRows = 0
+	}
+	if limitGroups < 0 {
+		limitGroups = 0
+	}
+	limited := limitRows > 0 || limitGroups > 0
+
 	obsExecutes.Inc()
 	start := time.Now()
-	roundKeys, err := prog.RunParallelContext(ctx, inputs, rows, opts.Workers)
+	var roundKeys [][]uint64
+	var keys0 []uint64
+	if limited {
+		obsLimitedExecs.Inc()
+		keys0, err = prog.RunRoundParallelContext(ctx, inputs, rows, 0, opts.Workers)
+	} else {
+		roundKeys, err = prog.RunParallelContext(ctx, inputs, rows, opts.Workers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -198,27 +237,50 @@ func executeContext(ctx context.Context, inputs []massage.Input, p plan.Plan, op
 	obsMassageT.Add(res.Timings.Massage)
 
 	groups := []int32{0, int32(rows)}
-	scratch := make([]uint64, rows)
+	active := rows
+	var scratch []uint64
+	if !limited {
+		scratch = make([]uint64, rows)
+	}
 	for r, round := range p.Rounds {
 		// Round boundary: the cheapest place to notice cancellation.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		keys := roundKeys[r]
 		sp := opts.sortParams(round.Bank)
-		if r > 0 {
-			// Lookup: reorder this round's keys by the permutation
-			// established so far (random access, the paper's T_lookup),
-			// output-chunked across workers.
+		var keys []uint64
+		switch {
+		case limited && r == 0:
+			keys = keys0
+		case limited:
+			// Deferred massage, gather-fused: build this round's keys for
+			// the survivors only, indexed through the running permutation.
+			// This replaces both the upfront massage of this round and the
+			// lookup/permute pass, so its time is booked as T_lookup.
 			start = time.Now()
-			if err := parallelPermute(ctx, scratch, keys, res.Perm, opts.Workers, r); err != nil {
+			keys, err = prog.RunRoundGatherContext(ctx, inputs, res.Perm[:active], r, opts.Workers)
+			if err != nil {
 				return nil, err
 			}
-			keys, roundKeys[r] = scratch, keys
-			scratch = roundKeys[r]
 			d := time.Since(start)
 			res.Timings.Lookup += d
 			obsLookupT.Add(d)
+		default:
+			keys = roundKeys[r]
+			if r > 0 {
+				// Lookup: reorder this round's keys by the permutation
+				// established so far (random access, the paper's T_lookup),
+				// output-chunked across workers.
+				start = time.Now()
+				if err := parallelPermute(ctx, scratch, keys, res.Perm, opts.Workers, r); err != nil {
+					return nil, err
+				}
+				keys, roundKeys[r] = scratch, keys
+				scratch = roundKeys[r]
+				d := time.Since(start)
+				res.Timings.Lookup += d
+				obsLookupT.Add(d)
+			}
 		}
 
 		// Sort each group of tuples tied on all previous rounds. The
@@ -261,9 +323,20 @@ func executeContext(ctx context.Context, inputs []massage.Input, p plan.Plan, op
 			// Full-table sort. Always routed through parallelFullSort
 			// (which degrades to a single sorted run for Workers < 2) so
 			// tie canonicalization makes the permutation byte-identical
-			// across worker counts.
+			// across worker counts. Under LimitRows the bounded-heap
+			// top-K sort replaces it: only the tie-extended first
+			// limitRows positions come back sorted (a value-defined,
+			// worker-count-independent prefix), and everything past them
+			// leaves the pipeline here.
 			if rows >= 2 {
-				if err := parallelFullSort(ctx, round.Bank, keys, res.Perm, opts.Workers, sp, r); err != nil {
+				if limitRows > 0 {
+					m, err := parallelTopSort(ctx, round.Bank, keys, res.Perm, limitRows, opts.Workers, sp, r)
+					if err != nil {
+						return nil, err
+					}
+					active = m
+					groups = []int32{0, int32(m)}
+				} else if err := parallelFullSort(ctx, round.Bank, keys, res.Perm, opts.Workers, sp, r); err != nil {
 					return nil, err
 				}
 				nSort = 1
@@ -287,6 +360,14 @@ func executeContext(ctx context.Context, inputs []massage.Input, p plan.Plan, op
 		// Scan: refine group boundaries using the freshly sorted keys.
 		start = time.Now()
 		groups = refineGroups(groups, keys)
+		if limited {
+			// Intermediate truncation cuts at group boundaries only: the
+			// rows of a group straddling the rank target are still
+			// reordered by later rounds, so the whole group survives until
+			// the final exact cut below.
+			groups = truncateGroups(groups, limitRows, limitGroups)
+			active = int(groups[len(groups)-1])
+		}
 		d = time.Since(start)
 		res.Timings.Scan += d
 		obsScanT.Add(d)
@@ -296,6 +377,18 @@ func executeContext(ctx context.Context, inputs []massage.Input, p plan.Plan, op
 			NGroup:     len(groups) - 1,
 			AvgGroupSz: float64(sumSz) / float64(nInputGroups),
 		}
+	}
+	if limitRows > 0 && active > limitRows {
+		// Final exact cut: every round is done, ties within the boundary
+		// group are canonicalized, so slicing the permutation at the rank
+		// target is deterministic and equals full-sort-then-slice.
+		g := sort.Search(len(groups), func(i int) bool { return int(groups[i]) >= limitRows })
+		groups = append(groups[:g:g], int32(limitRows))
+		active = limitRows
+	}
+	if limited {
+		res.Perm = res.Perm[:active]
+		obsRowsCut.Add(int64(rows - active))
 	}
 	obsRoundsRun.Add(int64(len(p.Rounds)))
 	obsGroupsFinal.Set(int64(len(groups) - 1))

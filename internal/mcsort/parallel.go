@@ -204,6 +204,42 @@ func parallelFullSort(ctx context.Context, bank int, keys []uint64, oids []uint3
 	return nil
 }
 
+// parallelTopSort is round 0 of a LimitRows execution: the bounded-heap
+// top-K sort keeps only the tie-extended first limit positions (every
+// row whose key is ≤ the limit-th smallest — a value-defined survivor
+// set, so m is the same at every worker count), then canonicalizes ties
+// so the surviving prefix is byte-identical to the full sort's prefix.
+// keys[m:] and oids[m:] are garbage on return; the rows they held are
+// out of the pipeline for good.
+func parallelTopSort(ctx context.Context, bank int, keys []uint64, oids []uint32, limit, workers int, p mergesort.Params, round int) (int, error) {
+	m, err := mergesort.TopKContext(ctx, bank, keys, oids, limit, p, workers)
+	if err != nil {
+		return 0, err
+	}
+	canonicalizeTies(keys[:m], oids[:m])
+	return m, nil
+}
+
+// truncateGroups cuts refined group boundaries at the truncation
+// target: after limitGroups groups (when > 0), and at the first
+// boundary at or past limitRows (when > 0). Cuts land on group
+// boundaries only — later rounds still reorder rows inside a tied
+// group, so a raw rank cut would drop a nondeterministic subset of a
+// straddling group. The final exact rank cut happens after the last
+// round, when ties are canonicalized.
+func truncateGroups(groups []int32, limitRows, limitGroups int) []int32 {
+	if limitGroups > 0 && len(groups)-1 > limitGroups {
+		groups = groups[:limitGroups+1]
+	}
+	if limitRows > 0 {
+		g := sort.Search(len(groups), func(i int) bool { return int(groups[i]) >= limitRows })
+		if g < len(groups)-1 {
+			groups = groups[:g+1]
+		}
+	}
+	return groups
+}
+
 // canonicalizeTies sorts the oids of every equal-key run ascending, so
 // the output order no longer depends on how the sort broke ties. Runs
 // already in ascending oid order (the common case for stable paths) are

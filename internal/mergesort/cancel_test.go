@@ -126,6 +126,136 @@ func TestLegacyWrapperPanicsOnContainedFault(t *testing.T) {
 	ParallelSortWithParams(16, keys, oids, cancelParams(16), 4)
 }
 
+// TestTopKCancelAtSites cancels the bounded-heap partial sort from the
+// chunk-filter site and from the truncated-merge site (TopKMerge, which
+// fires only when the pivot cut actually truncates): a fired site must
+// yield context.Canceled promptly with no leaked goroutines.
+func TestTopKCancelAtSites(t *testing.T) {
+	defer faultinject.Reset()
+	for _, site := range []string{faultinject.ChunkSort, faultinject.TopKMerge} {
+		for _, workers := range []int{1, 4, 8} {
+			site, workers := site, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", site, workers), func(t *testing.T) {
+				defer testutil.CheckNoLeaks(t)()
+				keys, oids := cancelKeys(20000, 19)
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var fired atomic.Bool
+				restore := faultinject.Set(site, func() {
+					fired.Store(true)
+					cancel()
+				})
+				defer restore()
+				m, err := TopKContext(ctx, 16, keys, oids, 64, cancelParams(16), workers)
+				if fired.Load() {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("site fired but err = %v, want context.Canceled", err)
+					}
+					if m != 0 {
+						t.Fatalf("cancelled TopK returned m=%d, want 0", m)
+					}
+				} else if err != nil {
+					t.Fatalf("site never fired but err = %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelMergeTopKCancelAtSite drives the truncated merge directly:
+// the TopKMerge site fires after validation, before the co-partition
+// workers start, so a cancellation there must abort the merge.
+func TestParallelMergeTopKCancelAtSite(t *testing.T) {
+	defer faultinject.Reset()
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			defer testutil.CheckNoLeaks(t)()
+			keys, oids := cancelKeys(20000, 23)
+			runs := sortedRuns(keys, oids, 6)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var fired atomic.Bool
+			restore := faultinject.Set(faultinject.TopKMerge, func() {
+				fired.Store(true)
+				cancel()
+			})
+			defer restore()
+			m, err := ParallelMergeTopKContext(ctx, 16, keys, oids, runs, 64, cancelParams(16), workers)
+			if !fired.Load() {
+				t.Fatal("TopKMerge site never fired on a truncating merge")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if m != 0 {
+				t.Fatalf("cancelled merge returned m=%d, want 0", m)
+			}
+		})
+	}
+}
+
+// TestTopKChunkPanicContained injects a panic into the bounded-heap
+// chunk workers: it must surface as a typed *pipeerr.PipelineError with
+// stage "sort", not crash the process.
+func TestTopKChunkPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	defer testutil.CheckNoLeaks(t)()
+	keys, oids := cancelKeys(20000, 29)
+	restore := faultinject.Set(faultinject.ChunkSort, func() { panic("injected topk chunk fault") })
+	defer restore()
+	_, err := TopKContext(context.Background(), 16, keys, oids, 64, cancelParams(16), 4)
+	var pe *pipeerr.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *pipeerr.PipelineError", err, err)
+	}
+	if pe.Stage != pipeerr.StageSort {
+		t.Errorf("stage = %q, want %q", pe.Stage, pipeerr.StageSort)
+	}
+}
+
+// TestCancelledTopKRerunsIdentically pins that a cancellation inside the
+// truncated merge leaves no residue: rerunning gives a byte-identical
+// survivor prefix.
+func TestCancelledTopKRerunsIdentically(t *testing.T) {
+	defer faultinject.Reset()
+	p := cancelParams(16)
+	const limit = 64
+	base, baseO := cancelKeys(20000, 31)
+
+	want := append([]uint64(nil), base...)
+	wantO := append([]uint32(nil), baseO...)
+	wantM, err := TopKContext(context.Background(), 16, want, wantO, limit, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	restore := faultinject.Set(faultinject.TopKMerge, func() { cancel() })
+	k := append([]uint64(nil), base...)
+	o := append([]uint32(nil), baseO...)
+	if _, err := TopKContext(ctx, 16, k, o, limit, p, 4); !errors.Is(err, context.Canceled) {
+		restore()
+		t.Fatalf("cancelled TopK: err = %v", err)
+	}
+	restore()
+
+	k = append([]uint64(nil), base...)
+	o = append([]uint32(nil), baseO...)
+	m, err := TopKContext(context.Background(), 16, k, o, limit, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != wantM {
+		t.Fatalf("rerun m=%d, first run m=%d", m, wantM)
+	}
+	for i := 0; i < m; i++ {
+		if k[i] != want[i] || o[i] != wantO[i] {
+			t.Fatalf("survivor prefix diverges at %d after a cancelled run", i)
+		}
+	}
+}
+
 // TestCancelledSortRerunsIdentically pins that cancellation leaves no
 // residue: rerunning after a cancelled sort gives byte-identical output.
 func TestCancelledSortRerunsIdentically(t *testing.T) {

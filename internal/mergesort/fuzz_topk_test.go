@@ -1,0 +1,130 @@
+package mergesort
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzTopKMerge drives the truncated cooperative merge with arbitrary
+// keys, fuzzed run boundaries, worker counts, and limits, against the
+// same stable (key, run-index) oracle as FuzzParallelMerge: the
+// survivor prefix must equal the full merge's prefix byte-for-byte,
+// the survivor count must be tie-extended (never splitting an equal-key
+// group) and at least the limit, and it must not depend on the worker
+// count.
+func FuzzTopKMerge(f *testing.F) {
+	f.Add(uint16(0), uint16(2), uint16(2), uint16(1), []byte{})
+	f.Add(uint16(1), uint16(3), uint16(3), uint16(5), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add(uint16(2), uint16(5), uint16(4), uint16(3), make([]byte, 513)) // one giant tie across the cut
+	f.Add(uint16(0), uint16(9), uint16(8), uint16(100), []byte("interleaved runs of modest entropy, repeated: interleaved runs"))
+	seed := make([]byte, 2048)
+	for i := range seed {
+		seed[i] = byte(i * 57)
+	}
+	f.Add(uint16(1), uint16(7), uint16(5), uint16(64), seed)
+
+	f.Fuzz(func(t *testing.T, bankSel, runSeed, workersRaw, limitRaw uint16, data []byte) {
+		bank := Banks[int(bankSel)%len(Banks)]
+		keys := keysFromBytes(data, bank)
+		n := len(keys)
+		if n == 0 {
+			return
+		}
+		workers := int(workersRaw)%8 + 1
+		// Limits from 1 to a bit past n so the full-merge fallback path
+		// (limit >= n) is fuzzed too.
+		limit := int(limitRaw)%(n+8) + 1
+
+		nRuns := int(runSeed)%8 + 2
+		if nRuns > n {
+			nRuns = n
+		}
+		lcg := uint64(runSeed)*2862933555777941757 + 3037000493
+		cuts := make([]int, 0, nRuns+1)
+		cuts = append(cuts, 0)
+		for i := 1; i < nRuns; i++ {
+			lcg = lcg*2862933555777941757 + 3037000493
+			cuts = append(cuts, int(lcg%uint64(n+1)))
+		}
+		cuts = append(cuts, n)
+		sort.Ints(cuts)
+
+		oids := make([]uint32, n)
+		for i := range oids {
+			oids[i] = uint32(i)
+		}
+		runOf := make([]int, n)
+		for r := 0; r+1 < len(cuts); r++ {
+			lo, hi := cuts[r], cuts[r+1]
+			seg := make([]int, hi-lo)
+			for i := range seg {
+				seg[i] = lo + i
+			}
+			sort.SliceStable(seg, func(a, b int) bool { return keys[seg[a]] < keys[seg[b]] })
+			sk := make([]uint64, hi-lo)
+			so := make([]uint32, hi-lo)
+			for i, idx := range seg {
+				sk[i] = keys[idx]
+				so[i] = oids[idx]
+			}
+			copy(keys[lo:hi], sk)
+			copy(oids[lo:hi], so)
+			for i := lo; i < hi; i++ {
+				runOf[i] = r
+			}
+		}
+
+		type rec struct {
+			k   uint64
+			run int
+			oid uint32
+		}
+		want := make([]rec, n)
+		for i := range want {
+			want[i] = rec{keys[i], runOf[i], oids[i]}
+		}
+		sort.SliceStable(want, func(a, b int) bool {
+			if want[a].k != want[b].k {
+				return want[a].k < want[b].k
+			}
+			return want[a].run < want[b].run
+		})
+
+		gotK := append([]uint64(nil), keys...)
+		gotO := append([]uint32(nil), oids...)
+		m := ParallelMergeTopK(bank, gotK, gotO, cuts, limit, testParams(bank), workers)
+
+		if m > n {
+			t.Fatalf("bank %d n %d limit %d workers %d: m=%d exceeds n", bank, n, limit, workers, m)
+		}
+		if m < limit && m < n {
+			t.Fatalf("bank %d n %d limit %d workers %d: m=%d below the limit", bank, n, limit, workers, m)
+		}
+		if m < n && want[m-1].k == want[m].k {
+			t.Fatalf("bank %d n %d limit %d workers %d: cut at %d splits the tie group of key %d",
+				bank, n, limit, workers, m, want[m].k)
+		}
+		for i := 0; i < m; i++ {
+			if gotK[i] != want[i].k || gotO[i] != want[i].oid {
+				t.Fatalf("bank %d n %d runs %d limit %d workers %d: prefix diverges at %d: got (%d,%d) want (%d,%d)",
+					bank, n, nRuns, limit, workers, i, gotK[i], gotO[i], want[i].k, want[i].oid)
+			}
+		}
+
+		// The cut is value-defined, so a second worker count must land on
+		// the same m with the same prefix.
+		gotK2 := append([]uint64(nil), keys...)
+		gotO2 := append([]uint32(nil), oids...)
+		m2 := ParallelMergeTopK(bank, gotK2, gotO2, cuts, limit, testParams(bank), workers%8+1)
+		if m2 != m {
+			t.Fatalf("bank %d n %d limit %d: m=%d at workers=%d but %d at workers=%d",
+				bank, n, limit, m, workers, m2, workers%8+1)
+		}
+		for i := 0; i < m; i++ {
+			if gotK2[i] != gotK[i] || gotO2[i] != gotO[i] {
+				t.Fatalf("bank %d n %d limit %d: prefix differs between workers=%d and workers=%d at %d",
+					bank, n, limit, workers, workers%8+1, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,410 @@
+package mergesort
+
+import (
+	"context"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+)
+
+// Top-K partial sorting: the LIMIT/OFFSET execution path. A query that
+// only consumes the first R rows of the sorted output does not need the
+// other N−R rows in order — it needs them *eliminated*. Run generation
+// filters each worker chunk through a bounded max-heap (the classic
+// top-K filter) so chunk sorts only see plausible survivors, and the
+// cooperative merge reuses the multisequence pivot-split selection to
+// cut the cross-run merge at the output rank.
+//
+// Truncation contract (the determinism keystone, docs/topk.md): both
+// entry points cut at a *tie-extended* boundary — the returned prefix
+// holds every element whose key is ≤ the R-th smallest key, so the
+// survivor set is defined by key values alone and is byte-identical for
+// every worker count. The returned count m is therefore ≥ limit, and
+// the caller that needs an exact rank-R prefix (internal/mcsort)
+// canonicalizes ties and slices afterwards. Cutting at the raw rank
+// instead would split a tied group at a chunk-dependent point and leak
+// the worker count into the result.
+//
+// Robustness: the *Context variants poll the context inside the heap
+// filter (every topkCheckEvery elements), at chunk and co-partition
+// boundaries, and inside the loser-tree merges; worker panics surface
+// as *pipeerr.PipelineError. On any error the keys/oids are in
+// unspecified (but memory-safe) order.
+
+var (
+	obsTopKSorts     = obs.NewCounter("mergesort.topk_sorts")
+	obsTopKMerges    = obs.NewCounter("mergesort.topk_merges")
+	obsTopKSurvivors = obs.NewCounter("mergesort.topk_survivors")
+	obsTopKFiltered  = obs.NewCounter("mergesort.topk_filtered_out")
+)
+
+// topkCheckEvery is how many elements the heap filter and partition
+// scans process between context polls — the same cadence as the merge
+// strides, frequent enough that cancellation lands inside a chunk.
+const topkCheckEvery = 1 << 16
+
+// TopK partially sorts keys (each value < 2^bank) with their oids: on
+// return the first m elements are the m smallest in ascending key order
+// (ties in unspecified order, like Sort), where m is at least the
+// tie-extended cut at rank limit — every element whose key is ≤ the
+// limit-th smallest key is among the first m. A near-full limit (or a
+// tiny input) degrades to the full sort with m = n. keys[m:] are in
+// unspecified order. limit must be ≥ 1.
+func TopK(bank int, keys []uint64, oids []uint32, limit int, p Params, workers int) int {
+	m, err := TopKContext(context.Background(), bank, keys, oids, limit, p, workers)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TopKContext is TopK with cooperative cancellation and panic
+// containment; on error the returned count is 0 and keys/oids are in
+// unspecified order.
+func TopKContext(ctx context.Context, bank int, keys []uint64, oids []uint32, limit int, p Params, workers int) (int, error) {
+	n := len(keys)
+	if n != len(oids) {
+		panic("mergesort: keys and oids length mismatch")
+	}
+	if limit < 1 {
+		panic("mergesort: TopK limit must be >= 1")
+	}
+	p = p.withParallelDefaults()
+	// The heap filter pays off only when it discards most of the input:
+	// near-full limits sort everything anyway, so route them through the
+	// plain parallel sort (whose m = n prefix is trivially tie-extended).
+	if limit*2 >= n || n < insertionThreshold {
+		if err := ParallelSortWithParamsContext(ctx, bank, keys, oids, p, workers); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	obsTopKSorts.Inc()
+	if workers < 2 || n < p.ParallelThreshold {
+		// One chunk: the filter pivot is already the global pivot.
+		s, err := topKFilterChunk(ctx, keys, oids, 0, n, limit)
+		if err != nil {
+			return 0, err
+		}
+		if err := SortWithParamsContext(ctx, bank, keys[:s], oids[:s], p); err != nil {
+			return 0, err
+		}
+		obsTopKSurvivors.Add(int64(s))
+		return s, ctx.Err()
+	}
+
+	// Parallel run generation: each worker chunk keeps every element ≤
+	// its chunk-local rank-limit pivot. The global pivot is ≤ every
+	// chunk pivot (an order statistic can only move down when the pool
+	// grows), so each chunk's survivor set contains all of its elements
+	// that survive globally — no chunk can discard a global survivor.
+	chunk := (n + workers - 1) / workers
+	bounds := []int{0}
+	for lo := chunk; lo < n; lo += chunk {
+		bounds = append(bounds, lo)
+	}
+	bounds = append(bounds, n)
+	surv := make([]int, len(bounds)-1)
+	g := pipeerr.NewGroup(ctx)
+	for c := 0; c+1 < len(bounds); c++ {
+		lo, hi, c := bounds[c], bounds[c+1], c
+		g.Go(pipeerr.StageSort, -1, c, func(gctx context.Context) error {
+			faultinject.Fire(faultinject.ChunkSort)
+			s, err := topKFilterChunk(gctx, keys, oids, lo, hi, limit)
+			if err != nil {
+				return err
+			}
+			if err := SortWithParamsContext(gctx, bank, keys[lo:lo+s], oids[lo:lo+s], p); err != nil {
+				return err
+			}
+			surv[c] = s
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return 0, err
+	}
+
+	// Compact the sorted survivor runs to the front (pos never passes
+	// lo, so the forward copies cannot clobber unread survivors), then
+	// cut the cross-run merge at the output rank.
+	runs := []int{0}
+	pos := 0
+	for c := 0; c+1 < len(bounds); c++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		lo, s := bounds[c], surv[c]
+		if pos != lo {
+			copy(keys[pos:pos+s], keys[lo:lo+s])
+			copy(oids[pos:pos+s], oids[lo:lo+s])
+		}
+		pos += s
+		runs = append(runs, pos)
+	}
+	m, err := ParallelMergeTopKContext(ctx, bank, keys[:pos], oids[:pos], runs, limit, p, workers)
+	if err != nil {
+		return 0, err
+	}
+	obsTopKSurvivors.Add(int64(m))
+	return m, nil
+}
+
+// ParallelMergeTopK merges only the head of the pre-sorted runs of
+// keys/oids bounded by runs (runs[0]=0 … runs[len-1]=len(keys)): on
+// return keys[0:m] hold the m smallest elements of the run-index-stable
+// merge, where m is the tie-extended cut at rank limit (every element
+// whose key is ≤ the limit-th smallest key — so keys[0:limit] equal the
+// full merge's first limit elements, and the boundary tie group is
+// complete). keys[m:] are in unspecified order. limit must be ≥ 1; a
+// limit ≥ len(keys) degrades to the full ParallelMerge.
+func ParallelMergeTopK(bank int, keys []uint64, oids []uint32, runs []int, limit int, p Params, workers int) int {
+	m, err := ParallelMergeTopKContext(context.Background(), bank, keys, oids, runs, limit, p, workers)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ParallelMergeTopKContext is ParallelMergeTopK with cooperative
+// cancellation and panic containment; on error the returned count is 0
+// and keys/oids are in unspecified order.
+func ParallelMergeTopKContext(ctx context.Context, bank int, keys []uint64, oids []uint32, runs []int, limit int, p Params, workers int) (int, error) {
+	n := len(keys)
+	if n != len(oids) {
+		panic("mergesort: keys and oids length mismatch")
+	}
+	if len(runs) < 2 || runs[0] != 0 || runs[len(runs)-1] != n {
+		panic("mergesort: invalid run boundaries")
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i] < runs[i-1] {
+			panic("mergesort: run boundaries not ascending")
+		}
+	}
+	if limit < 1 {
+		panic("mergesort: TopK limit must be >= 1")
+	}
+	if limit >= n {
+		return n, ParallelMergeWithParamsContext(ctx, bank, keys, oids, runs, p, workers)
+	}
+	faultinject.Fire(faultinject.TopKMerge)
+	obsTopKMerges.Inc()
+	k := kernelsFor(bank)
+	kw, ow := pack(keys, oids, k.lanes)
+	from, to := runStarts(runs), runEnds(runs)
+
+	// The pivot is the key at output rank limit−1 — the limit-th
+	// smallest — found by binary search over the key domain, exactly
+	// like splitRuns' selection. The cut then takes *every* element ≤
+	// the pivot (upperBound in each run), not a per-run rank share:
+	// that is the tie extension that makes the survivor set value-
+	// defined and worker-count-independent.
+	pivot := selectKeyAtRankFT(kw, k.lanes, bank, from, to, limit)
+	cuts := make([]int, len(from))
+	m := 0
+	for r := range from {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		cuts[r] = upperBoundPacked(kw, k.lanes, from[r], to[r], pivot)
+		m += cuts[r] - from[r]
+	}
+
+	dstK := make([]uint64, len(kw))
+	dstO := make([]uint64, len(ow))
+	if err := parallelMergeTruncated(ctx, kw, ow, dstK, dstO, k.lanes, bank, from, cuts, m, !p.DisableOVC, workers); err != nil {
+		return 0, err
+	}
+	if err := parallelUnpack(ctx, dstK, dstO, k.lanes, keys[:m], oids[:m], workers); err != nil {
+		return 0, err
+	}
+	return m, ctx.Err()
+}
+
+// selectKeyAtRankFT returns the key at output rank r−1 of the merged
+// runs [from[i], to[i]) — the smallest key v with count(≤ v) ≥ r.
+func selectKeyAtRankFT(kw []uint64, lanes, bank int, from, to []int, r int) uint64 {
+	lo, hi := uint64(0), ^uint64(0)
+	if bank < 64 {
+		hi = uint64(1)<<uint(bank) - 1
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		le := 0
+		for i := range from {
+			le += upperBoundPacked(kw, lanes, from[i], to[i], mid) - from[i]
+			obsParSelectProbe.Inc()
+		}
+		if le >= r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// splitRunsFT is splitRuns over explicit [from[i], to[i]) run bounds
+// (the truncated co-runs of a top-K merge are not contiguous, so the
+// runs-slice form does not apply): for global output rank t it returns
+// the per-run cuts whose union is exactly the first t elements of the
+// run-index-stable merge, ties attributed to runs in index order.
+func splitRunsFT(kw []uint64, lanes, bank int, from, to []int, t int) []int {
+	k := len(from)
+	cuts := make([]int, k)
+	lo, hi := uint64(0), ^uint64(0)
+	if bank < 64 {
+		hi = uint64(1)<<uint(bank) - 1
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		le := 0
+		for r := 0; r < k; r++ {
+			le += upperBoundPacked(kw, lanes, from[r], to[r], mid) - from[r]
+			obsParSelectProbe.Inc()
+		}
+		if le > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	v := lo
+	extra := t
+	for r := 0; r < k; r++ {
+		lb := lowerBoundPacked(kw, lanes, from[r], to[r], v)
+		cuts[r] = lb
+		extra -= lb - from[r]
+	}
+	for r := 0; r < k && extra > 0; r++ {
+		ub := upperBoundPacked(kw, lanes, cuts[r], to[r], v)
+		take := ub - cuts[r]
+		if take > extra {
+			take = extra
+		}
+		cuts[r] += take
+		extra -= take
+	}
+	return cuts
+}
+
+// parallelMergeTruncated merges the truncated co-runs [from[r], cut[r])
+// — total elements in all of them — into dst[0:total), rank-split
+// across workers exactly like parallelMergePacked: worker boundaries
+// are equal aligned rank shares of the *output*, resolved to per-run
+// cuts by the multisequence selection, and each worker merges its
+// co-partition with the run-index-stable loser tree (OVC-coded when
+// useOVC). Load balance is by output rank, so a skewed survivor
+// distribution across runs costs the same as a uniform one.
+func parallelMergeTruncated(ctx context.Context, kw, ow, dstK, dstO []uint64, lanes, bank int, from, cut []int, total int, useOVC bool, workers int) error {
+	if total == 0 {
+		return ctx.Err()
+	}
+	obsParMergeElems.Add(int64(total))
+	if useOVC {
+		obsOVCMerges.Inc()
+	}
+	if workers < 2 {
+		return mergeCoPartition(ctx, kw, ow, dstK, dstO, lanes, from, cut, useOVC, 0)
+	}
+	targets := []int{0}
+	for w := 1; w < workers; w++ {
+		t := total * w / workers / mergeAlign * mergeAlign
+		if t > targets[len(targets)-1] {
+			targets = append(targets, t)
+		}
+	}
+	targets = append(targets, total)
+	bounds := make([][]int, len(targets))
+	bounds[0] = append([]int(nil), from...)
+	bounds[len(bounds)-1] = append([]int(nil), cut...)
+	for i := 1; i+1 < len(targets); i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bounds[i] = splitRunsFT(kw, lanes, bank, from, cut, targets[i])
+	}
+	g := pipeerr.NewGroup(ctx)
+	for w := 0; w+1 < len(targets); w++ {
+		w := w
+		g.Go(pipeerr.StageMerge, -1, w, func(gctx context.Context) error {
+			return mergeCoPartition(gctx, kw, ow, dstK, dstO, lanes, bounds[w], bounds[w+1], useOVC, targets[w])
+		})
+	}
+	return g.Wait()
+}
+
+// topKFilterChunk finds the chunk-local key at rank limit with a
+// bounded max-heap over keys alone, then compacts every element whose
+// key is ≤ that pivot to the chunk front (survivor order unspecified —
+// the chunk sort follows). It returns the survivor count s; chunk
+// elements beyond s are garbage. A chunk smaller than limit keeps
+// everything. Both scans poll the context every topkCheckEvery
+// elements, the bounded-heap loop shape the ctxpoll analyzer accepts.
+func topKFilterChunk(ctx context.Context, keys []uint64, oids []uint32, lo, hi, limit int) (int, error) {
+	n := hi - lo
+	if n <= limit {
+		return n, ctx.Err()
+	}
+	heap := make([]uint64, limit)
+	copy(heap, keys[lo:lo+limit])
+	for i := limit/2 - 1; i >= 0; i-- {
+		siftDownMax(heap, i)
+	}
+	credit := topkCheckEvery
+	for i := lo + limit; i < hi; i++ {
+		if credit--; credit <= 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			credit = topkCheckEvery
+		}
+		if k := keys[i]; k < heap[0] {
+			heap[0] = k
+			siftDownMax(heap, 0)
+		}
+	}
+	// heap[0] is the limit-th smallest chunk key: the heap holds a
+	// multiset of limit smallest elements (an incoming tie of the max
+	// is interchangeable with the stored copy), so its max is the
+	// rank-limit order statistic exactly, ties or not.
+	pivot := heap[0]
+	w := lo
+	credit = topkCheckEvery
+	for i := lo; i < hi; i++ {
+		if credit--; credit <= 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			credit = topkCheckEvery
+		}
+		if keys[i] <= pivot {
+			keys[w], oids[w] = keys[i], oids[i]
+			w++
+		}
+	}
+	obsTopKFiltered.Add(int64(hi - w))
+	return w - lo, nil
+}
+
+// siftDownMax restores the max-heap property below node i.
+func siftDownMax(h []uint64, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && h[r] > h[l] {
+			big = r
+		}
+		if h[big] <= h[i] {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}

@@ -1,0 +1,225 @@
+package mergesort
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// Property battery for the bounded-heap partial sort (docs/topk.md).
+//
+// Two contracts are pinned:
+//
+//   - ParallelMergeTopK keeps the full merge's stable (key, run-index)
+//     tie order byte-for-byte over its survivor prefix, at every worker
+//     count, OVC on or off, including the all-equal-keys input whose
+//     tie stretch exercises the PR 6 OVC fast path.
+//   - TopK's survivor count m is value-defined (tie-extended), so it is
+//     identical at every worker count, and keys[:m] equals the fully
+//     sorted key order's prefix with a valid oid permutation.
+
+// topkLimits is the limit sweep relative to n. TopK panics on limit < 1
+// by contract, so 0 is covered by the validation test instead.
+func topkLimits(n int) []int {
+	return []int{1, 7, 100, n - 1, n, n + 7}
+}
+
+func TestParallelMergeTopKMatchesOraclePrefix(t *testing.T) {
+	const n = 3000
+	for _, bank := range Banks {
+		for name, keys := range adversarialInputs(n, bank, int64(bank)) {
+			for _, disableOVC := range []bool{false, true} {
+				for _, nRuns := range []int{2, 5, 9} {
+					oids := make([]uint32, n)
+					for i := range oids {
+						oids[i] = uint32(i)
+					}
+					k := append([]uint64(nil), keys...)
+					runs := sortedRuns(k, oids, nRuns)
+					wantK, wantO := mergeOracle(k, oids, runs)
+					for _, limit := range topkLimits(n) {
+						var prevM = -1
+						for _, w := range parWorkerCounts {
+							p := testParams(bank)
+							p.DisableOVC = disableOVC
+							gotK := append([]uint64(nil), k...)
+							gotO := append([]uint32(nil), oids...)
+							m := ParallelMergeTopK(bank, gotK, gotO, runs, limit, p, w)
+							label := fmt.Sprintf("%s bank=%d ovcOff=%v runs=%d limit=%d workers=%d",
+								name, bank, disableOVC, nRuns, limit, w)
+							if m < limit && m < n {
+								t.Fatalf("%s: m=%d below the limit", label, m)
+							}
+							if m > n {
+								t.Fatalf("%s: m=%d exceeds n", label, m)
+							}
+							if prevM >= 0 && m != prevM {
+								t.Fatalf("%s: m=%d differs from m=%d at the previous worker count", label, m, prevM)
+							}
+							prevM = m
+							// The survivor cut is value-defined: everything
+							// tied with the limit-th key survives, so the
+							// boundary always falls between distinct keys.
+							if m < n && wantK[m-1] == wantK[m] {
+								t.Fatalf("%s: cut at %d splits a tie group (key %d)", label, m, wantK[m])
+							}
+							for i := 0; i < m; i++ {
+								if gotK[i] != wantK[i] || gotO[i] != wantO[i] {
+									t.Fatalf("%s: prefix diverges from the stable merge oracle at %d: got (%d,%d) want (%d,%d)",
+										label, i, gotK[i], gotO[i], wantK[i], wantO[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKMatchesFullSortPrefix(t *testing.T) {
+	const n = 3000
+	for _, bank := range Banks {
+		for name, keys := range adversarialInputs(n, bank, int64(bank)+99) {
+			sorted := append([]uint64(nil), keys...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, disableOVC := range []bool{false, true} {
+				for _, limit := range topkLimits(n) {
+					var prevM = -1
+					for _, w := range parWorkerCounts {
+						p := testParams(bank)
+						p.DisableOVC = disableOVC
+						gotK := append([]uint64(nil), keys...)
+						gotO := make([]uint32, n)
+						for i := range gotO {
+							gotO[i] = uint32(i)
+						}
+						m := TopK(bank, gotK, gotO, limit, p, w)
+						label := fmt.Sprintf("%s bank=%d ovcOff=%v limit=%d workers=%d",
+							name, bank, disableOVC, limit, w)
+						if m < limit && m < n {
+							t.Fatalf("%s: m=%d below the limit", label, m)
+						}
+						if prevM >= 0 && m != prevM {
+							t.Fatalf("%s: m=%d differs from m=%d at the previous worker count (worker-dependent cut)",
+								label, m, prevM)
+						}
+						prevM = m
+						if m < n && sorted[m-1] == sorted[m] {
+							t.Fatalf("%s: cut at %d splits a tie group (key %d)", label, m, sorted[m])
+						}
+						seen := make(map[uint32]bool, m)
+						for i := 0; i < m; i++ {
+							if gotK[i] != sorted[i] {
+								t.Fatalf("%s: keys[%d]=%d, full sort has %d", label, i, gotK[i], sorted[i])
+							}
+							oid := gotO[i]
+							if seen[oid] {
+								t.Fatalf("%s: oid %d appears twice in the survivor prefix", label, oid)
+							}
+							seen[oid] = true
+							if keys[oid] != gotK[i] {
+								t.Fatalf("%s: oids[%d]=%d points at key %d, output key is %d",
+									label, i, oid, keys[oid], gotK[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKBoundaryTieStability pins the truncation boundary against a
+// constructed tie stretch: with exactly limit-1 keys below a large
+// all-equal plateau, the survivor set must extend through the whole
+// plateau and the plateau's oids must come out in the merge's stable
+// (key, run-index) order, OVC on and off.
+func TestTopKBoundaryTieStability(t *testing.T) {
+	const n = 2048
+	const limit = 100
+	for _, bank := range Banks {
+		for _, disableOVC := range []bool{false, true} {
+			keys := make([]uint64, n)
+			for i := 0; i < limit-1; i++ {
+				keys[i] = uint64(i)
+			}
+			for i := limit - 1; i < n; i++ {
+				keys[i] = uint64(limit + 500)
+			}
+			// Scatter deterministically so the plateau spans all chunks.
+			rngState := uint64(12345)
+			for i := n - 1; i > 0; i-- {
+				rngState = rngState*6364136223846793005 + 1442695040888963407
+				j := int(rngState % uint64(i+1))
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+			var base []uint32
+			for _, w := range parWorkerCounts {
+				p := testParams(bank)
+				p.DisableOVC = disableOVC
+				gotK := append([]uint64(nil), keys...)
+				gotO := make([]uint32, n)
+				for i := range gotO {
+					gotO[i] = uint32(i)
+				}
+				m := TopK(bank, gotK, gotO, limit, p, w)
+				if m != n {
+					t.Fatalf("bank=%d ovcOff=%v workers=%d: plateau not tie-extended: m=%d, want %d",
+						bank, disableOVC, w, m, n)
+				}
+				for i := 1; i < limit-1; i++ {
+					if gotK[i] < gotK[i-1] {
+						t.Fatalf("bank=%d workers=%d: prefix unsorted at %d", bank, w, i)
+					}
+				}
+				// The plateau's internal oid order may differ between
+				// worker counts at this layer (mcsort canonicalizes ties
+				// above); within ONE worker count it must be reproducible.
+				gotK2 := append([]uint64(nil), keys...)
+				gotO2 := make([]uint32, n)
+				for i := range gotO2 {
+					gotO2[i] = uint32(i)
+				}
+				if m2 := TopK(bank, gotK2, gotO2, limit, p, w); m2 != m {
+					t.Fatalf("bank=%d workers=%d: rerun changed m: %d vs %d", bank, w, m2, m)
+				}
+				for i := range gotO {
+					if gotO[i] != gotO2[i] {
+						t.Fatalf("bank=%d ovcOff=%v workers=%d: rerun diverges at %d", bank, disableOVC, w, i)
+					}
+				}
+				if w == 1 {
+					base = append([]uint32(nil), gotO[:limit-1]...)
+				} else {
+					for i := 0; i < limit-1; i++ {
+						if gotO[i] != base[i] {
+							t.Fatalf("bank=%d workers=%d: unique-key prefix oid diverges at %d", bank, w, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKValidation pins the documented panics: limit < 1 and
+// mismatched slice lengths.
+func TestTopKValidation(t *testing.T) {
+	keys := make([]uint64, 64)
+	oids := make([]uint32, 64)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("limit=0", func() { TopK(32, keys, oids, 0, DefaultParams(4), 1) })
+	mustPanic("limit=-3", func() { TopK(32, keys, oids, -3, DefaultParams(4), 1) })
+	mustPanic("len mismatch", func() { TopK(32, keys, oids[:10], 5, DefaultParams(4), 1) })
+	mustPanic("merge bad runs", func() {
+		ParallelMergeTopK(32, keys, oids, []int{0, 100}, 5, DefaultParams(4), 1)
+	})
+}

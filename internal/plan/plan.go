@@ -143,6 +143,38 @@ func IFIP(inWidths, outWidths []int) int {
 	return len(sums)
 }
 
+// RoundFIPs returns the per-round FIP invocation counts of massaging
+// inWidths into outWidths: entry d is the number of input columns whose
+// bit range overlaps round d's, i.e. the number of segments the massage
+// program executes to build round d's key. The counts sum to
+// IFIP(inWidths, outWidths); the truncated cost model needs the
+// per-round split because deferred massage pays each round's segments
+// over a different (shrinking) row count.
+func RoundFIPs(inWidths, outWidths []int) []int {
+	counts := make([]int, len(outWidths))
+	outLo := 0
+	for d, ow := range outWidths {
+		dLo, dHi := outLo, outLo+ow
+		inLo := 0
+		for _, iw := range inWidths {
+			sLo, sHi := inLo, inLo+iw
+			lo, hi := dLo, dHi
+			if sLo > lo {
+				lo = sLo
+			}
+			if sHi < hi {
+				hi = sHi
+			}
+			if lo < hi {
+				counts[d]++
+			}
+			inLo += iw
+		}
+		outLo += ow
+	}
+	return counts
+}
+
 // Equal reports whether two plans have identical rounds.
 func (p Plan) Equal(q Plan) bool {
 	if len(p.Rounds) != len(q.Rounds) {

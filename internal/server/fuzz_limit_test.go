@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLimitQuery fuzzes the strict JSON decoder over the limit/offset
+// fields of the truncation surface (docs/topk.md). Properties: never
+// panic, accepted requests carry limit/offset inside [0, MaxLimit]
+// with validation idempotent, and re-encoding preserves the limit
+// pointer — in particular the tri-state nil / 0 / positive distinction
+// that separates "unlimited" from "LIMIT 0".
+func FuzzLimitQuery(f *testing.F) {
+	seeds := []string{
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":100}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":0}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":100,"offset":3}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"offset":7}`,
+		`{"table":"t","kind":"groupby","sort_cols":[{"name":"a"}],"agg":{"kind":"count"},"order_by_agg":true,"limit":10}`,
+		`{"table":"t","kind":"partitionby","sort_cols":[{"name":"a"}],"window":{"order_col":"v"},"limit":1,"offset":2147483647}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":-1}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"offset":-3}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":99999999999999999999}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":"100"}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":null}`,
+		`{"table":"t","kind":"orderby","sort_cols":[{"name":"a"}],"limit":3.5}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseQueryRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("ParseQueryRequest returned both a request and an error")
+			}
+			return
+		}
+		if req.Limit != nil && (*req.Limit < 0 || *req.Limit > MaxLimit) {
+			t.Fatalf("accepted limit %d outside [0, MaxLimit]", *req.Limit)
+		}
+		if req.Offset < 0 || req.Offset > MaxLimit {
+			t.Fatalf("accepted offset %d outside [0, MaxLimit]", req.Offset)
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("accepted request fails re-validation: %v", err)
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encoding accepted request: %v", err)
+		}
+		re, err := ParseQueryRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v\nencoding: %s", err, enc)
+		}
+		if (req.Limit == nil) != (re.Limit == nil) {
+			t.Fatalf("limit nil-ness lost in round trip: %v vs %v\nencoding: %s", req.Limit, re.Limit, enc)
+		}
+		if req.Limit != nil && *req.Limit != *re.Limit {
+			t.Fatalf("limit value changed in round trip: %d vs %d", *req.Limit, *re.Limit)
+		}
+		if req.Offset != re.Offset {
+			t.Fatalf("offset changed in round trip: %d vs %d", req.Offset, re.Offset)
+		}
+	})
+}

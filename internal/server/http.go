@@ -46,6 +46,9 @@ const (
 	MaxNameLen = 256
 	// MaxWorkers bounds the per-query worker request.
 	MaxWorkers = 1024
+	// MaxLimit bounds limit and offset: far beyond any real result size,
+	// small enough that offset+limit can never overflow an int.
+	MaxLimit = 1 << 31
 )
 
 // SortColReq names one sort column on the wire.
@@ -97,6 +100,14 @@ type QueryRequest struct {
 	// (0 = none). A deadline that expires while queued fails with the
 	// typed queue_timeout kind, not a hang.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Limit caps the output entries — ranked rows for partitionby,
+	// groups otherwise — via the engine's truncated sort path
+	// (docs/topk.md). Absent = unlimited; 0 = empty result. The result
+	// is byte-identical to the unlimited result sliced to
+	// [offset, offset+limit).
+	Limit *int `json:"limit,omitempty"`
+	// Offset drops the first Offset output entries (default 0).
+	Offset int `json:"offset,omitempty"`
 }
 
 // QueryResult is the wire form of a finished query. The data fields
@@ -222,6 +233,12 @@ func (r *QueryRequest) Validate() error {
 	}
 	if r.TimeoutMS < 0 {
 		return bad("timeout_ms %d must be >= 0", r.TimeoutMS)
+	}
+	if r.Limit != nil && (*r.Limit < 0 || *r.Limit > MaxLimit) {
+		return bad("limit %d out of range [0, %d]", *r.Limit, MaxLimit)
+	}
+	if r.Offset < 0 || r.Offset > MaxLimit {
+		return bad("offset %d out of range [0, %d]", r.Offset, MaxLimit)
 	}
 	return nil
 }

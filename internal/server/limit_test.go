@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/table"
+	"repro/internal/testutil"
+	"repro/internal/workloads"
+)
+
+// The serving half of the truncation battery: mcsd LIMIT/OFFSET
+// results must be byte-identical to a direct unlimited
+// engine.RunContext run sliced to [offset, offset+limit), on both the
+// uncached (plan search) and cached (replay) paths, with the plan
+// cache keyed so truncated and full plans never collide. The
+// duplicate-fraction dimension is covered by the engine-layer battery
+// (internal/engine/limit_test.go); TPC-H data feeds this one.
+
+// sliceServerOracle applies the engine's LIMIT/OFFSET slicing to a
+// canonical full result: ranked rows for window queries, the group
+// table otherwise.
+func sliceServerOracle(full *engine.Result, window bool, limit *int, off int) ([]byte, error) {
+	cut := func(n int) (int, int) {
+		lo := off
+		if lo > n {
+			lo = n
+		}
+		hi := n
+		if limit != nil && lo+*limit < hi {
+			hi = lo + *limit
+		}
+		return lo, hi
+	}
+	sliced := &engine.Result{Rows: full.Rows}
+	if window {
+		lo, hi := cut(len(full.Ranks))
+		sliced.Ranks = full.Ranks[lo:hi]
+		sliced.RowOids = full.RowOids[lo:hi]
+	} else {
+		lo, hi := cut(len(full.GroupKeys))
+		sliced.GroupKeys = full.GroupKeys[lo:hi]
+		sliced.Aggregates = full.Aggregates[lo:hi]
+	}
+	return canonLimited(canonEngine(sliced))
+}
+
+// canonLimited post-processes a canonical encoding so zero-length and
+// nil slices compare equal: a truncated run that produced no entries
+// omits the field, a sliced oracle holds an empty one.
+func canonLimited(enc []byte, err error) ([]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	var data map[string]any
+	if err := json.Unmarshal(enc, &data); err != nil {
+		return nil, err
+	}
+	for k, v := range data {
+		if arr, ok := v.([]any); ok && len(arr) == 0 {
+			delete(data, k)
+		}
+	}
+	return json.Marshal(data)
+}
+
+func canonServerLimited(res *QueryResult) ([]byte, error) {
+	return canonLimited(canonServer(res))
+}
+
+// limitBatteryItems picks a window query (TPC-DS — TPC-H has none), a
+// grouped aggregate, and an aggregate-ordered query so all three
+// truncation shapes (row rank, group rank, slice-only) are exercised.
+func limitBatteryItems(t *testing.T, rows int) ([]workloads.Item, []*table.Table) {
+	t.Helper()
+	tpch := testTPCH(t, rows)
+	tpcds := testTPCDS(t, rows)
+	items := append(workloads.TPCHQueries(tpch, ""), workloads.TPCDSQueries(tpcds)...)
+	var window, group, agg *workloads.Item
+	for i := range items {
+		it := items[i]
+		switch {
+		case it.Query.Window != nil && window == nil:
+			window = &items[i]
+		case it.Query.OrderByAgg && agg == nil:
+			agg = &items[i]
+		case it.Query.Window == nil && !it.Query.OrderByAgg && group == nil:
+			group = &items[i]
+		}
+	}
+	var out []workloads.Item
+	for _, it := range []*workloads.Item{window, group, agg} {
+		if it == nil {
+			t.Fatal("workloads no longer cover all three truncation shapes")
+		}
+		out = append(out, *it)
+	}
+	return out, []*table.Table{tpch, tpcds}
+}
+
+// TestLimitDifferentialRun sweeps the in-process Run path (admission +
+// plan cache + engine) over workers {1,2,4,8} x K {0,1,100,n-1,n,n+7}
+// x offsets {0,3,n}, two passes per point: the first must miss the
+// plan cache, the second must hit it — except LIMIT 0, which skips the
+// cache entirely — and both must equal the sliced oracle.
+func TestLimitDifferentialRun(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	const n = 2000
+	items, tables := limitBatteryItems(t, n)
+	srv := newTestServer(t, Config{MaxConcurrent: 4}, tables...)
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	for _, it := range items {
+		it := it
+		t.Run(it.ID, func(t *testing.T) {
+			full, err := engine.RunContext(context.Background(), it.Table, it.Query, directOptions(srv, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				for _, k := range []int{0, 1, 100, n - 1, n, n + 7} {
+					for _, off := range []int{0, 3, n} {
+						k, off := k, off
+						want, err := sliceServerOracle(full, it.Query.Window != nil, &k, off)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for pass := 0; pass < 2; pass++ {
+							req := reqFromQuery(t, it.Table.Name, it.Query, workers)
+							lim := k
+							req.Limit = &lim
+							req.Offset = off
+							res, err := srv.Run(context.Background(), req)
+							if err != nil {
+								t.Fatalf("workers=%d k=%d off=%d pass=%d: %v", workers, k, off, pass, err)
+							}
+							wantHit := pass == 1 && k > 0
+							if res.PlanCacheHit != wantHit {
+								t.Errorf("workers=%d k=%d off=%d pass=%d: PlanCacheHit=%v, want %v",
+									workers, k, off, pass, res.PlanCacheHit, wantHit)
+							}
+							got, err := canonServerLimited(res)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !bytes.Equal(got, want) {
+								t.Errorf("workers=%d k=%d off=%d pass=%d: diverges from full-sort-then-slice\ngot:  %s\nwant: %s",
+									workers, k, off, pass, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLimitDifferentialHandler replays a reduced sweep through the
+// full HTTP handler path (POST /query, job poll, result fetch): the
+// wire decoding of limit/offset must reach the engine intact.
+func TestLimitDifferentialHandler(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	const n = 2000
+	items, tables := limitBatteryItems(t, n)
+	srv := newTestServer(t, Config{MaxConcurrent: 4}, tables...)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	const workers = 4
+	for _, it := range items {
+		full, err := engine.RunContext(context.Background(), it.Table, it.Query, directOptions(srv, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{0, 1, 100, n + 7} {
+			for _, off := range []int{0, 3} {
+				k, off := k, off
+				want, err := sliceServerOracle(full, it.Query.Window != nil, &k, off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				req := reqFromQuery(t, it.Table.Name, it.Query, workers)
+				lim := k
+				req.Limit = &lim
+				req.Offset = off
+				res, err := doQuery(hs.URL, req)
+				if err != nil {
+					t.Fatalf("%s k=%d off=%d: %v", it.ID, k, off, err)
+				}
+				got, err := canonServerLimited(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s k=%d off=%d: handler result diverges from full-sort-then-slice\ngot:  %s\nwant: %s",
+						it.ID, k, off, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLimitPlanCacheKeySeparation pins that distinct (limit, offset)
+// pairs occupy distinct plan-cache entries: a full-sort plan replayed
+// for a truncated query (or vice versa) would silently produce the
+// wrong plan economics even when results stay correct.
+func TestLimitPlanCacheKeySeparation(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	items, tables := limitBatteryItems(t, 1000)
+	srv := newTestServer(t, Config{MaxConcurrent: 2}, tables...)
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	it := items[0]
+	variants := []func(req *QueryRequest){
+		func(req *QueryRequest) {},
+		func(req *QueryRequest) { lim := 10; req.Limit = &lim },
+		func(req *QueryRequest) { lim := 10; req.Limit = &lim; req.Offset = 3 },
+		func(req *QueryRequest) { req.Offset = 3 },
+	}
+	for i, variant := range variants {
+		req := reqFromQuery(t, it.Table.Name, it.Query, 1)
+		variant(&req)
+		res, err := srv.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if res.PlanCacheHit {
+			t.Errorf("variant %d: hit the cache on first submission — limit/offset missing from the plan key", i)
+		}
+	}
+}

@@ -373,8 +373,17 @@ func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryR
 		j.mu.Unlock()
 	}
 
-	key := planKey(t, q, widths, workers, s.cfg.Rho, s.cfg.MaxPlans)
-	choice, hit := s.cache.Get(key)
+	// LIMIT 0 queries never run a plan search (the engine returns the
+	// empty result straight after the filter), so they neither consult
+	// nor populate the plan cache — a zero-value plan must not be
+	// memoized under their key.
+	cacheable := req.Limit == nil || *req.Limit > 0
+	key := planKey(t, q, widths, workers, s.cfg.Rho, s.cfg.MaxPlans, req.Limit, req.Offset)
+	var choice planner.Choice
+	hit := false
+	if cacheable {
+		choice, hit = s.cache.Get(key)
+	}
 	opts := engine.Options{
 		Massaging: true,
 		Model:     s.cfg.Model,
@@ -382,6 +391,11 @@ func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryR
 		MaxPlans:  s.cfg.MaxPlans,
 		Workers:   workers,
 		MaxBytes:  maxQueryBytes(req.MaxBytes, s.cfg.MaxBytes, est),
+		Offset:    req.Offset,
+	}
+	if req.Limit != nil {
+		lim := *req.Limit
+		opts.Limit = &lim
 	}
 	if hit {
 		opts.PlanOverride = &choice
@@ -392,7 +406,7 @@ func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryR
 		return nil, err
 	}
 	obsExecTime.Add(time.Since(execStart))
-	if !hit {
+	if cacheable && !hit {
 		s.cache.Put(key, planner.Choice{
 			ColOrder: eres.ColOrder,
 			Plan:     eres.Plan,
@@ -439,10 +453,17 @@ func sortColWidths(t *table.Table, q engine.Query) ([]int, error) {
 
 // planKey builds the cache key: everything the search outcome depends
 // on. Filters are included because they change the row count the cost
-// model sees; workers because calibration may become worker-aware.
-func planKey(t *table.Table, q engine.Query, widths []int, workers int, rho float64, maxPlans int) string {
+// model sees; workers because calibration may become worker-aware;
+// limit and offset because the truncated cost model shifts plan
+// crossovers with the cut rank (-1 encodes "no limit", which is
+// distinct from every literal value).
+func planKey(t *table.Table, q engine.Query, widths []int, workers int, rho float64, maxPlans int, limit *int, offset int) string {
+	lim := -1
+	if limit != nil {
+		lim = *limit
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "t=%s|n=%d|k=%d|rho=%g|mp=%d|w=%d|oba=%t", t.Name, t.N, q.Kind, rho, maxPlans, workers, q.OrderByAgg)
+	fmt.Fprintf(&b, "t=%s|n=%d|k=%d|rho=%g|mp=%d|w=%d|oba=%t|lim=%d|off=%d", t.Name, t.N, q.Kind, rho, maxPlans, workers, q.OrderByAgg, lim, offset)
 	for i, sc := range q.SortCols {
 		fmt.Fprintf(&b, "|c=%s/%d/%t", sc.Name, widths[i], sc.Desc)
 	}
