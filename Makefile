@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race lint fault fuzz-smoke smoke bench bench-regress bench-baseline
+.PHONY: test race lint fault chaos chaos-soak fuzz-smoke smoke bench bench-regress bench-baseline
 
 test:
 	$(GO) vet ./...
@@ -23,6 +23,20 @@ lint:
 # goroutine-leak checks (see docs/robustness.md).
 fault:
 	$(GO) test -race -run 'Cancel|Fault|Leak|Panic|Budget|Degrade' ./internal/pipeerr/ ./internal/faultinject/ ./internal/mergesort/ ./internal/mcsort/ ./internal/engine/ ./mcs/
+
+# Chaos battery under the race detector: seeded fault storms against a
+# live mcsd with concurrent retrying clients, plus the watchdog,
+# breaker, status-taxonomy, and client retry/breaker tests
+# (docs/robustness.md). Every storm logs its seed; re-run with the same
+# seed to reproduce a failure.
+chaos:
+	$(GO) test -race -run 'TestStorm|TestWatchdog|TestBreaker|TestStatus|TestRetry|TestRetries|TestBackoff|TestSetProb|TestChaosKind' ./internal/chaos/ ./internal/server/ ./internal/client/ ./internal/faultinject/
+
+# The 60-second acceptance storm: >= 32 clients, workers {1,4,8}, every
+# fault kind armed. Override the seed with
+# `go test -tags soak -run TestStormSoak -chaos-seed 0x... ./internal/chaos/`.
+chaos-soak:
+	$(GO) test -tags soak -race -run TestStormSoak -timeout 10m -v ./internal/chaos/
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMergesortSort -fuzztime=30s ./internal/mergesort/
@@ -47,7 +61,7 @@ bench:
 # CI gate: emit BENCH_pr2.json and fail on a >5% normalized
 # single-thread regression against bench/baseline_pr2.json.
 bench-regress:
-	BENCH_REGRESS=1 $(GO) test -run 'TestBenchRegression|TestBenchOVCSkewSweep|TestBenchTopK' -v -timeout 20m .
+	BENCH_REGRESS=1 $(GO) test -run 'TestBenchRegression|TestBenchOVCSkewSweep|TestBenchTopK|TestBenchChaosOverhead' -v -timeout 20m .
 
 # Regenerate the committed baseline (run on a quiet machine).
 bench-baseline:

@@ -11,8 +11,21 @@
 //	mcsd -addr :8080 -tables tpch -model builtin       # skip calibration (smoke tests)
 //	mcsd -addr :8080 -tables tpch -calibration prof.json
 //
+// PR 8 self-healing (docs/robustness.md): a per-query watchdog
+// force-cancels queries running far past their predicted cost
+// (-watchdog-mult / -watchdog-floor), a contained-panic circuit
+// breaker degrades /readyz on repeated panics (-breaker-threshold /
+// -breaker-cooldown), and -max-queued bounds the admission queue depth
+// /readyz reports as saturated. For fault drills, -chaos-seed with
+// per-kind probabilities arms an in-process fault storm at every
+// pipeline site:
+//
+//	mcsd -addr :8080 -tables tpch -model builtin \
+//	  -chaos-seed 0xC0FFEE -chaos-panic 0.001 -chaos-delay 0.01 -chaos-cancel 0.005
+//
 // Endpoints: POST /query, GET /jobs/{id}, GET /jobs/{id}/result,
-// GET /tables, GET /metrics, GET /healthz. Example session:
+// GET /tables, GET /metrics, GET /healthz, GET /livez, GET /readyz.
+// Example session:
 //
 //	curl -s localhost:8080/query -d '{"table":"tpch_wide","kind":"groupby",
 //	  "sort_cols":[{"name":"p_brand"},{"name":"p_size"}],
@@ -34,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/costmodel"
 	"repro/internal/datagen"
 	"repro/internal/obs"
@@ -41,32 +55,66 @@ import (
 	"repro/internal/table"
 )
 
+// options collects every flag; run takes it whole so adding a knob does
+// not ripple through a positional signature.
+type options struct {
+	addr, tables           string
+	tableRows              int
+	seed                   int64
+	maxConcurrent, workers int
+	maxBytes               int64
+	planCache, maxPlans    int
+	model, calPath         string
+	drainTimeout           time.Duration
+	watchdogMult           float64
+	watchdogFloor          time.Duration
+	breakerThreshold       int
+	breakerCooldown        time.Duration
+	maxQueued              int
+	chaosSeed              uint64
+	chaosPanic, chaosDelay float64
+	chaosCancel            float64
+	chaosMaxDelay          time.Duration
+}
+
 func main() {
-	var (
-		addr          = flag.String("addr", ":8080", "listen address")
-		tables        = flag.String("tables", "tpch", "comma-separated workloads to load: tpch, tpch-skew, tpcds, airline")
-		tableRows     = flag.Int("tablerows", 60_000, "rows per generated WideTable")
-		seed          = flag.Int64("seed", 1, "generator seed")
-		maxConcurrent = flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "queries executing at once; excess queries queue")
-		maxBytes      = flag.Int64("max-bytes", 0, "aggregate estimated-memory budget across executing queries (0 = unlimited)")
-		workers       = flag.Int("workers", 1, "default per-query worker count (requests may override)")
-		planCache     = flag.Int("plancache", server.DefaultPlanCacheSize, "plan cache capacity (entries)")
-		maxPlans      = flag.Int("max-plans", server.DefaultMaxPlans, "counted plan-search budget per query (deterministic, machine-independent)")
-		model         = flag.String("model", "calibrate", "cost model: calibrate | builtin")
-		calPath       = flag.String("calibration", "", "load a saved calibration profile instead of calibrating")
-		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget before running queries are cancelled")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.tables, "tables", "tpch", "comma-separated workloads to load: tpch, tpch-skew, tpcds, airline")
+	flag.IntVar(&o.tableRows, "tablerows", 60_000, "rows per generated WideTable")
+	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
+	flag.IntVar(&o.maxConcurrent, "max-concurrent", runtime.GOMAXPROCS(0), "queries executing at once; excess queries queue")
+	flag.Int64Var(&o.maxBytes, "max-bytes", 0, "aggregate estimated-memory budget across executing queries (0 = unlimited)")
+	flag.IntVar(&o.workers, "workers", 1, "default per-query worker count (requests may override)")
+	flag.IntVar(&o.planCache, "plancache", server.DefaultPlanCacheSize, "plan cache capacity (entries)")
+	flag.IntVar(&o.maxPlans, "max-plans", server.DefaultMaxPlans, "counted plan-search budget per query (deterministic, machine-independent)")
+	flag.StringVar(&o.model, "model", "calibrate", "cost model: calibrate | builtin")
+	flag.StringVar(&o.calPath, "calibration", "", "load a saved calibration profile instead of calibrating")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown drain budget before running queries are cancelled")
+	flag.Float64Var(&o.watchdogMult, "watchdog-mult", 200, "force-cancel a query running this multiple of its predicted cost (0 disables the watchdog)")
+	flag.DurationVar(&o.watchdogFloor, "watchdog-floor", 2*time.Second, "minimum watchdog budget regardless of predicted cost")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 8, "consecutive contained panics that degrade /readyz (0 disables the breaker)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", time.Second, "how long the panic breaker stays open before half-open probing")
+	flag.IntVar(&o.maxQueued, "max-queued", 0, "admission queue depth /readyz reports as saturated (0 = 8x max-concurrent)")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "arm an in-process fault storm with this seed (0 = no storm unless a -chaos-* probability is set)")
+	flag.Float64Var(&o.chaosPanic, "chaos-panic", 0, "per-site-visit injected panic probability")
+	flag.Float64Var(&o.chaosDelay, "chaos-delay", 0, "per-site-visit injected delay probability")
+	flag.Float64Var(&o.chaosCancel, "chaos-cancel", 0, "per-site-visit forced-cancel probability (needs tracked queries; mainly for drills)")
+	flag.DurationVar(&o.chaosMaxDelay, "chaos-max-delay", 2*time.Millisecond, "upper bound of one injected delay")
 	flag.Parse()
-	if err := run(*addr, *tables, *tableRows, *seed, *maxConcurrent, *maxBytes,
-		*workers, *planCache, *maxPlans, *model, *calPath, *drainTimeout); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "mcsd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, tables string, tableRows int, seed int64, maxConcurrent int,
-	maxBytes int64, workers, planCache, maxPlans int, modelMode, calPath string,
-	drainTimeout time.Duration) error {
+func run(o options) error {
+	addr, tables := o.addr, o.tables
+	tableRows, seed := o.tableRows, o.seed
+	maxConcurrent, maxBytes, workers := o.maxConcurrent, o.maxBytes, o.workers
+	planCache, maxPlans := o.planCache, o.maxPlans
+	modelMode, calPath := o.model, o.calPath
+	drainTimeout := o.drainTimeout
 	// The daemon's whole point is observability of the serving layer;
 	// obs is always on and scraped at /metrics.
 	obs.Enable()
@@ -104,15 +152,36 @@ func run(addr, tables string, tableRows int, seed int64, maxConcurrent int,
 		Model:    m,
 		// No wall-clock rho + a counted search budget: plan choice is
 		// deterministic, so a plan-cache hit can never change a result.
-		Rho:            -1,
-		MaxPlans:       maxPlans,
-		MaxConcurrent:  maxConcurrent,
-		MaxBytes:       maxBytes,
-		DefaultWorkers: workers,
-		PlanCacheSize:  planCache,
+		Rho:              -1,
+		MaxPlans:         maxPlans,
+		MaxConcurrent:    maxConcurrent,
+		MaxBytes:         maxBytes,
+		DefaultWorkers:   workers,
+		PlanCacheSize:    planCache,
+		WatchdogMult:     o.watchdogMult,
+		WatchdogFloor:    o.watchdogFloor,
+		BreakerThreshold: o.breakerThreshold,
+		BreakerCooldown:  o.breakerCooldown,
+		MaxQueued:        o.maxQueued,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Fault drill: arm the seeded storm for the daemon's whole life.
+	// The seed is always printed so an incident reproduces.
+	if o.chaosSeed != 0 || o.chaosPanic > 0 || o.chaosDelay > 0 || o.chaosCancel > 0 {
+		storm := chaos.New(chaos.Config{
+			Seed:       o.chaosSeed,
+			PanicProb:  o.chaosPanic,
+			DelayProb:  o.chaosDelay,
+			CancelProb: o.chaosCancel,
+			MaxDelay:   o.chaosMaxDelay,
+		})
+		disarm := storm.Arm()
+		defer disarm()
+		fmt.Fprintf(os.Stderr, "mcsd: CHAOS ARMED seed=%#x panic=%g delay=%g cancel=%g max-delay=%v\n",
+			storm.Seed(), o.chaosPanic, o.chaosDelay, o.chaosCancel, o.chaosMaxDelay)
 	}
 
 	ln, err := net.Listen("tcp", addr)

@@ -62,3 +62,21 @@ func GoodAdmitWait(ctx context.Context, turns []chan struct{}) error {
 	}
 	return nil
 }
+
+// GoodWatchdogLoop is the per-query watchdog shape (internal/server
+// watchdog.loop): an unbounded re-arm loop that blocks in a select on a
+// fresh timer, a budget-extension nudge, and ctx.Done — the ctx case is
+// what makes the loop cancellable, so ctxpoll must accept it.
+func GoodWatchdogLoop(ctx context.Context, timer <-chan struct{}, extended <-chan struct{}, kill func()) {
+	for {
+		select {
+		case <-timer:
+			kill()
+			return
+		case <-extended:
+			// Budget raised; loop around and re-arm.
+		case <-ctx.Done():
+			return
+		}
+	}
+}

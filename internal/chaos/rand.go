@@ -1,0 +1,47 @@
+// Seeded PRNG for the chaos scheduler. The project's determinism
+// analyzer bans math/rand in library code, and chaos needs its draws
+// reproducible from one printed seed anyway, so the storm owns a tiny
+// splitmix64 generator: 64 bits of state, full-period, and its whole
+// sequence is a pure function of the seed. The atomic state bump makes
+// Uint64 safe to call from every pipeline goroutine an armed site runs
+// on — concurrent callers interleave draws from one global sequence.
+package chaos
+
+import "sync/atomic"
+
+// Rand is a goroutine-safe splitmix64 generator. The zero value is a
+// valid generator seeded with 0; NewRand pins an explicit seed.
+type Rand struct {
+	state atomic.Uint64
+}
+
+// NewRand returns a generator whose entire draw sequence is determined
+// by seed.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.state.Store(seed)
+	return r
+}
+
+// Uint64 returns the next draw. Safe for concurrent use: each caller
+// atomically claims one position in the sequence.
+func (r *Rand) Uint64() uint64 {
+	z := r.state.Add(0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1): the top 53 bits of Uint64
+// scaled down, the standard construction.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n); n must be positive. The tiny
+// modulo bias is irrelevant for fault scheduling.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}

@@ -1,0 +1,58 @@
+//go:build soak
+
+package chaos_test
+
+// The 60-second soak storm: the acceptance-criteria configuration —
+// every fault kind armed at every site, at least 32 concurrent
+// retrying clients, worker counts {1, 4, 8} — run for a full minute
+// against a live mcsd. Same invariants as the tier-1 storm (runStorm):
+// zero leaks, typed failures only, byte-identical successes, /readyz
+// recovered within one half-open window.
+//
+// Run it with:
+//
+//	go test -tags soak -race -run TestStormSoak -timeout 10m ./internal/chaos/
+//
+// or `make chaos-soak`. Override the seed to reproduce a prior run:
+//
+//	go test -tags soak -run TestStormSoak -chaos-seed 0xDEADBEEF ./internal/chaos/
+//
+// The storm always logs the seed it used.
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/server"
+)
+
+var soakSeed = flag.Uint64("chaos-seed", chaos.DefaultSeed, "storm seed for the soak run (logged; reuse to reproduce)")
+
+func TestStormSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak storm skipped in -short mode")
+	}
+	runStorm(t, stormParams{
+		rows:     20000,
+		clients:  32,
+		duration: 60 * time.Second,
+		workers:  []int{1, 4, 8},
+		chaos: chaos.Config{
+			Seed:        *soakSeed,
+			PanicProb:   0.005,
+			DelayProb:   0.02,
+			CancelProb:  0.01,
+			SqueezeProb: 0.15,
+			MaxDelay:    2 * time.Millisecond,
+		},
+		server: server.Config{
+			MaxConcurrent:    8,
+			WatchdogMult:     200,
+			WatchdogFloor:    2 * time.Second,
+			BreakerThreshold: 16,
+			BreakerCooldown:  500 * time.Millisecond,
+		},
+	})
+}

@@ -1,0 +1,95 @@
+// Client-side consecutive-failure circuit breaker. Unlike the server's
+// panic breaker (advisory, readiness-only), this one gates calls:
+// while open, Query fails fast with ErrBreakerOpen instead of touching
+// the network, and after the cooldown exactly one caller wins the
+// half-open probe slot — a success closes the breaker for everyone, a
+// failure re-opens it for another full cooldown.
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// brState mirrors the server's breakerState values so the
+// client.breaker_state gauge reads on the same scale
+// (0 closed, 1 half-open, 2 open).
+type brState int
+
+const (
+	brClosed brState = iota
+	brHalfOpen
+	brOpen
+)
+
+type breaker struct {
+	threshold int // <= 0 disables
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	tripped     bool
+	trippedAt   time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow gates one query: nil while closed, nil for exactly one caller
+// per cooldown window while half-open (the probe), ErrBreakerOpen
+// otherwise.
+func (b *breaker) allow() error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.tripped {
+		return nil
+	}
+	if time.Since(b.trippedAt) >= b.cooldown && !b.probing {
+		b.probing = true
+		obsBreakerState.Set(int64(brHalfOpen))
+		return nil
+	}
+	return ErrBreakerOpen
+}
+
+// recordSuccess closes the breaker and resets the failure run.
+func (b *breaker) recordSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive = 0
+	b.tripped = false
+	b.probing = false
+	b.mu.Unlock()
+	obsBreakerState.Set(int64(brClosed))
+}
+
+// recordFailure counts one exhausted query (all retries spent);
+// reaching the threshold — or failing the half-open probe — (re)opens
+// the breaker for a full cooldown.
+func (b *breaker) recordFailure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive++
+	wasProbe := b.probing
+	b.probing = false
+	if b.consecutive >= b.threshold || wasProbe || b.tripped {
+		if !b.tripped {
+			obsBreakerTrips.Inc()
+		}
+		b.tripped = true
+		b.trippedAt = time.Now()
+		b.mu.Unlock()
+		obsBreakerState.Set(int64(brOpen))
+		return
+	}
+	b.mu.Unlock()
+}

@@ -187,6 +187,13 @@ type Options struct {
 	// sort, before Limit counts). Negative values are rejected. An
 	// Offset without a Limit slices the full result.
 	Offset int
+	// OnPlanChosen, when non-nil, is invoked on the caller's goroutine
+	// right after the plan is fixed (searched, overridden, or trivial),
+	// with the cost model's predicted T_mcs in nanoseconds (0 when no
+	// estimate exists). mcsd's per-query watchdog uses it to scale a
+	// wall-clock kill budget to the query actually being run, before
+	// the expensive stages start.
+	OnPlanChosen func(predictedNS float64)
 }
 
 // Run executes q against t.
@@ -334,6 +341,9 @@ func runContext(ctx context.Context, t *table.Table, q Query, opts Options) (*Re
 	res.Timing.PlanSearch = searchTime
 	res.Plan = choice.Plan
 	res.ColOrder = choice.ColOrder
+	if opts.OnPlanChosen != nil {
+		opts.OnPlanChosen(choice.Est)
+	}
 
 	// Budget, stage 2 (plan known): re-run degradation with the real
 	// round count, which dominates the round-key footprint.

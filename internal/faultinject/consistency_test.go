@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/faultinject"
 )
 
@@ -72,6 +73,51 @@ func TestSitesMatchFiredSites(t *testing.T) {
 			if !tested[name] {
 				t.Errorf("site %s is not exercised by any test", name)
 			}
+		}
+	}
+}
+
+// TestChaosKindMatrixMatchesSites keeps the chaos scheduler's
+// site-kind matrix in lockstep with the site list: a Fire site added
+// without a chaos.SiteKinds entry would silently escape the storm
+// battery, and a matrix entry for a removed site is dead weight. Every
+// entry must arm at least the delay and cancel kinds (they are safe at
+// any site by construction), may only name site kinds (squeeze is
+// request-level), and panic may only be omitted at the documented
+// cancellation-only site.
+func TestChaosKindMatrixMatchesSites(t *testing.T) {
+	siteSet := map[string]bool{}
+	for _, s := range faultinject.Sites {
+		siteSet[s] = true
+		kinds, ok := chaos.SiteKinds[s]
+		if !ok {
+			t.Errorf("site %q has no chaos.SiteKinds entry: the storm battery would never strike it", s)
+			continue
+		}
+		have := map[chaos.Kind]bool{}
+		for _, k := range kinds {
+			switch k {
+			case chaos.KindPanic, chaos.KindDelay, chaos.KindCancel:
+			case chaos.KindSqueeze:
+				t.Errorf("site %q arms the request-level squeeze kind", s)
+			default:
+				t.Errorf("site %q names unknown chaos kind %q", s, k)
+			}
+			if have[k] {
+				t.Errorf("site %q lists kind %q twice", s, k)
+			}
+			have[k] = true
+		}
+		if !have[chaos.KindDelay] || !have[chaos.KindCancel] {
+			t.Errorf("site %q must arm at least delay and cancel, has %v", s, kinds)
+		}
+		if !have[chaos.KindPanic] && s != faultinject.TopKMerge {
+			t.Errorf("site %q omits panic but is not the documented cancellation-only site", s)
+		}
+	}
+	for s := range chaos.SiteKinds {
+		if !siteSet[s] {
+			t.Errorf("chaos.SiteKinds names unregistered site %q", s)
 		}
 	}
 }
@@ -190,7 +236,7 @@ func scanRepo(t *testing.T, root string) (fired, tested map[string]bool, sitesBa
 						return true
 					}
 					fired[arg.Sel.Name] = true
-				case "Set":
+				case "Set", "SetProb":
 					if !isTest || len(x.Args) < 1 {
 						return true
 					}

@@ -77,6 +77,40 @@ func Set(site string, fn func()) (restore func()) {
 	return func() { Clear(site) }
 }
 
+// Source is the minimal PRNG surface SetProb draws from. The caller
+// owns construction and seeding (tests and the chaos scheduler inject
+// their own seeded generators), so this package stays free of math/rand
+// and time-based seeding — the mcslint determinism analyzer holds.
+// Implementations must be safe for use from the goroutines that reach
+// the armed site; a site hook may fire from many pipeline workers at
+// once.
+type Source interface {
+	Uint64() uint64
+}
+
+// SetProb installs fn at site but fires it only with probability p per
+// Fire, drawing one uniform variate from src per visit. p >= 1 always
+// fires (without consuming a variate), p <= 0 never fires. Like Set it
+// enables the registry and returns a restore func.
+//
+// The variate is the top 53 bits of src.Uint64() scaled to [0,1) — the
+// standard float64 construction — so an identically seeded src yields
+// an identical fire/skip sequence for a deterministic visit order.
+func SetProb(site string, p float64, src Source, fn func()) (restore func()) {
+	return Set(site, func() {
+		if p >= 1 {
+			fn()
+			return
+		}
+		if p <= 0 {
+			return
+		}
+		if float64(src.Uint64()>>11)/(1<<53) < p {
+			fn()
+		}
+	})
+}
+
 // Clear removes the hook of site; the registry switches off when the
 // last hook is removed.
 func Clear(site string) {

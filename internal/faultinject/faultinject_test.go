@@ -74,3 +74,92 @@ func TestReset(t *testing.T) {
 	}
 	Fire(Permute)
 }
+
+// fixedSource yields a scripted uint64 sequence, cycling.
+type fixedSource struct {
+	vals []uint64
+	i    int
+}
+
+func (s *fixedSource) Uint64() uint64 {
+	v := s.vals[s.i%len(s.vals)]
+	s.i++
+	return v
+}
+
+func TestSetProbAlwaysAndNever(t *testing.T) {
+	Reset()
+	src := &fixedSource{vals: []uint64{0}}
+	fired := 0
+	restore := SetProb(ChunkSort, 1, src, func() { fired++ })
+	Fire(ChunkSort)
+	Fire(ChunkSort)
+	restore()
+	if fired != 2 {
+		t.Fatalf("p=1 fired %d/2 times", fired)
+	}
+	if src.i != 0 {
+		t.Fatalf("p=1 consumed %d variates, want 0", src.i)
+	}
+	restore = SetProb(ChunkSort, 0, src, func() { t.Fatal("p=0 must never fire") })
+	Fire(ChunkSort)
+	restore()
+	if Enabled() {
+		t.Fatal("restore must disable the registry")
+	}
+}
+
+func TestSetProbDrawsFromSource(t *testing.T) {
+	Reset()
+	defer Reset()
+	// Variates alternate 0 (always below p) and max (never below p<1):
+	// the fire sequence is exactly fire, skip, fire, skip.
+	src := &fixedSource{vals: []uint64{0, ^uint64(0)}}
+	fired := 0
+	defer SetProb(LoserMerge, 0.5, src, func() { fired++ })()
+	for i := 0; i < 4; i++ {
+		Fire(LoserMerge)
+	}
+	if fired != 2 {
+		t.Fatalf("scripted source fired %d/4 times, want 2", fired)
+	}
+	if src.i != 4 {
+		t.Fatalf("consumed %d variates, want 4", src.i)
+	}
+}
+
+func TestSetProbDeterministicSequence(t *testing.T) {
+	Reset()
+	defer Reset()
+	// Identically seeded sources must reproduce the same fire/skip
+	// pattern — the reproducibility contract a chaos seed rests on.
+	run := func() []bool {
+		src := &fixedSource{vals: []uint64{
+			0x0123456789abcdef, 0xfedcba9876543210, 0x0f0f0f0f0f0f0f0f,
+			0xdeadbeefdeadbeef, 0x1111111111111111, 0xcafebabecafebabe,
+		}}
+		fired := false
+		var pattern []bool
+		restore := SetProb(Gather, 0.35, src, func() { fired = true })
+		defer restore()
+		for i := 0; i < 12; i++ {
+			fired = false
+			Fire(Gather)
+			pattern = append(pattern, fired)
+		}
+		return pattern
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire pattern diverged at visit %d: %v vs %v", i, a, b)
+		}
+	}
+	any := false
+	for _, f := range a {
+		any = any || f
+	}
+	if !any {
+		t.Fatal("scripted pattern never fired; test variates are wrong")
+	}
+}

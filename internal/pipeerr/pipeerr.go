@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -36,6 +37,11 @@ const (
 	StageGather    = "gather"
 	StageAggregate = "aggregate"
 	StagePlan      = "plan"
+	// StageServe marks a failure contained at the serving layer: a panic
+	// that escaped on the query's own goroutine (the pipeline's
+	// sequential paths run on the caller, where no worker Group can
+	// recover it) and was caught by mcsd's job-level containment.
+	StageServe = "serve"
 )
 
 var (
@@ -64,6 +70,49 @@ var ErrQueueTimeout = errors.New("pipeline: cancelled while queued")
 // satisfy both errors.Is(err, ErrQueueTimeout) and IsCtxErr(err).
 func QueueTimeout(ctxErr error) error {
 	return fmt.Errorf("%w: %w", ErrQueueTimeout, ctxErr)
+}
+
+// ErrWatchdog reports that a query was force-cancelled by the serving
+// layer's per-query watchdog because its wall-clock time exceeded a
+// hard multiple of its predicted cost. It deliberately does NOT wrap a
+// context error: a watchdog kill is the server's verdict on a stuck
+// query, not the caller's deadline, so IsCtxErr(err) is false and the
+// error classifies as retryable (the stall is usually load- or
+// fault-induced, not intrinsic to the query). Match with errors.Is.
+var ErrWatchdog = errors.New("pipeline: watchdog force-cancelled query")
+
+// Watchdog builds the typed watchdog error, recording how long the
+// query ran against the budget the watchdog allowed it.
+func Watchdog(elapsed, budget time.Duration) error {
+	return fmt.Errorf("%w: ran %v, budget %v", ErrWatchdog, elapsed, budget)
+}
+
+// Retryable classifies an error as transient (a retry against the same
+// server may succeed) or permanent (a retry with the identical request
+// is pointless). Transient failures are the load- and fault-induced
+// ones:
+//
+//   - ErrQueueTimeout — the admission queue was congested;
+//   - ErrBudgetExceeded — the memory budget refused the query under the
+//     current aggregate load (a later retry may fit);
+//   - ErrWatchdog — the watchdog killed a stalled execution;
+//   - *PipelineError — a contained worker fault (an injected or real
+//     panic poisoned one chunk; the pipeline itself is healthy).
+//
+// Everything else — validation failures, unknown tables/columns, and
+// plain context errors (the caller's own cancellation or deadline) —
+// is permanent. nil is not retryable.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrQueueTimeout) ||
+		errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, ErrWatchdog) {
+		return true
+	}
+	var pe *PipelineError
+	return errors.As(err, &pe)
 }
 
 // PipelineError is the typed failure of one pipeline worker: which

@@ -148,6 +148,42 @@ func TestDegradeWorkers(t *testing.T) {
 	}
 }
 
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"queue timeout", QueueTimeout(context.DeadlineExceeded), true},
+		{"budget exceeded", fmt.Errorf("%w: too big", ErrBudgetExceeded), true},
+		{"watchdog", Watchdog(3*time.Second, time.Second), true},
+		{"pipeline error", &PipelineError{Stage: StageSort, Round: 1, Worker: 0, Err: errors.New("boom")}, true},
+		{"wrapped pipeline error", fmt.Errorf("job: %w",
+			&PipelineError{Stage: StageServe, Round: -1, Worker: -1, Err: errors.New("poison")}), true},
+		{"plain cancel", context.Canceled, false},
+		{"plain deadline", context.DeadlineExceeded, false},
+		{"validation", errors.New("unknown column"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestWatchdogTyped(t *testing.T) {
+	err := Watchdog(2*time.Second, time.Second)
+	if !errors.Is(err, ErrWatchdog) {
+		t.Error("Watchdog error must match ErrWatchdog")
+	}
+	// A watchdog kill is the server's verdict, not the caller's
+	// deadline: it must NOT classify as a context error.
+	if IsCtxErr(err) {
+		t.Error("watchdog error must not be a context error")
+	}
+}
+
 func TestNoteCancelPassesThrough(t *testing.T) {
 	if NoteCancel(nil) != nil {
 		t.Error("nil must stay nil")

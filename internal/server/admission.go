@@ -143,6 +143,14 @@ func (a *admission) wakeAllLocked() {
 	a.waiters = nil
 }
 
+// queued returns how many queries are waiting for admission right now
+// (readiness reporting: a deep queue means saturation).
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}
+
 // close refuses new admissions and fails queued waiters with
 // ErrShuttingDown; running queries are unaffected.
 func (a *admission) close() {

@@ -326,6 +326,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -393,6 +395,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleLivez is pure liveness: the process is up and serving HTTP.
+// It stays 200 through drains and degradation — restarts are for dead
+// processes, and a draining server is finishing real work.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// handleReadyz reports whether this server should receive new traffic,
+// with the degraded states the chaos battery drives it through: a
+// drain in progress, the contained-panic breaker open, or the
+// admission queue saturated. The breaker's half-open state counts as
+// ready — readiness is advisory and the server kept executing queries
+// the whole time; one panic-free query closes it, one more panic
+// re-opens it.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	queued := s.adm.queued()
+	br := s.breaker.state()
+	body := map[string]any{
+		"breaker": br.String(),
+		"queued":  queued,
+	}
+	switch {
+	case closed:
+		body["status"] = "draining"
+	case br == breakerOpen:
+		body["status"] = "degraded"
+		body["reason"] = "breaker open: repeated contained panics"
+	case s.cfg.MaxQueued > 0 && queued > s.cfg.MaxQueued:
+		body["status"] = "degraded"
+		body["reason"] = "admission queue saturated"
+	default:
+		body["status"] = "ready"
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
 // readBody reads at most maxRequestBytes of the request body.
 func readBody(r *http.Request) ([]byte, error) {
 	var buf bytes.Buffer
@@ -402,21 +445,34 @@ func readBody(r *http.Request) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// statusFor maps server errors to HTTP status codes.
+// statusFor maps server errors to HTTP status codes. The retryable
+// failure classes each get a distinct, conventional status — 429 for
+// queue congestion, 503 (with Retry-After) for a budget refusal, 504
+// for a watchdog kill or an expired deadline, 500 for a contained
+// pipeline fault — so a client needs no message parsing to pick its
+// backoff policy; permanent classes keep their 4xx codes.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errInvalidRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, errNoJob):
 		return http.StatusNotFound
+	case errors.Is(err, errNotFinished):
+		return http.StatusConflict
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, pipeerr.ErrQueueTimeout):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, pipeerr.ErrBudgetExceeded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, pipeerr.ErrBudgetExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, pipeerr.ErrWatchdog):
+		return http.StatusGatewayTimeout
+	case pipeerr.IsCtxErr(err):
+		return http.StatusGatewayTimeout
 	default:
-		return http.StatusConflict
+		// Contained pipeline faults and anything unclassified: the
+		// server, not the request, failed.
+		return http.StatusInternalServerError
 	}
 }
 
@@ -427,6 +483,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the peer hung up; nothing to report to
 }
 
+// writeError emits the error body with its machine-readable class and
+// retryability, plus a Retry-After hint on the load-induced statuses
+// (the admission queue and the byte budget clear on the next release,
+// so "soon" is honest).
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]any{
+		"error":     err.Error(),
+		"kind":      errorKind(err),
+		"retryable": pipeerr.Retryable(err),
+	})
 }

@@ -23,9 +23,10 @@ import (
 )
 
 var (
-	obsServerQueries = obs.NewCounter("server.queries")
-	obsServerErrors  = obs.NewCounter("server.query_errors")
-	obsExecTime      = obs.NewTimer("server.exec")
+	obsServerQueries   = obs.NewCounter("server.queries")
+	obsServerErrors    = obs.NewCounter("server.query_errors")
+	obsExecTime        = obs.NewTimer("server.exec")
+	obsContainedPanics = obs.NewCounter("server.contained_panics")
 )
 
 // DefaultMaxPlans is the counted plan-search budget when
@@ -67,13 +68,38 @@ type Config struct {
 	DefaultWorkers int
 	// PlanCacheSize bounds the plan cache (DefaultPlanCacheSize when 0).
 	PlanCacheSize int
+	// WatchdogMult, when > 0, arms a per-query watchdog that
+	// force-cancels execution once its wall time exceeds
+	// WatchdogFloor + WatchdogMult × predicted T_mcs (the cost model's
+	// estimate for the chosen plan). The kill surfaces as the typed,
+	// retryable pipeerr.ErrWatchdog. 0 disables the watchdog.
+	WatchdogMult float64
+	// WatchdogFloor is the watchdog's minimum kill budget: it covers
+	// the stages the T_mcs estimate does not (filter scans,
+	// materialization, aggregation) and is the whole budget until the
+	// plan is chosen. Default 2s when the watchdog is armed.
+	WatchdogFloor time.Duration
+	// BreakerThreshold trips the readiness breaker after this many
+	// consecutive contained panics (serve-layer or worker): /readyz
+	// reports degraded until a cooldown passes and a panic-free query
+	// completes. 0 disables the breaker. The breaker is advisory —
+	// queries keep executing while it is open.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before going
+	// half-open (default 1s).
+	BreakerCooldown time.Duration
+	// MaxQueued is the admission-queue depth beyond which /readyz
+	// reports saturation (default 8 × MaxConcurrent; < 0 disables the
+	// check).
+	MaxQueued int
 }
 
 // Server is a concurrent query service over registered tables.
 type Server struct {
-	cfg   Config
-	cache *PlanCache
-	adm   *admission
+	cfg     Config
+	cache   *PlanCache
+	adm     *admission
+	breaker *panicBreaker
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -119,9 +145,15 @@ type JobStatus struct {
 	State JobState `json:"state"`
 	// Error is the failure message (JobFailed only), with Kind its
 	// machine-readable class: "queue_timeout", "execution_timeout",
-	// "budget", "shutdown", "invalid", or "internal".
+	// "budget", "watchdog", "pipeline", "shutdown", "invalid", or
+	// "internal".
 	Error string `json:"error,omitempty"`
 	Kind  string `json:"kind,omitempty"`
+	// Retryable reports whether re-submitting the identical query may
+	// succeed (pipeerr.Retryable's verdict): true for queue timeouts,
+	// budget refusals, watchdog kills, and contained pipeline faults;
+	// false for validation failures and the caller's own cancellation.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // New validates cfg and returns a ready server.
@@ -141,11 +173,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxPlans <= 0 {
 		cfg.MaxPlans = DefaultMaxPlans
 	}
+	if cfg.WatchdogMult > 0 && cfg.WatchdogFloor <= 0 {
+		cfg.WatchdogFloor = 2 * time.Second
+	}
+	if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 8 * cfg.MaxConcurrent
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:        cfg,
 		cache:      NewPlanCache(cfg.PlanCacheSize, cfg.Model),
 		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxBytes),
+		breaker:    newPanicBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
@@ -212,6 +251,7 @@ func (s *Server) Status(id string) (JobStatus, error) {
 	if j.err != nil {
 		st.Error = j.err.Error()
 		st.Kind = errorKind(j.err)
+		st.Retryable = pipeerr.Retryable(j.err)
 	}
 	return st, nil
 }
@@ -231,7 +271,7 @@ func (s *Server) Result(id string) (*QueryResult, error) {
 	case JobFailed:
 		return nil, j.err
 	default:
-		return nil, fmt.Errorf("server: job %s is %s", id, j.state)
+		return nil, fmt.Errorf("%w: job %s is %s", errNotFinished, id, j.state)
 	}
 }
 
@@ -299,6 +339,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // errNoJob is wrapped by lookups of unknown job ids (wire: 404).
 var errNoJob = errors.New("server: no such job")
 
+// errNotFinished is wrapped when a result is fetched before the job
+// reached a terminal state (wire: 409).
+var errNotFinished = errors.New("server: job not finished")
+
 // job looks up a submitted job by id.
 func (s *Server) job(id string) (*job, error) {
 	s.mu.Lock()
@@ -311,21 +355,48 @@ func (s *Server) job(id string) (*job, error) {
 }
 
 // run is the one execution path: resolve the table, consult the plan
-// cache, pass admission, and call engine.RunContext.
-func (s *Server) run(ctx context.Context, j *job, req QueryRequest) (*QueryResult, error) {
+// cache, pass admission, and call engine.RunContext. It is also the
+// serve layer's containment boundary: the pipeline's sequential paths
+// execute on this goroutine (the job goroutine, or the caller's for
+// Run), where no worker Group can recover a panic — every such fire
+// point runs with no live workers (docs/robustness.md), so recovering
+// here leaks nothing and turns a would-be process crash into a typed,
+// retryable job failure.
+func (s *Server) run(ctx context.Context, j *job, req QueryRequest) (res *QueryResult, err error) {
 	obsServerQueries.Inc()
-	res, err := s.execute(ctx, j, req)
+	defer func() {
+		if v := recover(); v != nil {
+			obsContainedPanics.Inc()
+			obsServerErrors.Inc()
+			s.breaker.recordPanic()
+			res = nil
+			err = &pipeerr.PipelineError{Stage: pipeerr.StageServe, Round: -1, Worker: -1, Err: pipeerr.AsError(v)}
+		}
+	}()
+	res, err = s.execute(ctx, j, req)
 	if err != nil {
 		obsServerErrors.Inc()
+		// A contained worker panic surfaces as *PipelineError; it counts
+		// against the readiness breaker like a serve-layer one. Other
+		// failures (cancellations, refusals) are not health signals and
+		// leave the consecutive-panic count alone.
+		var pe *pipeerr.PipelineError
+		if errors.As(err, &pe) {
+			s.breaker.recordPanic()
+		}
 		return nil, pipeerr.NoteCancel(err)
 	}
+	s.breaker.recordSuccess()
 	return res, nil
 }
 
 func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryResult, error) {
 	t, err := s.cfg.Registry.Lookup(req.Table)
 	if err != nil {
-		return nil, err
+		// An unknown table is the caller's mistake, not a server fault:
+		// classify it with the validation failures (400, kind
+		// "invalid", not retryable), not as kind "internal".
+		return nil, fmt.Errorf("%w: %v", errInvalidRequest, err)
 	}
 	q, err := req.ToEngineQuery()
 	if err != nil {
@@ -400,9 +471,37 @@ func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryR
 	if hit {
 		opts.PlanOverride = &choice
 	}
+
+	// Watchdog: bound this query's wall time by a hard multiple of its
+	// predicted cost. It arms with the floor budget now (covering the
+	// pre-plan stages) and extends once the plan — and with it the
+	// T_mcs estimate — is fixed. CancelCause keeps the kill
+	// distinguishable from the client's own cancellation.
+	runCtx := ctx
+	if s.cfg.WatchdogMult > 0 {
+		wctx, wcancel := context.WithCancelCause(ctx)
+		defer wcancel(nil)
+		runCtx = wctx
+		wd := startWatchdog(wctx, wcancel, s.cfg.WatchdogFloor)
+		mult := s.cfg.WatchdogMult
+		floor := s.cfg.WatchdogFloor
+		opts.OnPlanChosen = func(predictedNS float64) {
+			if predictedNS > 0 {
+				wd.extend(floor + time.Duration(predictedNS*mult))
+			}
+		}
+	}
+
 	execStart := time.Now()
-	eres, err := engine.RunContext(ctx, t, q, opts)
+	eres, err := engine.RunContext(runCtx, t, q, opts)
 	if err != nil {
+		// A watchdog kill unwinds the pipeline as a plain context
+		// cancellation; surface the typed cause instead.
+		if pipeerr.IsCtxErr(err) {
+			if cause := context.Cause(runCtx); cause != nil && errors.Is(cause, pipeerr.ErrWatchdog) {
+				return nil, cause
+			}
+		}
 		return nil, err
 	}
 	obsExecTime.Add(time.Since(execStart))
@@ -503,18 +602,30 @@ func buildResult(j *job, req QueryRequest, eres *engine.Result, cacheHit bool, q
 }
 
 // errorKind classifies a job failure for the wire (JobStatus.Kind).
+// "internal" is the residual class: a query must never need it for a
+// failure the taxonomy has a type for — the chaos battery asserts no
+// storm-induced failure lands there.
 func errorKind(err error) string {
+	var pe *pipeerr.PipelineError
 	switch {
 	case errors.Is(err, pipeerr.ErrQueueTimeout):
 		return "queue_timeout"
 	case errors.Is(err, pipeerr.ErrBudgetExceeded):
 		return "budget"
+	case errors.Is(err, pipeerr.ErrWatchdog):
+		return "watchdog"
 	case errors.Is(err, ErrShuttingDown):
 		return "shutdown"
 	case pipeerr.IsCtxErr(err):
 		return "execution_timeout"
 	case errors.Is(err, errInvalidRequest):
 		return "invalid"
+	case errors.Is(err, errNoJob):
+		return "not_found"
+	case errors.Is(err, errNotFinished):
+		return "not_finished"
+	case errors.As(err, &pe):
+		return "pipeline"
 	default:
 		return "internal"
 	}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/pipeerr"
+	"repro/internal/testutil"
+)
+
+// TestStatusMapping pins the full wire taxonomy in one table: every
+// error class maps to its own HTTP status, machine-readable kind, and
+// retryability verdict. Before PR 8 the handlers collapsed
+// queue-timeout, budget-refusal, and contained-panic failures toward
+// one bucket; a regression here would send clients the wrong backoff
+// policy.
+func TestStatusMapping(t *testing.T) {
+	pipelineErr := &pipeerr.PipelineError{Stage: pipeerr.StageSort, Round: 1, Worker: 2, Err: errors.New("boom")}
+	serveErr := &pipeerr.PipelineError{Stage: pipeerr.StageServe, Round: -1, Worker: -1, Err: errors.New("poison")}
+	cases := []struct {
+		name      string
+		err       error
+		status    int
+		kind      string
+		retryable bool
+	}{
+		{"invalid request", fmt.Errorf("%w: bad", errInvalidRequest), http.StatusBadRequest, "invalid", false},
+		{"no such job", fmt.Errorf("%w: %q", errNoJob, "j9"), http.StatusNotFound, "not_found", false},
+		{"not finished", fmt.Errorf("%w: job j1 is running", errNotFinished), http.StatusConflict, "not_finished", false},
+		{"shutting down", ErrShuttingDown, http.StatusServiceUnavailable, "shutdown", false},
+		{"queue timeout", pipeerr.QueueTimeout(context.DeadlineExceeded), http.StatusTooManyRequests, "queue_timeout", true},
+		{"budget refusal", fmt.Errorf("server: %w", pipeerr.ErrBudgetExceeded), http.StatusServiceUnavailable, "budget", true},
+		{"watchdog kill", pipeerr.Watchdog(3*time.Second, time.Second), http.StatusGatewayTimeout, "watchdog", true},
+		{"client deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, "execution_timeout", false},
+		{"client cancel", context.Canceled, http.StatusGatewayTimeout, "execution_timeout", false},
+		{"contained worker panic", pipelineErr, http.StatusInternalServerError, "pipeline", true},
+		{"contained serve panic", serveErr, http.StatusInternalServerError, "pipeline", true},
+		{"unclassified", errors.New("mystery"), http.StatusInternalServerError, "internal", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := statusFor(tc.err); got != tc.status {
+				t.Errorf("statusFor = %d, want %d", got, tc.status)
+			}
+			if got := errorKind(tc.err); got != tc.kind {
+				t.Errorf("errorKind = %q, want %q", got, tc.kind)
+			}
+			if got := pipeerr.Retryable(tc.err); got != tc.retryable {
+				t.Errorf("Retryable = %v, want %v", got, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestWriteErrorBody asserts the wire error body carries the kind and
+// retryable fields, and that the load-induced statuses advertise
+// Retry-After.
+func TestWriteErrorBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, statusFor(pipeerr.QueueTimeout(context.DeadlineExceeded)), pipeerr.QueueTimeout(context.DeadlineExceeded))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	var body struct {
+		Error     string `json:"error"`
+		Kind      string `json:"kind"`
+		Retryable bool   `json:"retryable"`
+	}
+	if err := decodeBody(rec.Result(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Kind != "queue_timeout" || !body.Retryable || body.Error == "" {
+		t.Errorf("body = %+v", body)
+	}
+
+	rec = httptest.NewRecorder()
+	writeError(rec, http.StatusBadRequest, fmt.Errorf("%w: nope", errInvalidRequest))
+	if rec.Header().Get("Retry-After") != "" {
+		t.Error("400 must not carry Retry-After")
+	}
+}
+
+// TestStatusMappingOverHTTP drives the distinct statuses through the
+// real handler stack: a budget refusal is 503 + Retry-After with the
+// typed kind, an unknown job 404, an unfinished job 409, and the job
+// status JSON carries the retryable flag.
+func TestStatusMappingOverHTTP(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tbl := testTPCH(t, 4000)
+	// MaxBytes 1: every query is refused up front with the typed
+	// budget error.
+	srv := newTestServer(t, Config{MaxBytes: 1}, tbl)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	req := QueryRequest{Table: tbl.Name, Kind: "orderby", SortCols: []SortColReq{{Name: "l_returnflag"}}, Workers: 2}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submit struct {
+		JobID string `json:"job_id"`
+	}
+	if err := decodeBody(resp, &submit); err != nil {
+		t.Fatal(err)
+	}
+	// Poll until the job fails, then check status fields and result
+	// status code.
+	deadline := time.Now().Add(10 * time.Second)
+	var st JobStatus
+	for {
+		resp, err := http.Get(hs.URL + "/jobs/" + submit.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := decodeBody(resp, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobFailed || st.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.State != JobFailed || st.Kind != "budget" || !st.Retryable {
+		t.Fatalf("status = %+v, want failed/budget/retryable", st)
+	}
+	resp, err = http.Get(hs.URL + "/jobs/" + submit.JobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("budget-refused result = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("budget refusal must carry Retry-After")
+	}
+
+	resp, err = http.Get(hs.URL + "/jobs/nope/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result = %d, want 404", resp.StatusCode)
+	}
+
+	// An unknown table is the caller's mistake: the job fails with kind
+	// "invalid" (not "internal") and the result maps to 400.
+	req.Table = "no_such_table"
+	body, err = json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(hs.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeBody(resp, &submit); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		resp, err := http.Get(hs.URL + "/jobs/" + submit.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reset: retryable=false is omitted on the wire (omitempty), so
+		// a reused struct would keep the budget job's true.
+		st = JobStatus{}
+		if err := decodeBody(resp, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobFailed || st.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("unknown-table job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.State != JobFailed || st.Kind != "invalid" || st.Retryable {
+		t.Fatalf("unknown-table status = %+v, want failed/invalid/not-retryable", st)
+	}
+	resp, err = http.Get(hs.URL + "/jobs/" + submit.JobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown-table result = %d, want 400", resp.StatusCode)
+	}
+}

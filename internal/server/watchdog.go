@@ -1,0 +1,98 @@
+// Per-query watchdog: force-cancels a query whose wall-clock time
+// exceeds a hard multiple of its predicted cost. A query stalled by an
+// injected delay, a scheduling pathology, or a bug would otherwise pin
+// its admission slot (and its bytes) until the client deadline — if the
+// client even set one. The watchdog is the server's own bound: it arms
+// with a floor budget when execution starts, extends to
+// floor + mult × predicted T_mcs the moment the plan is fixed
+// (engine.Options.OnPlanChosen delivers the cost model's estimate
+// before the expensive stages begin), and cancels through
+// context.CancelCause so the typed pipeerr.ErrWatchdog is
+// distinguishable from the client's own cancellation.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+)
+
+var (
+	obsWatchdogKills   = obs.NewCounter("server.watchdog_kills")
+	obsWatchdogExtends = obs.NewCounter("server.watchdog_extensions")
+)
+
+// watchdog guards one query execution. Its loop goroutine exits when
+// the query's context ends (completion or kill) — it can never outlive
+// the query.
+type watchdog struct {
+	cancel context.CancelCauseFunc
+	start  time.Time
+
+	mu     sync.Mutex
+	budget time.Duration
+
+	extended chan struct{}
+}
+
+// startWatchdog arms a watchdog over ctx with the floor budget; cancel
+// must be the CancelCause func of that same ctx.
+func startWatchdog(ctx context.Context, cancel context.CancelCauseFunc, floor time.Duration) *watchdog {
+	w := &watchdog{
+		cancel:   cancel,
+		start:    time.Now(),
+		budget:   floor,
+		extended: make(chan struct{}, 1),
+	}
+	go w.loop(ctx)
+	return w
+}
+
+// extend raises the kill budget (it never shrinks: a floor more
+// generous than the scaled estimate stays in force) and nudges the
+// loop to re-arm its timer.
+func (w *watchdog) extend(budget time.Duration) {
+	w.mu.Lock()
+	raised := budget > w.budget
+	if raised {
+		w.budget = budget
+	}
+	w.mu.Unlock()
+	if raised {
+		obsWatchdogExtends.Inc()
+		select {
+		case w.extended <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// loop sleeps until the budget expires, the budget is extended, or the
+// query's context ends. On expiry it cancels the query with the typed
+// pipeerr.ErrWatchdog cause and exits.
+func (w *watchdog) loop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		budget := w.budget
+		w.mu.Unlock()
+		elapsed := time.Since(w.start)
+		if elapsed >= budget {
+			obsWatchdogKills.Inc()
+			w.cancel(pipeerr.Watchdog(elapsed, budget))
+			return
+		}
+		timer := time.NewTimer(budget - elapsed)
+		select {
+		case <-timer.C:
+			// Re-check: an extension may have raced the expiry.
+		case <-w.extended:
+			timer.Stop()
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		}
+	}
+}

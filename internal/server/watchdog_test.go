@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pipeerr"
+	"repro/internal/testutil"
+)
+
+// TestWatchdogKillsStuckQuery wedges a query with a fault-injected
+// delay far past its predicted cost and asserts the per-query watchdog
+// force-cancels it: the job fails with the typed pipeerr.ErrWatchdog
+// (retryable, kind "watchdog", NOT a bare context error), the kill is
+// bounded in wall-clock, and no goroutine outlives the test.
+func TestWatchdogKillsStuckQuery(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	// The gather hook sleeps well past the watchdog budget. The sleep
+	// itself is uncancellable, so the watchdog's cancel is observed at
+	// the next pipeline poll after the hook returns — exactly the
+	// stuck-operator shape the watchdog exists for.
+	defer faultinject.Set(faultinject.Gather, func() {
+		time.Sleep(400 * time.Millisecond)
+	})()
+
+	tbl := testTPCH(t, 2000)
+	// Tiny floor and multiplier: predicted cost for 2000 rows is far
+	// under the injected 400ms stall, so the watchdog must fire.
+	srv := newTestServer(t, Config{
+		WatchdogMult:  1,
+		WatchdogFloor: 30 * time.Millisecond,
+	}, tbl)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	req := QueryRequest{Table: tbl.Name, Kind: "orderby", SortCols: []SortColReq{{Name: "l_returnflag"}}, Workers: 1}
+	start := time.Now()
+	_, err := srv.Run(context.Background(), req)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stuck query succeeded; watchdog never fired")
+	}
+	if !errors.Is(err, pipeerr.ErrWatchdog) {
+		t.Fatalf("error = %v, want pipeerr.ErrWatchdog", err)
+	}
+	if pipeerr.IsCtxErr(err) {
+		t.Error("watchdog kill must not read as a caller cancellation")
+	}
+	if !pipeerr.Retryable(err) {
+		t.Error("watchdog kill must be retryable")
+	}
+	if kind := errorKind(err); kind != "watchdog" {
+		t.Errorf("errorKind = %q, want watchdog", kind)
+	}
+	// The kill happens once the wedged hook returns (~400ms); it must
+	// not wait for anything slower.
+	if elapsed > 5*time.Second {
+		t.Errorf("watchdog kill took %v", elapsed)
+	}
+}
+
+// TestWatchdogSparesHealthyQuery is the negative: an unwedged query on
+// the same tight watchdog settings completes, because the budget is
+// extended with the plan's predicted cost and healthy execution fits.
+func TestWatchdogSparesHealthyQuery(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+	tbl := testTPCH(t, 2000)
+	srv := newTestServer(t, Config{
+		WatchdogMult:  200,
+		WatchdogFloor: 2 * time.Second,
+	}, tbl)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	req := QueryRequest{Table: tbl.Name, Kind: "orderby", SortCols: []SortColReq{{Name: "l_returnflag"}}, Workers: 2}
+	res, err := srv.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("healthy query under watchdog: %v", err)
+	}
+	if res.Rows != tbl.N {
+		t.Errorf("rows = %d, want %d", res.Rows, tbl.N)
+	}
+}
+
+// TestWatchdogExtendOnlyRaises pins the budget monotonicity contract:
+// extend never shrinks an armed budget, so a cheap re-plan cannot
+// tighten the noose on a query already granted more time.
+func TestWatchdogExtendOnlyRaises(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	w := startWatchdog(ctx, cancel, time.Hour)
+	w.extend(time.Minute) // lower: must be ignored
+	w.mu.Lock()
+	got := w.budget
+	w.mu.Unlock()
+	if got != time.Hour {
+		t.Errorf("budget = %v, want 1h (extend must not shrink)", got)
+	}
+	w.extend(2 * time.Hour)
+	w.mu.Lock()
+	got = w.budget
+	w.mu.Unlock()
+	if got != 2*time.Hour {
+		t.Errorf("budget = %v, want 2h", got)
+	}
+	cancel(nil)
+}
