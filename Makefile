@@ -12,11 +12,13 @@ race:
 
 # Project-invariant static analysis (docs/static-analysis.md): go vet
 # plus the mcslint suite (ctxpoll, nopanic, determinism, ctxpair,
-# obsnames, errchecklite) over every package, with vetted exceptions in
-# lint/allow.txt. Non-zero exit on any unallowed finding.
+# obsnames, errchecklite, atomicmix, goroutinecapture, grouped,
+# faultsite, hotalloc) over every package, with vetted exceptions in
+# lint/allow.txt. -strict-allow keeps the allowlist honest: an entry
+# that stops matching anything fails the build until it is deleted.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/mcslint ./...
+	$(GO) run ./cmd/mcslint -strict-allow ./...
 
 # Robustness battery under the race detector: cancellation at every
 # fault-injection site, contained worker panics, budget degradation, and

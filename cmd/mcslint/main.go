@@ -18,11 +18,14 @@
 //	-disable a,b   run everything except the named analyzers
 //	-allow FILE    allowlist of vetted exceptions
 //	               (default: <module>/lint/allow.txt when present)
+//	-json          emit findings as a JSON array on stdout
+//	-strict-allow  treat unused allowlist entries as findings (exit 1)
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load/type error.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		only      = fs.String("only", "", "comma-separated analyzers to run (default: all)")
 		disable   = fs.String("disable", "", "comma-separated analyzers to skip")
 		allowPath = fs.String("allow", "", "allowlist file (default: <module>/lint/allow.txt when present)")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array on stdout")
+		strict    = fs.Bool("strict-allow", false, "treat unused allowlist entries as findings (exit 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,26 +118,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diags = allow.Filter(root, diags)
 
-	for _, e := range allow.Unused() {
+	unused := allow.Unused()
+	severity := "warning"
+	if *strict {
+		severity = "error"
+	}
+	for _, e := range unused {
 		loc := e.Path
 		if e.Line > 0 {
 			loc = fmt.Sprintf("%s:%d", e.Path, e.Line)
 		}
-		fmt.Fprintf(stderr, "mcslint: warning: unused allowlist entry: %s %s (%s)\n", e.Analyzer, loc, e.Justification)
+		fmt.Fprintf(stderr, "mcslint: %s: unused allowlist entry: %s %s (%s)\n", severity, e.Analyzer, loc, e.Justification)
 	}
 
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
 		rel, err := filepath.Rel(root, d.Pos.Filename)
 		if err != nil {
 			rel = d.Pos.Filename
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		findings = append(findings, finding{
+			File:     filepath.ToSlash(rel),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "mcslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "mcslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
+	if *strict && len(unused) > 0 {
+		fmt.Fprintf(stderr, "mcslint: %d unused allowlist entr%s under -strict-allow\n", len(unused), pluralY(len(unused)))
+		return 1
+	}
 	return 0
+}
+
+func pluralY(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
 }
 
 func selectAnalyzers(only, disable string) ([]*analysis.Analyzer, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,7 +39,7 @@ func TestListPrintsAllAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"ctxpoll", "nopanic", "determinism", "ctxpair", "obsnames", "errchecklite"} {
+	for _, name := range []string{"ctxpoll", "nopanic", "determinism", "ctxpair", "obsnames", "errchecklite", "atomicmix", "goroutinecapture", "grouped", "faultsite", "hotalloc"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
@@ -104,7 +105,7 @@ func TestFlagErrorsExitTwo(t *testing.T) {
 		{"-only", "nopanic", "-disable", "ctxpoll"}, // mutually exclusive
 		{"-only", "nosuch"},
 		{"-disable", "nosuch"},
-		{"-disable", "ctxpoll,nopanic,determinism,ctxpair,obsnames,errchecklite"},
+		{"-disable", "ctxpoll,nopanic,determinism,ctxpair,obsnames,errchecklite,atomicmix,goroutinecapture,grouped,faultsite,hotalloc"},
 		{"-bogusflag"},
 	}
 	for _, args := range cases {
@@ -130,6 +131,64 @@ func TestAllowlistSuppressesAndWarnsUnused(t *testing.T) {
 	}
 	if strings.Contains(stderr, "unused allowlist entry: nopanic") {
 		t.Errorf("matching entry reported unused:\n%s", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint(t, "-json", "-allow", emptyAllow(t), seededPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	f := findings[0]
+	if f.Analyzer != "nopanic" || f.Line <= 0 || f.Col <= 0 ||
+		!strings.HasSuffix(f.File, "nopanic/a/a.go") || f.Message == "" {
+		t.Errorf("malformed finding: %+v", f)
+	}
+}
+
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	code, out, _ := runLint(t, "-json", "-allow", emptyAllow(t), cleanPkg)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json run should print [], got:\n%s", out)
+	}
+}
+
+func TestStrictAllowFailsOnUnusedEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow.txt")
+	allow := "determinism internal/analysis/testdata/src/nopanic/mainpkg/main.go stale entry that matches nothing\n"
+	if err := os.WriteFile(path, []byte(allow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runLint(t, "-strict-allow", "-allow", path, cleanPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 under -strict-allow; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "error: unused allowlist entry") {
+		t.Errorf("unused entry not escalated to error:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "unused allowlist entr") {
+		t.Errorf("missing strict summary:\n%s", stderr)
+	}
+
+	// The same stale entry without the flag stays a warning.
+	if code, _, _ := runLint(t, "-allow", path, cleanPkg); code != 0 {
+		t.Errorf("exit = %d, want 0 without -strict-allow", code)
 	}
 }
 

@@ -42,12 +42,45 @@ func TestErrCheckLite(t *testing.T) {
 	analysistest.Run(t, analysis.ErrCheckLite, "testdata/src/errchecklite/a")
 }
 
-// TestRegistry pins the analyzer catalogue: the issue contract is at
-// least six project-specific analyzers, addressable by name.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "testdata/src/atomicmix/a")
+}
+
+func TestGoroutineCapture(t *testing.T) {
+	analysistest.Run(t, analysis.GoroutineCapture, "testdata/src/goroutinecapture/a")
+}
+
+// TestGoroutineCaptureDisjoint pins the canonical chunked-write shape:
+// workers writing bounds[w]:bounds[w+1] ranges must NOT be flagged.
+func TestGoroutineCaptureDisjoint(t *testing.T) {
+	analysistest.RunClean(t, analysis.GoroutineCapture, "testdata/src/goroutinecapture/disjoint")
+}
+
+func TestGrouped(t *testing.T) {
+	analysistest.Run(t, analysis.Grouped, "testdata/src/grouped/a")
+}
+
+func TestFaultSite(t *testing.T) {
+	analysistest.Run(t, analysis.FaultSite, "testdata/src/faultsite/a")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "testdata/src/hotalloc/a")
+}
+
+// TestHotAllocColdPaths pins the CFG exemptions: allocations on paths
+// that do not re-reach the loop head (early return, labeled break) and
+// loops that are not data-bound stay clean.
+func TestHotAllocColdPaths(t *testing.T) {
+	analysistest.RunClean(t, analysis.HotAlloc, "testdata/src/hotalloc/cold")
+}
+
+// TestRegistry pins the analyzer catalogue: the issue contract is
+// eleven project-specific analyzers, addressable by name.
 func TestRegistry(t *testing.T) {
 	all := analysis.All()
-	if len(all) < 6 {
-		t.Fatalf("All() = %d analyzers, want >= 6", len(all))
+	if len(all) < 11 {
+		t.Fatalf("All() = %d analyzers, want >= 11", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -65,7 +98,10 @@ func TestRegistry(t *testing.T) {
 	if analysis.ByName("nosuch") != nil {
 		t.Errorf("ByName(nosuch) = non-nil")
 	}
-	for _, want := range []string{"ctxpoll", "nopanic", "determinism", "ctxpair", "obsnames", "errchecklite"} {
+	for _, want := range []string{
+		"ctxpoll", "nopanic", "determinism", "ctxpair", "obsnames", "errchecklite",
+		"atomicmix", "goroutinecapture", "grouped", "faultsite", "hotalloc",
+	} {
 		if !seen[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}

@@ -1,0 +1,529 @@
+// Package cfg builds intraprocedural control-flow graphs over Go
+// function bodies and runs forward dataflow analyses on them, giving
+// the mcslint analyzers flow-sensitive answers the plain AST walks of
+// PR 4 could not provide: "which variables are length-derived *at this
+// loop*", "is some mutex definitely held *at this access*", "which
+// definitions of this slice reach *this append*".
+//
+// Like the rest of internal/analysis the package is stdlib-only
+// (go/ast + go/token + go/types); it deliberately reimplements the
+// small slice of golang.org/x/tools/go/cfg the analyzers need rather
+// than importing it.
+//
+// The graph is a conventional basic-block CFG:
+//
+//   - statements are appended in execution order to the current block;
+//   - if/for/range/switch/type-switch/select split blocks and wire
+//     branch edges, including labeled break/continue, goto (forward
+//     and backward), and fallthrough;
+//   - return (and calls to panic) edge to the single Exit block;
+//   - a defer statement is recorded at its registration point, like a
+//     call — the gen-only analyses built here need its effects to be
+//     visible somewhere on every path through it, and registration
+//     order is the conservative choice;
+//   - function literals are opaque: a FuncLit is part of the node that
+//     contains it and gets no blocks of its own. Analyses that must
+//     see closure bodies (the len-taint) walk the containing node with
+//     ast.Inspect, which descends into the literal at its creation
+//     point.
+//
+// Unreachable statements (after return/goto/panic) land in fresh
+// blocks with no predecessors; dataflow never visits them and queries
+// against them fall back to each analysis's conservative answer.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Block is one basic block: a maximal sequence of nodes with a
+// single entry at the top, plus its successor and predecessor edges.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, in construction
+	// order (entry first, exit last).
+	Index int
+	// Kind is a human-readable tag for dumps and tests: "entry",
+	// "exit", "body", "if.then", "for.head", "select.case", ...
+	Kind string
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Control statements contribute their
+	// sub-expressions, not themselves: an IfStmt's Cond appears in the
+	// block that evaluates it, a ForStmt's Cond in the loop-head
+	// block, a RangeStmt appears as itself in its head block (the
+	// range expression is evaluated there, once per iteration for the
+	// per-element assignment).
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// A Graph is the CFG of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+
+	// nodeBlock maps every node placed in the graph — and every loop
+	// statement to its head block — so analyses can answer queries at
+	// a program point.
+	nodeBlock map[ast.Node]*Block
+}
+
+// BlockOf returns the block holding n: the block n was appended to as
+// a statement or control expression, or — for a ForStmt/RangeStmt —
+// the loop-head block where its condition is evaluated. It returns nil
+// for nodes the graph does not place directly (sub-expressions,
+// statements inside function literals); callers fall back to a
+// conservative whole-function answer for those.
+func (g *Graph) BlockOf(n ast.Node) *Block { return g.nodeBlock[n] }
+
+// NodeAt resolves the innermost placed node whose span contains n —
+// the placed statement an arbitrary sub-expression executes within —
+// or nil when no placed node contains it (the expression lives in a
+// function literal, which gets its own graph). Spans nest strictly, so
+// the innermost hit is unique and the map iteration is
+// order-independent.
+func (g *Graph) NodeAt(n ast.Node) ast.Node {
+	var hit ast.Node
+	for placed := range g.nodeBlock {
+		if placed.Pos() <= n.Pos() && n.End() <= placed.End() {
+			if hit == nil || (hit.Pos() <= placed.Pos() && placed.End() <= hit.End()) {
+				hit = placed
+			}
+		}
+	}
+	return hit
+}
+
+// Reaches reports whether to is reachable from from along successor
+// edges (including from == to via a cycle, but not trivially:
+// Reaches(b, b) is true only when b lies on a cycle). hotalloc uses it
+// to tell a hot allocation (its block re-reaches the loop head) from a
+// cold early-exit path.
+func (g *Graph) Reaches(from, to *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	work := append([]*Block(nil), from.Succs...)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == to {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		work = append(work, b.Succs...)
+	}
+	return false
+}
+
+// String renders the graph for tests and debugging: one line per
+// block, "b0(entry) -> b1(body) b4(exit)".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%v ->", b)
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %v", s)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// New builds the CFG of body. A nil body yields a two-block graph
+// (entry -> exit), so callers need not special-case bodyless declarations.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:       &Graph{nodeBlock: map[ast.Node]*Block{}},
+		labeled: map[string]*labelTargets{},
+		gotos:   map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = &Block{Kind: "exit"}
+	b.current = b.newBlock("body")
+	b.g.Entry.connect(b.current)
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.current.connect(b.g.Exit)
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// labelTargets records where a labeled statement's break, continue,
+// and goto land.
+type labelTargets struct {
+	breakTo    *Block // set for labeled loops, switches, selects
+	continueTo *Block // set for labeled loops
+}
+
+type builder struct {
+	g       *Graph
+	current *Block
+
+	// frames is the stack of enclosing breakable/continuable
+	// statements, innermost last.
+	frames []frame
+
+	// labeled maps an active label to its break/continue targets while
+	// the labeled statement is being built.
+	labeled map[string]*labelTargets
+
+	// gotos maps a label name to the block execution resumes in when
+	// jumping to it. Created on first reference (forward goto) or when
+	// the labeled statement is reached, whichever comes first.
+	gotos map[string]*Block
+}
+
+type frame struct {
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (from *Block) connect(to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends n to the current block and indexes it.
+func (b *builder) add(n ast.Node) {
+	b.current.Nodes = append(b.current.Nodes, n)
+	b.g.nodeBlock[n] = b.current
+}
+
+// startUnreachable opens a fresh block with no predecessors for code
+// after a jump.
+func (b *builder) startUnreachable() {
+	b.current = b.newBlock("unreachable")
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// gotoBlock returns (creating on demand) the block a goto to label
+// jumps to.
+func (b *builder) gotoBlock(label string) *Block {
+	if blk, ok := b.gotos[label]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + label)
+	b.gotos[label] = blk
+	return blk
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, nil)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, nil)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, nil)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, nil)
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.current.connect(b.g.Exit)
+		b.startUnreachable()
+
+	default:
+		// Plain statement: assignment, declaration, expression, send,
+		// inc/dec, go, defer, empty. A call to the panic builtin
+		// terminates the path like a return; the syntactic check is
+		// deliberate (no type info here) and a shadowed panic only
+		// costs precision, not soundness, for gen-only analyses.
+		b.add(s)
+		if es, ok := s.(*ast.ExprStmt); ok && isPanicCall(es.X) {
+			b.current.connect(b.g.Exit)
+			b.startUnreachable()
+		}
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	condBlock := b.current
+
+	join := b.newBlock("if.join")
+
+	b.current = b.newBlock("if.then")
+	condBlock.connect(b.current)
+	b.stmtList(s.Body.List)
+	b.current.connect(join)
+
+	if s.Else != nil {
+		b.current = b.newBlock("if.else")
+		condBlock.connect(b.current)
+		b.stmt(s.Else)
+		b.current.connect(join)
+	} else {
+		condBlock.connect(join)
+	}
+	b.current = join
+}
+
+// forStmt builds a ForStmt. label carries the targets record of an
+// enclosing LabeledStmt, so `continue L`/`break L` resolve.
+func (b *builder) forStmt(s *ast.ForStmt, label *labelTargets) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.current.connect(head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.g.nodeBlock[s.Cond] = head
+	}
+	// The loop statement itself resolves to its head block.
+	b.g.nodeBlock[s] = head
+
+	after := b.newBlock("for.after")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.g.nodeBlock[s.Post] = post
+		post.connect(head)
+	}
+	if label != nil {
+		label.breakTo, label.continueTo = after, post
+	}
+
+	if s.Cond != nil {
+		head.connect(after)
+	}
+	b.current = b.newBlock("for.body")
+	head.connect(b.current)
+	b.frames = append(b.frames, frame{breakTo: after, continueTo: post})
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.current.connect(post)
+	b.current = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label *labelTargets) {
+	head := b.newBlock("range.head")
+	b.current.connect(head)
+	head.Nodes = append(head.Nodes, s)
+	b.g.nodeBlock[s] = head
+
+	after := b.newBlock("range.after")
+	head.connect(after)
+	if label != nil {
+		label.breakTo, label.continueTo = after, head
+	}
+
+	b.current = b.newBlock("range.body")
+	head.connect(b.current)
+	b.frames = append(b.frames, frame{breakTo: after, continueTo: head})
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.current.connect(head)
+	b.current = after
+}
+
+// switchStmt covers both expression and type switches: exactly one of
+// tag (expression switch) and assign (type switch) is non-nil, and
+// either may be absent for a bare switch.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label *labelTargets) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.current
+	join := b.newBlock("switch.join")
+	if label != nil {
+		label.breakTo = join
+	}
+
+	// First pass: one block per case clause so fallthrough can target
+	// the lexically next clause before it is built.
+	var clauses []*ast.CaseClause
+	var caseBlocks []*Block
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		caseBlocks = append(caseBlocks, b.newBlock("switch.case"))
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		head.connect(caseBlocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.current = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.frames = append(b.frames, frame{breakTo: join})
+		fellThrough := false
+		for _, cs := range cc.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(caseBlocks) {
+					b.current.connect(caseBlocks[i+1])
+				}
+				fellThrough = true
+				b.startUnreachable()
+				continue
+			}
+			b.stmt(cs)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if !fellThrough || b.current.Kind != "unreachable" {
+			b.current.connect(join)
+		}
+	}
+	if !hasDefault {
+		head.connect(join)
+	}
+	b.current = join
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label *labelTargets) {
+	head := b.current
+	join := b.newBlock("select.join")
+	if label != nil {
+		label.breakTo = join
+	}
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		b.current = b.newBlock("select.case")
+		head.connect(b.current)
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.frames = append(b.frames, frame{breakTo: join})
+		b.stmtList(cc.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.current.connect(join)
+	}
+	// A select with no default blocks until a case fires; every path
+	// still flows through a case, so no head -> join edge exists (and
+	// an empty select{} blocks forever: join is unreachable, which is
+	// exact).
+	b.current = join
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	// The label's goto landing block: execution falls through into it
+	// as well.
+	lb := b.gotoBlock(name)
+	b.current.connect(lb)
+	b.current = lb
+
+	lt := &labelTargets{}
+	b.labeled[name] = lt
+	defer delete(b.labeled, name)
+
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, lt)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, lt)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner.Init, inner.Tag, nil, inner.Body, lt)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(inner.Init, nil, inner.Assign, inner.Body, lt)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, lt)
+	default:
+		b.stmt(inner)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if lt := b.labeled[s.Label.Name]; lt != nil && lt.breakTo != nil {
+				b.current.connect(lt.breakTo)
+			}
+		} else if len(b.frames) > 0 {
+			b.current.connect(b.frames[len(b.frames)-1].breakTo)
+		}
+		b.startUnreachable()
+	case token.CONTINUE:
+		if s.Label != nil {
+			if lt := b.labeled[s.Label.Name]; lt != nil && lt.continueTo != nil {
+				b.current.connect(lt.continueTo)
+			}
+		} else {
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				if b.frames[i].continueTo != nil {
+					b.current.connect(b.frames[i].continueTo)
+					break
+				}
+			}
+		}
+		b.startUnreachable()
+	case token.GOTO:
+		if s.Label != nil {
+			b.current.connect(b.gotoBlock(s.Label.Name))
+		}
+		b.startUnreachable()
+	case token.FALLTHROUGH:
+		// Handled inside switchStmt; one outside a switch is a parse
+		// error upstream. Treat as no-op.
+	}
+}

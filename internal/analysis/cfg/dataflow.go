@@ -1,0 +1,142 @@
+package cfg
+
+import "go/types"
+
+// A Fact is one analysis's value at a program point. Implementations
+// must treat both the receiver and the argument of Meet as immutable —
+// the engine shares one out-fact across all of a block's successors —
+// and Meet must be monotone (repeated meets converge) for the worklist
+// to terminate.
+type Fact[F any] interface {
+	// Meet combines the fact flowing in along one more edge with the
+	// value accumulated so far, returning the combined fact: union for
+	// may-analyses (reaching definitions, taint), intersection for
+	// must-analyses (held locks).
+	Meet(other F) F
+	// Equal reports whether two facts are the same lattice value, so
+	// the engine can stop re-queueing.
+	Equal(other F) bool
+}
+
+// Forward runs a forward worklist analysis over g and returns each
+// reachable block's in-fact. boundary is the fact at function entry;
+// transfer computes a block's out-fact from its in-fact and must be
+// monotone. Blocks the analysis never reaches (dead code, the join of
+// an empty select) have no entry in the result map — the optimistic
+// "unreached = top" initialization that makes one engine serve both
+// union and intersection meets without a universe set.
+func Forward[F Fact[F]](g *Graph, boundary F, transfer func(*Block, F) F) map[*Block]F {
+	in := map[*Block]F{g.Entry: boundary}
+	queued := make([]bool, len(g.Blocks)+1)
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, reached := in[s]
+			next := out
+			if reached {
+				next = cur.Meet(out)
+				if next.Equal(cur) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s.Index] {
+				work = append(work, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return in
+}
+
+// ObjSet is a set of typed objects with union Meet — the fact shape of
+// the may-analyses (len-taint).
+type ObjSet map[types.Object]bool
+
+// Meet returns the union of s and other without mutating either.
+func (s ObjSet) Meet(other ObjSet) ObjSet {
+	if s.contains(other) {
+		return s
+	}
+	u := make(ObjSet, len(s)+len(other))
+	for o := range s {
+		u[o] = true
+	}
+	for o := range other {
+		u[o] = true
+	}
+	return u
+}
+
+// Equal reports set equality.
+func (s ObjSet) Equal(other ObjSet) bool {
+	return len(s) == len(other) && s.contains(other)
+}
+
+func (s ObjSet) contains(other ObjSet) bool {
+	for o := range other {
+		if !s[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// with returns s plus o, copying only when needed.
+func (s ObjSet) with(o types.Object) ObjSet {
+	if s[o] {
+		return s
+	}
+	n := make(ObjSet, len(s)+1)
+	for k := range s {
+		n[k] = true
+	}
+	n[o] = true
+	return n
+}
+
+// InterSet is a set of typed objects with intersection Meet — the fact
+// shape of the must-analyses (held locks).
+type InterSet map[types.Object]bool
+
+// Meet returns the intersection of s and other without mutating either.
+func (s InterSet) Meet(other InterSet) InterSet {
+	small, big := s, other
+	if len(other) < len(s) {
+		small, big = other, s
+	}
+	keep := 0
+	for o := range small {
+		if big[o] {
+			keep++
+		}
+	}
+	if keep == len(s) {
+		return s
+	}
+	u := make(InterSet, keep)
+	for o := range small {
+		if big[o] {
+			u[o] = true
+		}
+	}
+	return u
+}
+
+// Equal reports set equality.
+func (s InterSet) Equal(other InterSet) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for o := range other {
+		if !s[o] {
+			return false
+		}
+	}
+	return true
+}

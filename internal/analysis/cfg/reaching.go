@@ -1,0 +1,163 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// DefSet maps a variable to the set of definition nodes (the placed
+// statements that last assigned it) that may reach a program point —
+// the classic reaching-definitions fact: union meet, and an
+// unconditional assignment kills prior definitions of its target.
+type DefSet map[types.Object]map[ast.Node]bool
+
+// Meet returns the per-variable union of s and other.
+func (s DefSet) Meet(other DefSet) DefSet {
+	if s.contains(other) {
+		return s
+	}
+	u := make(DefSet, len(s)+len(other))
+	for obj, defs := range s {
+		m := make(map[ast.Node]bool, len(defs))
+		for d := range defs {
+			m[d] = true
+		}
+		u[obj] = m
+	}
+	for obj, defs := range other {
+		m := u[obj]
+		if m == nil {
+			m = make(map[ast.Node]bool, len(defs))
+			u[obj] = m
+		}
+		for d := range defs {
+			m[d] = true
+		}
+	}
+	return u
+}
+
+// Equal reports deep equality.
+func (s DefSet) Equal(other DefSet) bool {
+	return len(s) == len(other) && s.contains(other) && other.contains(s)
+}
+
+func (s DefSet) contains(other DefSet) bool {
+	for obj, defs := range other {
+		mine, ok := s[obj]
+		if !ok {
+			return false
+		}
+		for d := range defs {
+			if !mine[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reaching is the result of the reaching-definitions analysis.
+type Reaching struct {
+	g    *Graph
+	info *types.Info
+	in   map[*Block]DefSet
+}
+
+// ReachingDefs runs reaching definitions over g. Definitions are
+// assignments, := declarations, var specs, ++/--, and range-clause
+// variables; writes made inside function literals are not tracked
+// (each literal gets its own graph).
+func ReachingDefs(info *types.Info, g *Graph) *Reaching {
+	r := &Reaching{g: g, info: info}
+	r.in = Forward(g, DefSet{}, func(b *Block, in DefSet) DefSet {
+		set := in
+		for _, n := range b.Nodes {
+			set = r.apply(n, set)
+		}
+		return set
+	})
+	return r
+}
+
+// DefsAt returns the definitions of obj that may reach the point just
+// before n executes, sorted by position for deterministic output. A
+// nil slice means either "no definition seen" (use before def, or obj
+// defined outside the function) or that n was not placed in the graph.
+func (r *Reaching) DefsAt(n ast.Node, obj types.Object) []ast.Node {
+	b := r.g.BlockOf(n)
+	if b == nil {
+		return nil
+	}
+	set, ok := r.in[b]
+	if !ok {
+		return nil
+	}
+	for _, node := range b.Nodes {
+		if node == n {
+			break
+		}
+		set = r.apply(node, set)
+	}
+	defs := make([]ast.Node, 0, len(set[obj]))
+	for d := range set[obj] {
+		defs = append(defs, d)
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Pos() < defs[j].Pos() })
+	return defs
+}
+
+// apply threads one placed node's definitions through the fact. The
+// whole placed node is the definition site callers get back — fine-
+// grained enough for the analyzers, which inspect the returned node.
+func (r *Reaching) apply(n ast.Node, set DefSet) DefSet {
+	define := func(id *ast.Ident) {
+		obj := r.info.Defs[id]
+		if obj == nil {
+			obj = r.info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		// Kill-and-gen: copy-on-write the outer map once per apply.
+		next := make(DefSet, len(set)+1)
+		for o, defs := range set {
+			next[o] = defs
+		}
+		next[obj] = map[ast.Node]bool{n: true}
+		set = next
+	}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				define(id)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						define(name)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			define(id)
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{x.Key, x.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				define(id)
+			}
+		}
+	}
+	return set
+}

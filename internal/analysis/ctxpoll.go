@@ -3,6 +3,8 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+
+	"repro/internal/analysis/cfg"
 )
 
 // CtxPoll enforces the pipeline's cancellation contract: a function
@@ -61,9 +63,14 @@ func runCtxPoll(pass *Pass) error {
 // separate ctxpoll subjects, visited by the outer Inspect). It carries
 // an enclosing-poll flag: once a loop's body polls, every loop nested
 // under it is chunk-bounded by that poll and exempt.
+//
+// The length-derivation taint is the CFG-based dataflow from the cfg
+// subpackage: each loop is classified against the tainted set holding
+// at its own loop head, and derivation chains of any depth are
+// tracked (the old AST pass reached two levels).
 func checkCtxFunc(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
 	info := pass.Pkg.Info
-	lenVars := collectLenVars(info, body)
+	taint := cfg.LenTaint(info, cfg.New(body))
 	var walk func(root ast.Node, polledEnclosing bool)
 	handleLoop := func(loop ast.Node, loopBody *ast.BlockStmt, dataBound, polledEnclosing bool) {
 		polls := pollsCtx(info, loopBody)
@@ -81,10 +88,10 @@ func checkCtxFunc(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
 			case *ast.FuncLit:
 				return len(ctxParams(info, x.Type)) == 0
 			case *ast.RangeStmt:
-				handleLoop(x, x.Body, rangeIsDataBound(info, x, lenVars), polledEnclosing)
+				handleLoop(x, x.Body, rangeIsDataBound(info, x, taint.At(x)), polledEnclosing)
 				return false
 			case *ast.ForStmt:
-				handleLoop(x, x.Body, forIsDataBound(info, x, lenVars), polledEnclosing)
+				handleLoop(x, x.Body, forIsDataBound(info, x, taint.At(x)), polledEnclosing)
 				return false
 			}
 			return true
@@ -93,64 +100,7 @@ func checkCtxFunc(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
 	walk(body, false)
 }
 
-// collectLenVars finds variables whose value derives from len()/cap()
-// of something, transitively through one level of reassignment per
-// pass (two passes reach the common n := len(xs); m := n/2 chains).
-func collectLenVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
-	vars := map[types.Object]bool{}
-	for pass := 0; pass < 2; pass++ {
-		ast.Inspect(body, func(n ast.Node) bool {
-			assign, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
-			}
-			tainted := false
-			for _, rhs := range assign.Rhs {
-				if mentionsLen(info, rhs, vars) {
-					tainted = true
-				}
-			}
-			if !tainted {
-				return true
-			}
-			for _, lhs := range assign.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok {
-					if obj := info.Defs[id]; obj != nil {
-						vars[obj] = true
-					} else if obj := info.Uses[id]; obj != nil {
-						vars[obj] = true
-					}
-				}
-			}
-			return true
-		})
-	}
-	return vars
-}
-
-// mentionsLen reports whether e contains a len()/cap() call or a
-// reference to a known length-derived variable.
-func mentionsLen(info *types.Info, e ast.Expr, lenVars map[types.Object]bool) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
-				if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
-					found = true
-				}
-			}
-		case *ast.Ident:
-			if obj := info.Uses[x]; obj != nil && lenVars[obj] {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-func rangeIsDataBound(info *types.Info, loop *ast.RangeStmt, lenVars map[types.Object]bool) bool {
+func rangeIsDataBound(info *types.Info, loop *ast.RangeStmt, lenVars cfg.ObjSet) bool {
 	tv, ok := info.Types[loop.X]
 	if !ok || tv.Type == nil {
 		return false
@@ -169,7 +119,7 @@ func rangeIsDataBound(info *types.Info, loop *ast.RangeStmt, lenVars map[types.O
 		// Integer-typed range: data-bound only when the bound is
 		// length-derived, mirroring the ForStmt condition rule.
 		if t.Info()&types.IsInteger != 0 {
-			return mentionsLen(info, loop.X, lenVars)
+			return cfg.MentionsLen(info, loop.X, lenVars)
 		}
 		// Strings are data.
 		return t.Info()&types.IsString != 0
@@ -178,11 +128,11 @@ func rangeIsDataBound(info *types.Info, loop *ast.RangeStmt, lenVars map[types.O
 	}
 }
 
-func forIsDataBound(info *types.Info, loop *ast.ForStmt, lenVars map[types.Object]bool) bool {
+func forIsDataBound(info *types.Info, loop *ast.ForStmt, lenVars cfg.ObjSet) bool {
 	if loop.Cond == nil {
 		return true // for {}: unbounded, must poll (or select on ctx.Done)
 	}
-	return mentionsLen(info, loop.Cond, lenVars)
+	return cfg.MentionsLen(info, loop.Cond, lenVars)
 }
 
 // pollsCtx reports whether the loop body contains a cancellation poll:

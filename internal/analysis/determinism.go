@@ -168,9 +168,19 @@ func orderedOutputIn(info *types.Info, body *ast.BlockStmt) (string, ast.Expr) {
 			op = "channel send"
 		case *ast.AssignStmt:
 			for _, lhs := range x.Lhs {
-				if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
-					op = "indexed write"
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
 				}
+				// A write into a map is keyed, not positional: every
+				// iteration order produces the same final map. Only
+				// slice/array element writes observe the order.
+				if tv, ok := info.Types[idx.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						continue
+					}
+				}
+				op = "indexed write"
 			}
 		}
 		return op == ""

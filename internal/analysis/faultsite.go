@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FaultSite enforces the fault-injection coverage contract
+// (docs/robustness.md): the chaos battery can only prove containment
+// at places the pipeline actually fires. Two rules:
+//
+//  1. every faultinject.Fire argument must be a named faultinject.<Site>
+//     constant — a string literal or local variable would silently fall
+//     outside the Sites list the test batteries iterate;
+//  2. every pipeerr.Group.Go spawn in library code must be covered by a
+//     fault site: the spawned function must reach a Fire call, either
+//     lexically or through same-package callees (a package-local
+//     call-graph fixpoint follows delegation, e.g. a merge worker whose
+//     closure calls a co-partition helper that Fires).
+//
+// Rule 2 is what keeps the chaos tests honest: a new parallel stage
+// without a site is a stage whose panic containment is never
+// exercised.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "Fire takes named site constants; every Group spawn path must reach a Fire",
+	Run:  runFaultSite,
+}
+
+func runFaultSite(pass *Pass) error {
+	info := pass.Pkg.Info
+	if strings.HasSuffix(pass.Pkg.PkgPath, "internal/faultinject") {
+		return nil // the registry itself: Fire's home, no spawns
+	}
+	// Rule 1 applies everywhere, including main packages.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFireCall(info, call) {
+				return true
+			}
+			if _, ok := fireSiteConst(info, call); !ok {
+				pass.Reportf(call.Pos(), "faultinject.Fire argument must be a named faultinject.<Site> constant so the site joins the chaos batteries")
+			}
+			return true
+		})
+	}
+	if !pass.IsLibrary() {
+		return nil
+	}
+	reach := fireReachingFuncs(info, pass.Pkg.Files)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isGroupGoCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if !spawnReachesFire(info, call.Args[len(call.Args)-1], reach) {
+				pass.Reportf(call.Pos(), "pipeerr.Group spawn is not covered by a faultinject site: the spawned path never reaches faultinject.Fire, so its containment is never chaos-tested")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFireCall recognizes a call to faultinject.Fire.
+func isFireCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	return ok && fn.Name() == "Fire" && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), "internal/faultinject")
+}
+
+// fireSiteConst resolves the Fire argument to a named string constant
+// declared in the faultinject package, returning its constant value
+// (the site name, e.g. "mergesort.chunk_sort").
+func fireSiteConst(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	c, ok := info.Uses[sel.Sel].(*types.Const)
+	if !ok || c.Pkg() == nil || !strings.HasSuffix(c.Pkg().Path(), "internal/faultinject") {
+		return "", false
+	}
+	if c.Val().Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(c.Val()), true
+}
+
+// isGroupGoCall recognizes a (*pipeerr.Group).Go spawn.
+func isGroupGoCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok || fn.Name() != "Go" || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/pipeerr") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// fireReachingFuncs computes the package-local call-graph fixpoint:
+// the set of functions declared in these files that reach a Fire call
+// — directly (a Fire anywhere in the body, closures included) or by
+// calling another fire-reaching function of the same package.
+func fireReachingFuncs(info *types.Info, files []*ast.File) map[types.Object]bool {
+	type funcFacts struct {
+		fires   bool
+		callees []types.Object
+	}
+	facts := map[types.Object]*funcFacts{}
+	var order []types.Object // declaration order, for a deterministic fixpoint sweep
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			f := &funcFacts{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isFireCall(info, call) {
+					f.fires = true
+					return true
+				}
+				if callee, ok := calleeObj(info, call).(*types.Func); ok &&
+					callee.Pkg() != nil && obj.Pkg() != nil && callee.Pkg() == obj.Pkg() {
+					f.callees = append(f.callees, callee)
+				}
+				return true
+			})
+			facts[obj] = f
+			order = append(order, obj)
+		}
+	}
+	reach := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			if reach[obj] {
+				continue
+			}
+			f := facts[obj]
+			if f.fires {
+				reach[obj] = true
+				changed = true
+				continue
+			}
+			for _, callee := range f.callees {
+				if reach[callee] {
+					reach[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// spawnReachesFire reports whether the function value spawned by a
+// Group.Go call reaches a Fire: a function literal that Fires lexically
+// or calls a fire-reaching same-package function, or a named function
+// in the reach set.
+func spawnReachesFire(info *types.Info, arg ast.Expr, reach map[types.Object]bool) bool {
+	switch fn := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFireCall(info, call) || reach[calleeObj(info, call)] {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	case *ast.Ident:
+		return reach[info.Uses[fn]]
+	case *ast.SelectorExpr:
+		return reach[info.Uses[fn.Sel]]
+	}
+	return false
+}
+
+// FiredSites returns the site names (the faultinject constants' string
+// values) passed to faultinject.Fire anywhere in pkgs, deduplicated
+// and sorted. The faultinject consistency test cross-checks this
+// against faultinject.Sites, replacing a hand-rolled AST walk with the
+// analyzer's own recognition.
+func FiredSites(pkgs []*Package) []string {
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.PkgPath, "internal/faultinject") {
+			continue // the registry's own sources mention sites without firing them
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isFireCall(pkg.Info, call) {
+					return true
+				}
+				if site, ok := fireSiteConst(pkg.Info, call); ok {
+					seen[site] = true
+				}
+				return true
+			})
+		}
+	}
+	sites := make([]string, 0, len(seen))
+	for s := range seen {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	return sites
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Grouped enforces the spawn discipline behind the pipeline's
+// no-process-crash contract: library code may not start goroutines
+// with a bare `go` statement. An uncontained goroutine that panics —
+// a poisoned chunk, an injected fault, a nil map — takes the whole
+// server down; the chaos battery (docs/robustness.md) exists to prove
+// that cannot happen. The two sanctioned spawn paths both recover:
+//
+//   - pipeerr.Group.Go for worker pools (panic → *PipelineError,
+//     siblings cancelled, query fails, process lives);
+//   - pipeerr.Spawn for fire-and-forget goroutines (job runners,
+//     watchdog loops, shutdown waiters).
+//
+// Package pipeerr itself is exempt — it is the containment layer and
+// necessarily holds the raw `go` statements everyone else delegates
+// to. Main packages (cmd/) are exempt: a crash there takes down only
+// the one process the user is already watching.
+var Grouped = &Analyzer{
+	Name: "grouped",
+	Doc:  "library goroutines must spawn via pipeerr.Group.Go or pipeerr.Spawn, not bare go statements",
+	Run:  runGrouped,
+}
+
+func runGrouped(pass *Pass) error {
+	if !pass.IsLibrary() {
+		return nil
+	}
+	if strings.HasSuffix(pass.Pkg.PkgPath, "internal/pipeerr") {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "bare go statement in library code: spawn through pipeerr.Group.Go (worker pools) or pipeerr.Spawn (fire-and-forget) so a panic cannot crash the process")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// hotPackages are the package-path suffixes whose loops are the
+// paper's measured kernels: a per-element allocation there is a
+// throughput regression, not a style issue. Other files opt in with a
+// `//mcs:hot` comment line.
+var hotPackages = []string{
+	"internal/mergesort",
+	"internal/mcsort",
+	"internal/massage",
+	"internal/byteslice",
+	"internal/engine",
+}
+
+// HotAlloc flags per-element allocations inside data-length-bound
+// loops of hot packages — the sort/merge/massage kernels whose
+// throughput the paper's experiments measure. Three allocation shapes
+// are caught, each a pattern that has actually cost sorters an order
+// of magnitude:
+//
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf per element (one alloc plus
+//     reflection each iteration);
+//   - append to a slice none of whose reaching definitions carries a
+//     capacity (make with two args, a bare literal, a plain var) — the
+//     backing array reallocates O(log n) times and copies O(n log n)
+//     bytes;
+//   - an explicit conversion to an interface type (boxing) per
+//     element.
+//
+// A loop is data-bound by the same CFG length-taint rule ctxpoll uses.
+// Cold paths inside hot loops are exempt: an allocation whose basic
+// block does not re-reach the loop head (an early return, a break out
+// of the loop) runs at most once per loop, not once per element —
+// error formatting in a bounds-check branch stays legal.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-element allocations in data-bound loops of hot packages",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	if !pass.IsLibrary() {
+		return nil
+	}
+	hotPkg := false
+	for _, suffix := range hotPackages {
+		if strings.HasSuffix(pass.Pkg.PkgPath, suffix) {
+			hotPkg = true
+			break
+		}
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if !hotPkg && !hasHotDirective(file) {
+			continue
+		}
+		forEachFuncUnit(file, func(body *ast.BlockStmt) {
+			checkHotUnit(pass, info, body)
+		})
+	}
+	return nil
+}
+
+// hasHotDirective reports whether file carries a `//mcs:hot` comment.
+func hasHotDirective(file *ast.File) bool {
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			if strings.TrimSpace(c.Text) == "//mcs:hot" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dataLoop is one data-bound loop of the unit under check: the loop
+// statement (for its span) and its head block (for the hot-path test).
+type dataLoop struct {
+	stmt ast.Node
+	head *cfg.Block
+}
+
+func checkHotUnit(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	taint := cfg.LenTaint(info, g)
+	var loops []dataLoop
+	inspectUnit(body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if rangeIsDataBound(info, x, taint.At(x)) {
+				loops = append(loops, dataLoop{stmt: x, head: g.BlockOf(x)})
+			}
+		case *ast.ForStmt:
+			if forIsDataBound(info, x, taint.At(x)) {
+				loops = append(loops, dataLoop{stmt: x, head: g.BlockOf(x)})
+			}
+		}
+	})
+	if len(loops) == 0 {
+		return
+	}
+	// hotIn resolves the innermost enclosing data-bound loop of n and
+	// reports whether n's block re-reaches that loop's head — i.e. the
+	// allocation runs once per element, not once per loop.
+	hotIn := func(n ast.Node) bool {
+		var inner *dataLoop
+		for i := range loops {
+			l := &loops[i]
+			if l.stmt.Pos() < n.Pos() && n.End() <= l.stmt.End() {
+				if inner == nil || inner.stmt.Pos() <= l.stmt.Pos() {
+					inner = l
+				}
+			}
+		}
+		if inner == nil || inner.head == nil {
+			return false
+		}
+		placed := g.NodeAt(n)
+		if placed == nil {
+			return false
+		}
+		b := g.BlockOf(placed)
+		if b == nil {
+			return false
+		}
+		return g.Reaches(b, inner.head)
+	}
+	rd := cfg.ReachingDefs(info, g)
+	inspectUnit(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		switch {
+		case isFmtAllocCall(info, call):
+			if hotIn(call) {
+				name := ast.Unparen(call.Fun).(*ast.SelectorExpr).Sel.Name
+				pass.Reportf(call.Pos(), "fmt.%s allocates (and reflects) once per element of a data-bound loop; build the value with strconv or byte appends outside the kernel", name)
+			}
+		case isBuiltinAppend(info, call):
+			if obj, growing := appendWithoutCapacity(info, g, rd, call); growing && hotIn(call) {
+				pass.Reportf(call.Pos(), "append to %s grows per element in a data-bound loop and none of its definitions preallocates; make(..., 0, n) before the loop", obj.Name())
+			}
+		case isInterfaceBoxing(info, call):
+			if hotIn(call) {
+				pass.Reportf(call.Pos(), "conversion to %s boxes a value once per element of a data-bound loop; keep the kernel monomorphic and convert outside", types.ExprString(call.Fun))
+			}
+		}
+	})
+}
+
+// isFmtAllocCall recognizes the per-call-allocating fmt constructors.
+func isFmtAllocCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if !objFromPkg(obj, "fmt") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Sprint", "Sprintln", "Errorf":
+		return true
+	}
+	return false
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendWithoutCapacity decides whether call appends to a variable
+// none of whose reaching definitions preallocates. Loop-carried
+// `s = append(s, ...)` definitions are ignored (they are the growth
+// being judged, not a preallocation); among the rest, a make with a
+// capacity argument or any opaque producer (a call, a parameter with
+// no visible definition) exempts the append.
+func appendWithoutCapacity(info *types.Info, g *cfg.Graph, rd *cfg.Reaching, call *ast.CallExpr) (types.Object, bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	placed := g.NodeAt(call)
+	if placed == nil {
+		return nil, false
+	}
+	fresh := 0 // non-append definitions seen
+	for _, def := range rd.DefsAt(placed, obj) {
+		rhs := defRHS(def, obj, info)
+		if rhs == nil {
+			fresh++ // `var s []T`: nil slice, zero capacity
+			continue
+		}
+		if inner, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if isBuiltinAppend(info, inner) {
+				continue // loop-carried growth, not a preallocation
+			}
+			if id, ok := ast.Unparen(inner.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+					if len(inner.Args) >= 3 {
+						return nil, false // capacity given
+					}
+					fresh++
+					continue
+				}
+			}
+			return nil, false // opaque producer: assume it sized the slice
+		}
+		if lit, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok && len(lit.Elts) == 0 {
+			fresh++
+			continue
+		}
+		return nil, false // copied from elsewhere: capacity unknown
+	}
+	return obj, fresh > 0
+}
+
+// defRHS extracts the right-hand side that def assigns to obj, or nil
+// when def carries no initializer for it (`var s []T`, a range clause).
+func defRHS(def ast.Node, obj types.Object, info *types.Info) ast.Expr {
+	resolve := func(id *ast.Ident) types.Object {
+		if o := info.Defs[id]; o != nil {
+			return o
+		}
+		return info.Uses[id]
+	}
+	switch x := def.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range x.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || resolve(id) != obj {
+				continue
+			}
+			if len(x.Lhs) == len(x.Rhs) {
+				return x.Rhs[i]
+			}
+			if len(x.Rhs) == 1 {
+				return x.Rhs[0]
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if resolve(name) == obj && i < len(vs.Values) {
+					return vs.Values[i]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isInterfaceBoxing recognizes an explicit conversion of a concrete
+// value to an interface type: any(v), io.Reader(f), ...
+func isInterfaceBoxing(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return false
+	}
+	if argTV.IsNil() {
+		return false
+	}
+	_, argIface := argTV.Type.Underlying().(*types.Interface)
+	return !argIface
+}

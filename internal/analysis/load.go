@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one loaded, parsed, and type-checked package.
@@ -39,7 +40,17 @@ type Package struct {
 // import paths are resolved against the module directory; everything
 // else (the standard library) is type-checked from GOROOT source via
 // go/importer's "source" compiler, so no export data or external
-// tooling is needed. Loads are memoized per directory.
+// tooling is needed. Loads are memoized per directory, and loaders
+// themselves are memoized per module root (NewLoader returns the same
+// instance for the same root), so repeated pattern loads in one
+// process — the analyzer golden tests, a driver invoked per pattern —
+// type-check the module and the standard library once. The cost that
+// matters is the stdlib: the source importer re-checks fmt and its
+// transitive closure from GOROOT source, which dwarfs the module's own
+// packages.
+//
+// Loaders are not safe for concurrent use; callers serialize (the
+// driver and the tests are single-goroutine).
 //
 // Test files (_test.go) are never loaded: the analyzers' contracts
 // exempt test code, and skipping them keeps every loaded directory a
@@ -54,30 +65,53 @@ type Loader struct {
 	loading map[string]bool
 }
 
-// NewLoader creates a loader rooted at moduleDir, which must contain a
-// go.mod naming the module.
+var (
+	loaderMu    sync.Mutex
+	loaderCache = map[string]*Loader{} // keyed by absolute module root
+
+	// sharedFset and sharedStd back every loader: one file set keeps
+	// positions from cached packages valid everywhere, and one source
+	// importer type-checks each stdlib package at most once per process.
+	sharedFset *token.FileSet
+	sharedStd  types.ImporterFrom
+)
+
+// NewLoader returns the loader rooted at moduleDir, which must contain
+// a go.mod naming the module. Loaders are cached per module root:
+// calling NewLoader twice with the same root returns the same
+// instance, with every package it already type-checked still warm.
 func NewLoader(moduleDir string) (*Loader, error) {
 	abs, err := filepath.Abs(moduleDir)
 	if err != nil {
 		return nil, err
 	}
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if l, ok := loaderCache[abs]; ok {
+		return l, nil
+	}
 	modPath, err := modulePathOf(abs)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
-	if !ok {
-		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	if sharedFset == nil {
+		sharedFset = token.NewFileSet()
+		std, ok := importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+		if !ok {
+			return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+		}
+		sharedStd = std
 	}
-	return &Loader{
+	l := &Loader{
 		ModuleDir:  abs,
 		ModulePath: modPath,
-		fset:       fset,
-		std:        std,
+		fset:       sharedFset,
+		std:        sharedStd,
 		pkgs:       map[string]*Package{},
 		loading:    map[string]bool{},
-	}, nil
+	}
+	loaderCache[abs] = l
+	return l, nil
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing

@@ -93,8 +93,8 @@ func TestExpandPatterns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sub) != 2 { // analysis + analysistest; testdata skipped
-		t.Errorf("Expand(./internal/analysis/...) = %v, want 2 dirs", sub)
+	if len(sub) != 3 { // analysis + analysistest + cfg; testdata skipped
+		t.Errorf("Expand(./internal/analysis/...) = %v, want 3 dirs", sub)
 	}
 
 	if _, err := Expand(l.ModuleDir, []string{"./no/such/dir"}); err == nil {

@@ -10,6 +10,11 @@ func All() []*Analyzer {
 		CtxPair,
 		ObsNames,
 		ErrCheckLite,
+		AtomicMix,
+		GoroutineCapture,
+		Grouped,
+		FaultSite,
+		HotAlloc,
 	}
 }
 

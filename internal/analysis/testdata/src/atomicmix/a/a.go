@@ -1,0 +1,59 @@
+// Package a is the atomicmix golden fixture: variables touched by
+// sync/atomic free functions on one side and plain loads/stores on the
+// other, with the mutex and composite-literal exemptions.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var hits uint64
+
+// Bump is the atomic side: sanctioned.
+func Bump() { atomic.AddUint64(&hits, 1) }
+
+// Read mixes a plain load with the atomic writer.
+func Read() uint64 {
+	return hits // want `hits is accessed with sync/atomic elsewhere`
+}
+
+// Reset mixes a plain store.
+func Reset() {
+	hits = 0 // want `hits is accessed with sync/atomic elsewhere`
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+// lockedRead holds the mutex on every path to the access: sanctioned.
+func (c *counter) lockedRead() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// gotoUnlock: the access before the label is under the lock on every
+// path; the one after the unlock is plain. (CFG edge case: goto.)
+func (c *counter) gotoUnlock(skip bool) int64 {
+	var v int64
+	c.mu.Lock()
+	if skip {
+		goto done
+	}
+	v = c.n
+done:
+	c.mu.Unlock()
+	v += c.n // want `n is accessed with sync/atomic elsewhere`
+	return v
+}
+
+// fresh names the field in a composite literal: a key, not an access.
+func fresh() *counter { return &counter{n: 0} }
+
+// atomicLoad reads through the sanctioned path.
+func (c *counter) atomicLoad() int64 { return atomic.LoadInt64(&c.n) }

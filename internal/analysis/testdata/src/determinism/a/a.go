@@ -62,6 +62,17 @@ func Fill(m map[int]int, out []int) {
 	}
 }
 
+// Invert writes into a map while ranging over another: keyed writes
+// are order-independent (every iteration order builds the same map),
+// so this is clean.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
 // Stamp reads the wall clock in library code.
 func Stamp() int64 {
 	return time.Now().UnixNano() // want `time\.Now in library code`

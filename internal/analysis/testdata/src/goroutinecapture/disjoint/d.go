@@ -1,0 +1,84 @@
+// Package disjoint pins the repo's canonical chunked-write kernel
+// shape — each worker owns out[bounds[w]:bounds[w+1]] and writes
+// nothing else — which must never be flagged: the disjointness proof
+// is the whole point of the pattern, and a lint that cries wolf on it
+// would be allowlisted into irrelevance.
+package disjoint
+
+import "sync"
+
+// Chunked derives the worker's range from the captured per-iteration
+// loop variable: lo, hi, and i are all worker-distinct.
+func Chunked(out []int, bounds []int, f func(int) int) {
+	var wg sync.WaitGroup
+	workers := len(bounds) - 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, hi := bounds[w], bounds[w+1]
+			for i := lo; i < hi; i++ {
+				out[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ChunkedParam passes the worker index as a parameter instead of
+// capturing it; the derivation chain is the same.
+func ChunkedParam(out []float64, bounds []int) {
+	var wg sync.WaitGroup
+	for w := 0; w < len(bounds)-1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := bounds[w]; i < bounds[w+1]; i++ {
+				out[i] = float64(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Shadowed is the pre-go1.22 idiom the kernels still carry: the loop
+// body re-declares the chunk bounds (`lo, hi, w := lo, hi, w`) and the
+// closure captures the shadows. The derivation fixpoint runs over the
+// enclosing loop body too, so the shadows inherit distinctness.
+func Shadowed(dst, src []int, n, chunk int) {
+	var wg sync.WaitGroup
+	worker := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo, hi, worker := lo, hi, worker
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = worker
+			for i := lo; i < hi; i++ {
+				dst[i] = src[i]
+			}
+		}()
+		worker++
+	}
+	wg.Wait()
+}
+
+// Strided is the other disjoint idiom: worker w writes i = w, w+W,
+// w+2W, ... — i starts from the distinct index and stays distinct.
+func Strided(out []int, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(out); i += workers {
+				out[i] = i
+			}
+		}(w)
+	}
+	wg.Wait()
+}

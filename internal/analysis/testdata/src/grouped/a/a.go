@@ -1,0 +1,46 @@
+// Package a is the grouped golden fixture: bare go statements in
+// library code versus the sanctioned pipeerr spawn paths.
+package a
+
+import (
+	"context"
+
+	"repro/internal/pipeerr"
+)
+
+// Bare hands a goroutine to the runtime with no containment.
+func Bare(work func()) {
+	go work() // want `bare go statement in library code`
+}
+
+// BareClosure is no better for being a literal.
+func BareClosure(n int) {
+	go func() { // want `bare go statement in library code`
+		_ = n * 2
+	}()
+}
+
+// Pooled spawns through the containment layer: clean.
+func Pooled(ctx context.Context, parts [][]int) error {
+	g := pipeerr.NewGroup(ctx)
+	for w := range parts {
+		g.Go(pipeerr.StageSort, 0, w, func(ctx context.Context) error {
+			return ctx.Err()
+		})
+	}
+	return g.Wait()
+}
+
+// FireAndForget uses the supervised helper: clean.
+func FireAndForget(done chan struct{}) {
+	pipeerr.Spawn(pipeerr.StageServe, nil, func() {
+		close(done)
+	})
+}
+
+// NestedInLit: a bare go inside a closure is still a bare go.
+func NestedInLit() func() {
+	return func() {
+		go func() {}() // want `bare go statement in library code`
+	}
+}

@@ -1,0 +1,72 @@
+// Package a is the hotalloc golden fixture: per-element allocations in
+// data-bound loops of a hot file.
+//
+//mcs:hot
+package a
+
+import "fmt"
+
+// Format allocates per element twice over: the un-preallocated append
+// and the Sprintf.
+func Format(xs []int) []string {
+	var out []string
+	for i := 0; i < len(xs); i++ {
+		out = append(out, fmt.Sprintf("%d", xs[i])) // want `append to out grows per element` `fmt\.Sprintf allocates`
+	}
+	return out
+}
+
+// Preallocated: the make carries a capacity; the append is exempt.
+func Preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// Boxed: an explicit interface conversion boxes once per element.
+func Boxed(xs []int) []any {
+	out := make([]any, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, any(x)) // want `conversion to any boxes a value`
+	}
+	return out
+}
+
+// DeferredFormat: a defer inside the loop still evaluates its
+// arguments once per element. (CFG edge case: defer in loop.)
+func DeferredFormat(xs []int, log func(string)) {
+	for i := 0; i < len(xs); i++ {
+		defer log(fmt.Sprintf("x=%d", xs[i])) // want `fmt\.Sprintf allocates`
+	}
+}
+
+// DerivedBound: the loop bound derives from a length through a chain;
+// the CFG taint follows it.
+func DerivedBound(xs []int) []string {
+	n := len(xs)
+	half := n / 2
+	out := make([]string, 0, half)
+	for i := 0; i < half; i++ {
+		out = append(out, fmt.Sprint(xs[i])) // want `fmt\.Sprint allocates`
+	}
+	return out
+}
+
+// SkipFormat: the alloc block re-reaches the outer head through the
+// labeled continue, and the inner head through the outer cycle — hot
+// either way. (CFG edge case: labeled continue.)
+func SkipFormat(rows [][]int) []string {
+	var out []string
+rows:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				out = append(out, fmt.Sprintf("neg %d", v)) // want `append to out grows per element` `fmt\.Sprintf allocates`
+				continue rows
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// Package cold pins hotalloc's exemptions: allocations on paths that
+// leave the loop, constant-bound loops, and goto control flow — all of
+// which must stay clean.
+//
+//mcs:hot
+package cold
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EarlyReturn: the Errorf sits on a return path — it runs at most once
+// per loop, not once per element.
+func EarlyReturn(xs []int) error {
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			return fmt.Errorf("negative value at %d", i)
+		}
+	}
+	return nil
+}
+
+// LabeledBreak: the alloc block exits both loops through the labeled
+// break and never re-reaches a head. (CFG edge case: labeled break.)
+func LabeledBreak(grid [][]int) string {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v == 0 {
+				msg := fmt.Sprintf("hit %d", v)
+				_ = msg
+				break outer
+			}
+		}
+	}
+	return "done"
+}
+
+// ConstBound: a fixed trip count is not data-bound.
+func ConstBound() []string {
+	var out []string
+	for i := 0; i < 16; i++ {
+		out = append(out, fmt.Sprintf("%d", i))
+	}
+	return out
+}
+
+// Retry: a goto back edge is not a for/range loop; hotalloc ignores it
+// and the CFG fixpoint still terminates. (CFG edge case: goto.)
+func Retry(op func() error) error {
+	tries := 0
+	var err error
+retry:
+	err = op()
+	if err != nil && tries < 3 {
+		tries++
+		goto retry
+	}
+	if err != nil {
+		return errors.New("retry budget exhausted")
+	}
+	return nil
+}

@@ -1,78 +1,74 @@
 package faultinject_test
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
+	"sort"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/chaos"
 	"repro/internal/faultinject"
 )
 
-// TestSitesMatchFiredSites cross-checks the three places a fault site
-// exists: the const block + Sites slice in this package, the
-// faultinject.Fire calls in pipeline code, and the cancellation
-// battery in the _test.go files. A site registered but never fired is
-// dead weight; a site fired but missing from Sites silently escapes
-// the site-iterating cancellation tests; a site never exercised by any
-// test is an untested containment path.
+// TestSitesMatchFiredSites cross-checks the two places a fault site
+// exists: the Sites registry in this package and the faultinject.Fire
+// calls in pipeline code. A site registered but never fired is dead
+// weight; a site fired but missing from Sites silently escapes the
+// site-iterating cancellation and chaos batteries.
+//
+// Site discovery is delegated to the faultsite analyzer
+// (internal/analysis), the same type-checked walk `make lint` runs:
+// analysis.FiredSites returns the site values of every
+// faultinject.Fire call whose argument is a named faultinject.<Site>
+// constant — and the analyzer itself rejects any Fire call that is
+// not. This test only asserts set equality, so the discovery logic
+// lives in exactly one place.
 func TestSitesMatchFiredSites(t *testing.T) {
 	root := moduleRoot(t)
-	consts := siteConsts(t, root)
-
-	// Every const in the site block must be listed in Sites, exactly
-	// once, and vice versa.
-	siteSet := map[string]bool{}
-	for _, s := range faultinject.Sites {
-		if siteSet[s] {
-			t.Errorf("Sites lists %q twice", s)
-		}
-		siteSet[s] = true
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
 	}
-	valueToConst := map[string]string{}
-	for name, value := range consts {
-		if valueToConst[value] != "" {
-			t.Errorf("consts %s and %s share the value %q", name, valueToConst[value], value)
-		}
-		valueToConst[value] = name
-		if !siteSet[value] {
-			t.Errorf("const %s = %q is missing from Sites", name, value)
-		}
+	pkgs, err := loader.LoadPatterns(root, "./...")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for s := range siteSet {
-		if valueToConst[s] == "" {
-			t.Errorf("Sites entry %q has no named const", s)
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("%s: %v (type errors make site discovery unreliable)", pkg.PkgPath, terr)
 		}
 	}
 
-	fired, tested, sitesBattery := scanRepo(t, root)
-
-	// Fire sites must use the named consts (checked in scanRepo) and
-	// cover Sites in both directions.
-	for name := range consts {
-		if !fired[name] {
-			t.Errorf("registered site %s is never fired by pipeline code", name)
-		}
+	fired := analysis.FiredSites(pkgs)
+	if len(fired) == 0 {
+		t.Fatal("no faultinject.Fire sites found in pipeline code")
 	}
-	for name := range fired {
-		if _, ok := consts[name]; !ok {
-			t.Errorf("pipeline fires unregistered site faultinject.%s", name)
+
+	registered := append([]string(nil), faultinject.Sites...)
+	sort.Strings(registered)
+	for i := 1; i < len(registered); i++ {
+		if registered[i] == registered[i-1] {
+			t.Errorf("Sites lists %q twice", registered[i])
 		}
 	}
 
-	// Every site must be exercised by the test battery: either through
-	// an explicit faultinject.Set(faultinject.X, ...) or by a test that
-	// iterates faultinject.Sites (which reaches all of them).
-	if !sitesBattery {
-		for name := range consts {
-			if !tested[name] {
-				t.Errorf("site %s is not exercised by any test", name)
-			}
+	firedSet := map[string]bool{}
+	for _, s := range fired {
+		firedSet[s] = true
+	}
+	for _, s := range registered {
+		if !firedSet[s] {
+			t.Errorf("registered site %q is never fired by pipeline code", s)
+		}
+	}
+	registeredSet := map[string]bool{}
+	for _, s := range registered {
+		registeredSet[s] = true
+	}
+	for _, s := range fired {
+		if !registeredSet[s] {
+			t.Errorf("pipeline fires unregistered site %q", s)
 		}
 	}
 }
@@ -138,130 +134,4 @@ func moduleRoot(t *testing.T) string {
 		}
 		dir = parent
 	}
-}
-
-// siteConsts parses this package's sources and returns the string
-// constants of the site block, name -> value.
-func siteConsts(t *testing.T, root string) map[string]string {
-	t.Helper()
-	dir := filepath.Join(root, "internal", "faultinject")
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	consts := map[string]string{}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				gd, ok := decl.(*ast.GenDecl)
-				if !ok || gd.Tok != token.CONST {
-					continue
-				}
-				for _, spec := range gd.Specs {
-					vs, ok := spec.(*ast.ValueSpec)
-					if !ok || len(vs.Names) != len(vs.Values) {
-						continue
-					}
-					for i, name := range vs.Names {
-						lit, ok := vs.Values[i].(*ast.BasicLit)
-						if !ok || lit.Kind != token.STRING {
-							continue
-						}
-						v, err := strconv.Unquote(lit.Value)
-						if err != nil {
-							continue
-						}
-						consts[name.Name] = v
-					}
-				}
-			}
-		}
-	}
-	if len(consts) == 0 {
-		t.Fatal("no string consts found in internal/faultinject")
-	}
-	return consts
-}
-
-// scanRepo walks every .go file in the module (skipping testdata and
-// hidden directories) and collects: const names passed to
-// faultinject.Fire in non-test code, const names passed to
-// faultinject.Set in test code, and whether any test references
-// faultinject.Sites (the iterate-all battery).
-func scanRepo(t *testing.T, root string) (fired, tested map[string]bool, sitesBattery bool) {
-	t.Helper()
-	fired, tested = map[string]bool{}, map[string]bool{}
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		isTest := strings.HasSuffix(path, "_test.go")
-		file, err := parser.ParseFile(fset, path, nil, 0)
-		if err != nil {
-			return err
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.CallExpr:
-				fn, ok := x.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				pkg, ok := fn.X.(*ast.Ident)
-				if !ok || pkg.Name != "faultinject" {
-					return true
-				}
-				switch fn.Sel.Name {
-				case "Fire":
-					if isTest || len(x.Args) != 1 {
-						return true
-					}
-					arg, ok := x.Args[0].(*ast.SelectorExpr)
-					if !ok {
-						t.Errorf("%s: faultinject.Fire argument is not a faultinject.<Site> const", fset.Position(x.Pos()))
-						return true
-					}
-					fired[arg.Sel.Name] = true
-				case "Set", "SetProb":
-					if !isTest || len(x.Args) < 1 {
-						return true
-					}
-					if arg, ok := x.Args[0].(*ast.SelectorExpr); ok {
-						if id, ok := arg.X.(*ast.Ident); ok && id.Name == "faultinject" {
-							tested[arg.Sel.Name] = true
-						}
-					}
-				}
-			case *ast.SelectorExpr:
-				if isTest && x.Sel.Name == "Sites" {
-					if id, ok := x.X.(*ast.Ident); ok && id.Name == "faultinject" {
-						sitesBattery = true
-					}
-				}
-			}
-			return true
-		})
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(fired) == 0 {
-		t.Fatal("no faultinject.Fire sites found in pipeline code")
-	}
-	return fired, tested, sitesBattery
 }

@@ -100,7 +100,9 @@ func Compile(inputs []Input, outWidths []int) (*Program, error) {
 	inLo := prefixStarts(inWidths)
 	outLo := prefixStarts(outWidths)
 
-	var segs []segment
+	// Each source column contributes to at most two adjacent rounds and
+	// vice versa, so the segment count is bounded by the column counts.
+	segs := make([]segment, 0, len(inWidths)+len(outWidths))
 	for d, ow := range outWidths {
 		// Walk the source columns overlapping round d's range.
 		dLo, dHi := outLo[d], outLo[d]+ow

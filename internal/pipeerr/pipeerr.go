@@ -230,6 +230,30 @@ func (g *Group) Go(stage string, round, worker int, fn func(ctx context.Context)
 	}()
 }
 
+// Spawn runs fn on its own goroutine with last-resort panic
+// containment: a panic is recovered into a *PipelineError (with the
+// given stage, no round/worker coordinates), counted on the
+// recovered-panics counter, and handed to onPanic instead of crashing
+// the process. onPanic may be nil when the caller has nothing to
+// record. It is the sanctioned spawn path for fire-and-forget library
+// goroutines that do not belong to a worker Group — job runners,
+// watchdog loops, shutdown waiters; the mcslint grouped analyzer flags
+// bare go statements in library code, and this helper (with Group.Go)
+// is how they are spelled instead.
+func Spawn(stage string, onPanic func(*PipelineError), fn func()) {
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				obsRecoveredPanics.Inc()
+				if onPanic != nil {
+					onPanic(&PipelineError{Stage: stage, Round: -1, Worker: -1, Err: AsError(v)})
+				}
+			}
+		}()
+		fn()
+	}()
+}
+
 // fail records err as the group failure and cancels the group. A
 // non-context error (a contained panic, an injected fault) replaces a
 // previously recorded cancellation: when a poisoned worker cancels its

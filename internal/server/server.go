@@ -218,7 +218,21 @@ func (s *Server) Submit(req QueryRequest) (string, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go func() {
+	// Containment of last resort: s.run recovers pipeline panics
+	// itself, so reaching the onPanic path means the job bookkeeping
+	// panicked. Record the failure so waiters unblock instead of
+	// hanging on a job that will never settle.
+	pipeerr.Spawn(pipeerr.StageServe, func(pe *pipeerr.PipelineError) {
+		j.mu.Lock()
+		settled := j.state == JobDone || j.state == JobFailed
+		if !settled {
+			j.state, j.err = JobFailed, pe
+		}
+		j.mu.Unlock()
+		if !settled {
+			close(j.doneCh)
+		}
+	}, func() {
 		defer s.wg.Done()
 		ctx := s.baseCtx
 		var cancel context.CancelFunc
@@ -235,7 +249,7 @@ func (s *Server) Submit(req QueryRequest) (string, error) {
 		}
 		j.mu.Unlock()
 		close(j.doneCh)
-	}()
+	})
 	return j.id, nil
 }
 
@@ -321,10 +335,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.adm.close()
 
 	done := make(chan struct{})
-	go func() {
+	pipeerr.Spawn(pipeerr.StageServe, nil, func() {
+		defer close(done)
 		s.wg.Wait()
-		close(done)
-	}()
+	})
 	select {
 	case <-done:
 		s.baseCancel()

@@ -47,7 +47,14 @@ func startWatchdog(ctx context.Context, cancel context.CancelCauseFunc, floor ti
 		budget:   floor,
 		extended: make(chan struct{}, 1),
 	}
-	go w.loop(ctx)
+	// A panicking watchdog must kill its query, not the process: the
+	// loop's only job is enforcing the budget, so if it dies the query
+	// is cancelled with the panic as cause rather than running unbounded.
+	pipeerr.Spawn(pipeerr.StageServe, func(pe *pipeerr.PipelineError) {
+		cancel(pe)
+	}, func() {
+		w.loop(ctx)
+	})
 	return w
 }
 
