@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test race lint fault chaos chaos-soak fuzz-smoke smoke bench bench-regress bench-baseline
+.PHONY: test race lint fault chaos chaos-soak fuzz-smoke smoke shard-smoke bench bench-regress bench-baseline
 
 test:
 	$(GO) vet ./...
@@ -32,13 +32,15 @@ fault:
 # (docs/robustness.md). Every storm logs its seed; re-run with the same
 # seed to reproduce a failure.
 chaos:
-	$(GO) test -race -run 'TestStorm|TestWatchdog|TestBreaker|TestStatus|TestRetry|TestRetries|TestBackoff|TestSetProb|TestChaosKind' ./internal/chaos/ ./internal/server/ ./internal/client/ ./internal/faultinject/
+	$(GO) test -race -run 'TestStorm|TestWatchdog|TestBreaker|TestStatus|TestRetry|TestRetries|TestBackoff|TestSetProb|TestChaosKind|TestShardStorm|TestKilledShard' ./internal/chaos/ ./internal/server/ ./internal/client/ ./internal/faultinject/ ./internal/shard/
 
-# The 60-second acceptance storm: >= 32 clients, workers {1,4,8}, every
-# fault kind armed. Override the seed with
-# `go test -tags soak -run TestStormSoak -chaos-seed 0x... ./internal/chaos/`.
+# The acceptance storms: the single-node 60-second storm (>= 32
+# clients, workers {1,4,8}, every fault kind armed) plus the 45-second
+# cross-shard storm over a 4-shard topology. Override seeds with
+# `-chaos-seed 0x...` / `-shard-chaos-seed 0x...`.
 chaos-soak:
 	$(GO) test -tags soak -race -run TestStormSoak -timeout 10m -v ./internal/chaos/
+	$(GO) test -tags soak -race -run TestShardStormSoak -timeout 10m -v ./internal/shard/
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMergesortSort -fuzztime=30s ./internal/mergesort/
@@ -49,12 +51,20 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzQueryRequest -fuzztime=20s ./internal/server/
 	$(GO) test -fuzz=FuzzTopKMerge -fuzztime=30s ./internal/mergesort/
 	$(GO) test -fuzz=FuzzLimitQuery -fuzztime=20s ./internal/server/
+	$(GO) test -fuzz=FuzzShardMerge -fuzztime=20s ./internal/shard/
 
 # End-to-end mcsd smoke: build the daemon, start it on a small TPC-H
 # table, run one query twice (second must hit the plan cache, visible
 # on /metrics), SIGTERM, and require a clean drain (docs/serving.md).
 smoke:
 	./scripts/smoke_mcsd.sh
+
+# End-to-end sharded smoke: three shard daemons + a coordinator + an
+# unsharded oracle daemon; the coordinator's answer must be
+# byte-identical to the oracle's, and everything must drain cleanly on
+# SIGTERM (docs/sharding.md).
+shard-smoke:
+	./scripts/smoke_shards.sh
 
 # Human-readable worker-scaling numbers for the fixed 1M-row workload.
 bench:
@@ -63,7 +73,7 @@ bench:
 # CI gate: emit BENCH_pr2.json and fail on a >5% normalized
 # single-thread regression against bench/baseline_pr2.json.
 bench-regress:
-	BENCH_REGRESS=1 $(GO) test -run 'TestBenchRegression|TestBenchOVCSkewSweep|TestBenchTopK|TestBenchChaosOverhead' -v -timeout 20m .
+	BENCH_REGRESS=1 $(GO) test -run 'TestBenchRegression|TestBenchOVCSkewSweep|TestBenchTopK|TestBenchChaosOverhead|TestBenchShardOverhead' -v -timeout 20m .
 
 # Regenerate the committed baseline (run on a quiet machine).
 bench-baseline:

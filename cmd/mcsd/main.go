@@ -23,6 +23,17 @@
 //	mcsd -addr :8080 -tables tpch -model builtin \
 //	  -chaos-seed 0xC0FFEE -chaos-panic 0.001 -chaos-delay 0.01 -chaos-cancel 0.005
 //
+// PR 10 sharding (docs/sharding.md): -shard-index/-shard-count serve
+// one contiguous row range of every loaded table, and -shards turns
+// the daemon into a scatter-gather coordinator over those shards,
+// byte-identical to a single-node mcsd from the client's seat:
+//
+//	mcsd -addr :8081 -tables tpch -model builtin -shard-index 0 -shard-count 3
+//	mcsd -addr :8082 -tables tpch -model builtin -shard-index 1 -shard-count 3
+//	mcsd -addr :8083 -tables tpch -model builtin -shard-index 2 -shard-count 3
+//	mcsd -addr :8080 -tables tpch -model builtin \
+//	  -shards http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
 // Endpoints: POST /query, GET /jobs/{id}, GET /jobs/{id}/result,
 // GET /tables, GET /metrics, GET /healthz, GET /livez, GET /readyz.
 // Example session:
@@ -48,10 +59,12 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/client"
 	"repro/internal/costmodel"
 	"repro/internal/datagen"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/table"
 )
 
@@ -75,6 +88,9 @@ type options struct {
 	chaosPanic, chaosDelay float64
 	chaosCancel            float64
 	chaosMaxDelay          time.Duration
+	shards                 string
+	shardIndex, shardCount int
+	clientRetries          int
 }
 
 func main() {
@@ -101,6 +117,10 @@ func main() {
 	flag.Float64Var(&o.chaosDelay, "chaos-delay", 0, "per-site-visit injected delay probability")
 	flag.Float64Var(&o.chaosCancel, "chaos-cancel", 0, "per-site-visit forced-cancel probability (needs tracked queries; mainly for drills)")
 	flag.DurationVar(&o.chaosMaxDelay, "chaos-max-delay", 2*time.Millisecond, "upper bound of one injected delay")
+	flag.StringVar(&o.shards, "shards", "", "coordinator mode: comma-separated shard base URLs in range order (e.g. http://h1:8081,http://h2:8081)")
+	flag.IntVar(&o.shardIndex, "shard-index", -1, "shard mode: serve only rows [i*n/N,(i+1)*n/N) of every loaded table (requires -shard-count)")
+	flag.IntVar(&o.shardCount, "shard-count", 0, "shard mode: total shard count N (requires -shard-index)")
+	flag.IntVar(&o.clientRetries, "shard-retries", 4, "coordinator mode: per-shard-call retry budget after the first attempt")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "mcsd: %v\n", err)
@@ -147,6 +167,40 @@ func run(o options) error {
 		return fmt.Errorf("no tables loaded (-tables %q)", tables)
 	}
 
+	// Shard mode: every loaded table is cut down to this daemon's range
+	// before registration-visible serving begins. The coordinator
+	// derives the identical ranges from (rows, shard-count) alone.
+	if o.shardIndex >= 0 || o.shardCount > 0 {
+		if o.shards != "" {
+			return fmt.Errorf("-shards (coordinator) and -shard-index/-shard-count (shard) are mutually exclusive")
+		}
+		if o.shardIndex < 0 || o.shardCount < 1 || o.shardIndex >= o.shardCount {
+			return fmt.Errorf("-shard-index %d / -shard-count %d: need 0 <= index < count", o.shardIndex, o.shardCount)
+		}
+		sliced := server.NewRegistry()
+		for _, name := range reg.Names() {
+			t, err := reg.Lookup(name)
+			if err != nil {
+				return err
+			}
+			r := shard.Ranges(t.N, o.shardCount)[o.shardIndex]
+			st, err := shard.Slice(t, r)
+			if err != nil {
+				return err
+			}
+			if err := sliced.Register(st); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "mcsd: shard %d/%d serves %s rows [%d,%d)\n",
+				o.shardIndex, o.shardCount, st.Name, r.Lo, r.Hi)
+		}
+		reg = sliced
+	}
+
+	if o.shards != "" {
+		return runCoordinator(o, reg, m)
+	}
+
 	srv, err := server.New(server.Config{
 		Registry: reg,
 		Model:    m,
@@ -169,30 +223,79 @@ func run(o options) error {
 	}
 
 	// Fault drill: arm the seeded storm for the daemon's whole life.
-	// The seed is always printed so an incident reproduces.
-	if o.chaosSeed != 0 || o.chaosPanic > 0 || o.chaosDelay > 0 || o.chaosCancel > 0 {
-		storm := chaos.New(chaos.Config{
-			Seed:       o.chaosSeed,
-			PanicProb:  o.chaosPanic,
-			DelayProb:  o.chaosDelay,
-			CancelProb: o.chaosCancel,
-			MaxDelay:   o.chaosMaxDelay,
-		})
-		disarm := storm.Arm()
-		defer disarm()
-		fmt.Fprintf(os.Stderr, "mcsd: CHAOS ARMED seed=%#x panic=%g delay=%g cancel=%g max-delay=%v\n",
-			storm.Seed(), o.chaosPanic, o.chaosDelay, o.chaosCancel, o.chaosMaxDelay)
+	disarm := armChaos(o)
+	defer disarm()
+
+	banner := fmt.Sprintf("serving %v (max-concurrent %d, max-bytes %d)", reg.Names(), maxConcurrent, maxBytes)
+	return serveAndDrain(addr, banner, drainTimeout, srv.Handler(), srv.Shutdown)
+}
+
+// runCoordinator serves the sharded scatter-gather front: the full
+// tables stay loaded for plan pinning and merge-key lookups, but every
+// query is fanned out to the -shards daemons and gathered back
+// (docs/sharding.md).
+func runCoordinator(o options, reg *server.Registry, m *costmodel.Model) error {
+	var shards []string
+	for _, s := range strings.Split(o.shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	coord, err := shard.New(shard.Config{
+		Registry:       reg,
+		Shards:         shards,
+		Model:          m,
+		Rho:            -1,
+		MaxPlans:       o.maxPlans,
+		DefaultWorkers: o.workers,
+		PlanCacheSize:  o.planCache,
+		WatchdogMult:   o.watchdogMult,
+		WatchdogFloor:  o.watchdogFloor,
+		Client:         client.Config{MaxRetries: o.clientRetries},
+	})
+	if err != nil {
+		return err
 	}
 
+	disarm := armChaos(o)
+	defer disarm()
+
+	banner := fmt.Sprintf("coordinating %v over %d shards %v", reg.Names(), len(shards), shards)
+	return serveAndDrain(o.addr, banner, o.drainTimeout, coord.Handler(), coord.Shutdown)
+}
+
+// armChaos arms the seeded storm when any chaos flag is set and
+// returns the disarm func (a no-op otherwise). The seed is always
+// printed so an incident reproduces.
+func armChaos(o options) func() {
+	if o.chaosSeed == 0 && o.chaosPanic <= 0 && o.chaosDelay <= 0 && o.chaosCancel <= 0 {
+		return func() {}
+	}
+	storm := chaos.New(chaos.Config{
+		Seed:       o.chaosSeed,
+		PanicProb:  o.chaosPanic,
+		DelayProb:  o.chaosDelay,
+		CancelProb: o.chaosCancel,
+		MaxDelay:   o.chaosMaxDelay,
+	})
+	disarm := storm.Arm()
+	fmt.Fprintf(os.Stderr, "mcsd: CHAOS ARMED seed=%#x panic=%g delay=%g cancel=%g max-delay=%v\n",
+		storm.Seed(), o.chaosPanic, o.chaosDelay, o.chaosCancel, o.chaosMaxDelay)
+	return disarm
+}
+
+// serveAndDrain listens, serves handler, and drains on SIGINT/SIGTERM:
+// stop accepting new connections first, then give running queries the
+// drain budget before the base context cancels them.
+func serveAndDrain(addr, banner string, drainTimeout time.Duration, handler http.Handler, shutdown func(context.Context) error) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "mcsd: serving %v on %s (max-concurrent %d, max-bytes %d)\n",
-		reg.Names(), ln.Addr(), maxConcurrent, maxBytes)
+	fmt.Fprintf(os.Stderr, "mcsd: %s on %s\n", banner, ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -205,9 +308,8 @@ func run(o options) error {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	// Stop accepting new connections first, then drain queries.
 	shutdownErr := hs.Shutdown(drainCtx)
-	if err := srv.Shutdown(drainCtx); err != nil {
+	if err := shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "mcsd: drain expired, running queries cancelled: %v\n", err)
 	} else {
 		fmt.Fprintln(os.Stderr, "mcsd: drained cleanly")

@@ -84,6 +84,8 @@ var SiteKinds = map[string][]Kind{
 	faultinject.MassageChunk: {KindPanic, KindDelay, KindCancel},
 	faultinject.Gather:       {KindPanic, KindDelay, KindCancel},
 	faultinject.Aggregate:    {KindPanic, KindDelay, KindCancel},
+	faultinject.ShardFanout:  {KindPanic, KindDelay, KindCancel},
+	faultinject.ShardMerge:   {KindPanic, KindDelay, KindCancel},
 }
 
 // Config tunes a Storm. The per-kind probabilities are per site visit:

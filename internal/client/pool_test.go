@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/testutil"
+)
+
+// TestPoolBreakerPerEndpoint is the regression test for the
+// cluster-wide-breaker bug: breaker state keyed per Client but one
+// Client shared across shard addresses means one sick shard's
+// consecutive failures open the breaker for every shard. The Pool
+// keys Clients — and with them breaker and backoff state — per base
+// URL: after the sick endpoint's breaker opens, queries to it fail
+// fast with ErrBreakerOpen while the healthy endpoint keeps serving.
+func TestPoolBreakerPerEndpoint(t *testing.T) {
+	defer testutil.CheckNoLeaks(t)()
+
+	healthy := &fakeServer{t: t}
+	for i := 0; i < 16; i++ {
+		healthy.jobs = append(healthy.jobs, fakeJob{
+			id:     "ok",
+			status: server.JobStatus{ID: "ok", State: server.JobDone},
+			result: &server.QueryResult{Table: "t", Rows: 1},
+		})
+	}
+	hsHealthy := httptest.NewServer(healthy.handler())
+	defer hsHealthy.Close()
+
+	// The sick endpoint fails every submit with a non-retryable typed
+	// error, so each Query records exactly one breaker failure.
+	hsSick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]any{"error": "wedged", "kind": "pipeline", "retryable": false})
+	}))
+	defer hsSick.Close()
+
+	const threshold = 3
+	pool := NewPool(Config{
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		BreakerThreshold: threshold,
+		BreakerCooldown:  time.Minute, // stays open for the whole test
+		Seed:             7,
+	})
+	ctx := context.Background()
+
+	sick, err := pool.For(hsSick.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < threshold; i++ {
+		if _, err := sick.Query(ctx, okReq); err == nil {
+			t.Fatalf("query %d against sick endpoint succeeded", i)
+		} else if errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("query %d failed fast before the threshold", i)
+		}
+	}
+	if _, err := sick.Query(ctx, okReq); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("sick endpoint after %d failures: got %v, want ErrBreakerOpen", threshold, err)
+	}
+
+	// The healthy endpoint's Client — from the same pool, after the
+	// sick breaker opened — must not have inherited any of that state.
+	well, err := pool.For(hsHealthy.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := well.Query(ctx, okReq)
+		if err != nil {
+			t.Fatalf("healthy endpoint query %d: %v", i, err)
+		}
+		if res.Rows != 1 {
+			t.Fatalf("healthy endpoint query %d: rows = %d", i, res.Rows)
+		}
+	}
+
+	if got := pool.Endpoints(); got != 2 {
+		t.Fatalf("pool built %d clients, want 2", got)
+	}
+}
+
+// TestPoolMemoizesPerEndpoint: the same base URL gets the same Client
+// (shared breaker state is the point), distinct URLs get distinct
+// Clients with distinct jitter streams.
+func TestPoolMemoizesPerEndpoint(t *testing.T) {
+	pool := NewPool(Config{Seed: 7})
+	a1, err := pool.For("http://127.0.0.1:18091")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := pool.For("http://127.0.0.1:18091")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("same endpoint produced two Clients")
+	}
+	b, err := pool.For("http://127.0.0.1:18092")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a1 {
+		t.Fatal("distinct endpoints share a Client")
+	}
+	if a1.cfg.Seed == b.cfg.Seed {
+		t.Fatalf("distinct endpoints share jitter seed %#x", a1.cfg.Seed)
+	}
+	if a1.cfg.BaseURL != "http://127.0.0.1:18091" || b.cfg.BaseURL != "http://127.0.0.1:18092" {
+		t.Fatalf("BaseURL not set per endpoint: %q, %q", a1.cfg.BaseURL, b.cfg.BaseURL)
+	}
+}

@@ -175,6 +175,17 @@ type Options struct {
 	SortParams *mergesort.Params
 	// PlanOverride skips the search and uses the given choice.
 	PlanOverride *planner.Choice
+	// FixedColOrder pins the plan search's column permutation
+	// (planner.Search.FixedOrder): the search still decomposes rounds
+	// freely but may only consider exactly this order. The sharded
+	// coordinator sets it so every shard sorts in the column order the
+	// coordinator's own full-table search chose — per-shard statistics
+	// differ, and GROUP BY output bytes depend on the order. Must be a
+	// permutation of [0, len(SortCols)) with the window ORDER BY column
+	// (when present) last; ORDER BY queries accept only the identity.
+	// Ignored when PlanOverride is set (a cached choice carries its own
+	// order).
+	FixedColOrder []int
 	// Limit caps the output entries (docs/topk.md): ranked rows for
 	// window queries, groups otherwise. nil is unlimited; 0 produces an
 	// empty result without sorting. When set, the sort pipeline runs the
@@ -521,6 +532,30 @@ func MaterializeSortInputsContext(ctx context.Context, t *table.Table, q Query, 
 	return inputs, nil
 }
 
+// validateColOrder rejects a FixedColOrder that is not a permutation of
+// the sort columns, permutes an ORDER BY (whose column order is
+// semantic), or moves a window's ORDER BY column off the last position
+// (partition ranges must stay contiguous in the sorted output).
+func validateColOrder(order []int, m int, q Query) error {
+	if len(order) != m {
+		return fmt.Errorf("%s: col order has %d entries for %d sort columns", q.ID, len(order), m)
+	}
+	seen := make([]bool, m)
+	for i, c := range order {
+		if c < 0 || c >= m || seen[c] {
+			return fmt.Errorf("%s: col order %v is not a permutation of [0,%d)", q.ID, order, m)
+		}
+		seen[c] = true
+		if q.Kind == planner.OrderBy && c != i {
+			return fmt.Errorf("%s: col order %v reorders an ORDER BY", q.ID, order)
+		}
+	}
+	if q.Window != nil && order[m-1] != m-1 {
+		return fmt.Errorf("%s: col order %v moves the window ORDER BY column off the tail", q.ID, order)
+	}
+	return nil
+}
+
 // choosePlan runs the plan search when massaging is enabled. Column
 // statistics come from the table's precomputed profiles (as in any
 // DBMS); only the search itself is timed.
@@ -532,10 +567,23 @@ func choosePlan(ctx context.Context, t *table.Table, q Query, sortCols []SortCol
 	if opts.PlanOverride != nil {
 		return *opts.PlanOverride, 0, nil
 	}
+	if len(opts.FixedColOrder) > 0 {
+		if err := validateColOrder(opts.FixedColOrder, len(inputs), q); err != nil {
+			return planner.Choice{}, 0, err
+		}
+	}
 	if !opts.Massaging {
 		order := make([]int, len(inputs))
 		for i := range order {
 			order[i] = i
+		}
+		if len(opts.FixedColOrder) > 0 {
+			copy(order, opts.FixedColOrder)
+			pw := make([]int, len(order))
+			for i, c := range order {
+				pw[i] = widths[c]
+			}
+			widths = pw
 		}
 		return planner.Choice{ColOrder: order, Plan: plan.ColumnAtATime(widths)}, 0, nil
 	}
@@ -571,6 +619,9 @@ func choosePlan(ctx context.Context, t *table.Table, q Query, sortCols []SortCol
 	search := &planner.Search{Model: model, Stats: st, Kind: q.Kind, Rho: opts.Rho, MaxPlans: opts.MaxPlans}
 	if q.Window != nil {
 		search.FixedTail = 1 // the window's ORDER BY column stays last
+	}
+	if len(opts.FixedColOrder) > 0 {
+		search.FixedOrder = opts.FixedColOrder
 	}
 	choice, err := planner.ROGAContext(ctx, search)
 	if err != nil {

@@ -46,12 +46,18 @@ const (
 	Gather = "engine.gather"
 	// Aggregate: the engine's group-aggregation scan, once per chunk.
 	Aggregate = "engine.aggregate"
+	// ShardFanout: the coordinator's per-shard sub-query worker, once
+	// per shard sub-request before the client call.
+	ShardFanout = "shard.fanout"
+	// ShardMerge: the coordinator's cross-shard gather, once per merge
+	// after every shard has answered.
+	ShardMerge = "shard.merge"
 )
 
 // Sites lists every named site, for test batteries that iterate them.
 var Sites = []string{
 	PivotSelect, GroupSort, Permute, ChunkSort, LoserMerge, TopKMerge,
-	MassageChunk, Gather, Aggregate,
+	MassageChunk, Gather, Aggregate, ShardFanout, ShardMerge,
 }
 
 // enabled gates every Fire call; off by default so production pays one

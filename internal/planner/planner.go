@@ -78,6 +78,16 @@ type Search struct {
 	// ORDER BY column must remain the final sort key of its
 	// PARTITION BY sort.
 	FixedTail int
+	// FixedOrder, when non-empty, pins the entire column permutation:
+	// the search costs round partitions for exactly this order and
+	// never enumerates alternatives. The sharded coordinator uses it to
+	// replay the column order of its own full-table search on every
+	// shard — per-shard statistics differ, and a GROUP BY that chose a
+	// different permutation on one shard would emit group keys in a
+	// different column order than its peers. Must be a permutation of
+	// [0, len(Stats.Cols)); it overrides FixedTail and the free-prefix
+	// enumeration.
+	FixedOrder []int
 }
 
 // freePrefix returns how many leading columns the search may permute.
@@ -115,17 +125,26 @@ func (sw *stopwatch) expired(bestEstNS float64) bool {
 	return float64(time.Since(sw.start).Nanoseconds()) > sw.rho*bestEstNS
 }
 
-// baseline returns the column-at-a-time plan P₀ in clause order.
+// baseline returns the column-at-a-time plan P₀ in clause order — or,
+// when FixedOrder pins the permutation, in that order: the baseline
+// seeds the search's running best, so a baseline in any other order
+// could win the search and leak an unpinned ColOrder to the caller.
 func (s *Search) baseline() Choice {
-	widths := make([]int, len(s.Stats.Cols))
-	for i, c := range s.Stats.Cols {
+	st := s.Stats
+	order := identityOrder(len(st.Cols))
+	if len(s.FixedOrder) > 0 {
+		order = append([]int(nil), s.FixedOrder...)
+		st = s.Stats.Permute(order)
+	}
+	widths := make([]int, len(st.Cols))
+	for i, c := range st.Cols {
 		widths[i] = c.Width
 	}
 	p0 := plan.ColumnAtATime(widths)
 	return Choice{
-		ColOrder: identityOrder(len(widths)),
+		ColOrder: order,
 		Plan:     p0,
-		Est:      s.Model.TMCS(p0, s.Stats),
+		Est:      s.Model.TMCS(p0, st),
 	}
 }
 

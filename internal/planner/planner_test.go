@@ -123,6 +123,57 @@ func TestGroupByPermutations(t *testing.T) {
 	}
 }
 
+func TestROGAFixedOrder(t *testing.T) {
+	m := testModel()
+	st := uniformStats(4, 1<<16, []int{24, 4, 9}, []int{60000, 16, 300})
+
+	// Pinning the order a free search would choose must reproduce the
+	// free search's choice exactly — this is the sharded coordinator's
+	// contract: it searches once on full-table stats and replays the
+	// winning order on every shard.
+	free := ROGA(&Search{Model: m, Stats: st, Kind: GroupBy, Rho: -1, MaxPlans: 4096})
+	pinned := ROGA(&Search{Model: m, Stats: st, Kind: GroupBy, Rho: -1, MaxPlans: 4096,
+		FixedOrder: append([]int(nil), free.ColOrder...)})
+	if !equalOrder(pinned.ColOrder, free.ColOrder) {
+		t.Errorf("pinned ColOrder %v != free ColOrder %v", pinned.ColOrder, free.ColOrder)
+	}
+	// Output bytes depend only on the column order, not the round
+	// decomposition, so the pinned search may legitimately pick a
+	// different Plan — but never a worse estimate than the free winner
+	// (it fully enumerates the winning order plus its own baseline).
+	if pinned.Est > free.Est {
+		t.Errorf("pinned est %.6g worse than free est %.6g", pinned.Est, free.Est)
+	}
+
+	// Any pinned order — even one the free search would reject — must
+	// come back verbatim, including from the baseline seed (MaxPlans: 1
+	// caps the search almost immediately, so the baseline can win).
+	for _, mp := range []int{1, 4096} {
+		for _, order := range [][]int{{2, 0, 1}, {1, 2, 0}, {0, 1, 2}} {
+			got := ROGA(&Search{Model: m, Stats: st, Kind: GroupBy, Rho: -1, MaxPlans: mp,
+				FixedOrder: order})
+			if !equalOrder(got.ColOrder, order) {
+				t.Errorf("MaxPlans %d FixedOrder %v: got ColOrder %v", mp, order, got.ColOrder)
+			}
+			if err := got.Plan.Validate(st.TotalWidth()); err != nil {
+				t.Errorf("FixedOrder %v: invalid plan: %v", order, err)
+			}
+		}
+	}
+}
+
+func equalOrder(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestRRSFindsValidPlans(t *testing.T) {
 	m := testModel()
 	st := uniformStats(5, 1<<16, []int{17, 33}, []int{1 << 13, 1 << 13})

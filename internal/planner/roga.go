@@ -91,7 +91,9 @@ func ROGAContext(ctx context.Context, s *Search) (Choice, error) {
 		return true
 	}
 
-	if free := s.freePrefix(); free > 1 {
+	if len(s.FixedOrder) > 0 {
+		tryOrder(s.FixedOrder)
+	} else if free := s.freePrefix(); free > 1 {
 		permutations(free, func(prefix []int) bool {
 			order := append(append([]int(nil), prefix...), identityOrder(m)[free:]...)
 			return tryOrder(order)

@@ -108,6 +108,15 @@ type QueryRequest struct {
 	Limit *int `json:"limit,omitempty"`
 	// Offset drops the first Offset output entries (default 0).
 	Offset int `json:"offset,omitempty"`
+	// ColOrder pins the plan search's column permutation
+	// (engine.Options.FixedColOrder). The sharded coordinator sets it on
+	// every shard sub-query so all shards sort — and therefore emit
+	// group keys — in the column order the coordinator's full-table
+	// search chose; per-shard statistics would otherwise let each shard
+	// pick its own. Must be a permutation of the sort columns (window
+	// order column last, counted as the final position); orderby accepts
+	// only the identity. Absent = the server searches freely.
+	ColOrder []int `json:"col_order,omitempty"`
 }
 
 // QueryResult is the wire form of a finished query. The data fields
@@ -239,6 +248,28 @@ func (r *QueryRequest) Validate() error {
 	}
 	if r.Offset < 0 || r.Offset > MaxLimit {
 		return bad("offset %d out of range [0, %d]", r.Offset, MaxLimit)
+	}
+	if len(r.ColOrder) > 0 {
+		m := len(r.SortCols)
+		if r.Window != nil {
+			m++ // the window order column is the final sort position
+		}
+		if len(r.ColOrder) != m {
+			return bad("col_order has %d entries for %d sort columns", len(r.ColOrder), m)
+		}
+		seen := make([]bool, m)
+		for i, c := range r.ColOrder {
+			if c < 0 || c >= m || seen[c] {
+				return bad("col_order %v is not a permutation of [0,%d)", r.ColOrder, m)
+			}
+			seen[c] = true
+			if r.Kind == "orderby" && c != i {
+				return bad("col_order %v reorders an orderby", r.ColOrder)
+			}
+		}
+		if r.Window != nil && r.ColOrder[m-1] != m-1 {
+			return bad("col_order %v moves the window order column off the tail", r.ColOrder)
+		}
 	}
 	return nil
 }

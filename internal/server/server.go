@@ -463,7 +463,7 @@ func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryR
 	// nor populate the plan cache — a zero-value plan must not be
 	// memoized under their key.
 	cacheable := req.Limit == nil || *req.Limit > 0
-	key := planKey(t, q, widths, workers, s.cfg.Rho, s.cfg.MaxPlans, req.Limit, req.Offset)
+	key := planKey(t, q, widths, workers, s.cfg.Rho, s.cfg.MaxPlans, req.Limit, req.Offset, req.ColOrder)
 	var choice planner.Choice
 	hit := false
 	if cacheable {
@@ -477,6 +477,9 @@ func (s *Server) execute(ctx context.Context, j *job, req QueryRequest) (*QueryR
 		Workers:   workers,
 		MaxBytes:  maxQueryBytes(req.MaxBytes, s.cfg.MaxBytes, est),
 		Offset:    req.Offset,
+	}
+	if len(req.ColOrder) > 0 {
+		opts.FixedColOrder = append([]int(nil), req.ColOrder...)
 	}
 	if req.Limit != nil {
 		lim := *req.Limit
@@ -569,14 +572,18 @@ func sortColWidths(t *table.Table, q engine.Query) ([]int, error) {
 // model sees; workers because calibration may become worker-aware;
 // limit and offset because the truncated cost model shifts plan
 // crossovers with the cut rank (-1 encodes "no limit", which is
-// distinct from every literal value).
-func planKey(t *table.Table, q engine.Query, widths []int, workers int, rho float64, maxPlans int, limit *int, offset int) string {
+// distinct from every literal value); a pinned column order because it
+// confines the search to one permutation.
+func planKey(t *table.Table, q engine.Query, widths []int, workers int, rho float64, maxPlans int, limit *int, offset int, colOrder []int) string {
 	lim := -1
 	if limit != nil {
 		lim = *limit
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "t=%s|n=%d|k=%d|rho=%g|mp=%d|w=%d|oba=%t|lim=%d|off=%d", t.Name, t.N, q.Kind, rho, maxPlans, workers, q.OrderByAgg, lim, offset)
+	if len(colOrder) > 0 {
+		fmt.Fprintf(&b, "|co=%v", colOrder)
+	}
 	for i, sc := range q.SortCols {
 		fmt.Fprintf(&b, "|c=%s/%d/%t", sc.Name, widths[i], sc.Desc)
 	}

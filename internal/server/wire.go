@@ -1,0 +1,50 @@
+// Exported wire helpers for the sharded coordinator (internal/shard).
+// The coordinator speaks the same HTTP/JSON protocol as mcsd and must
+// classify, encode, and key exactly the way the single-node server
+// does — one shared implementation, re-exported here, keeps the two
+// from drifting.
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/table"
+)
+
+// ErrInvalidRequest is the class every request-validation failure
+// wraps (HTTP 400, kind "invalid", not retryable). Exported so the
+// coordinator can classify its own validation failures identically.
+var ErrInvalidRequest = errInvalidRequest
+
+// StatusFor maps a server error to its HTTP status code, exactly as
+// the single-node wire layer does.
+func StatusFor(err error) int { return statusFor(err) }
+
+// ErrorKind classifies a failure for the wire taxonomy (JobStatus.Kind
+// and error bodies): queue_timeout, budget, watchdog, shutdown,
+// execution_timeout, invalid, not_found, not_finished, pipeline, or
+// the residual internal.
+func ErrorKind(err error) string { return errorKind(err) }
+
+// WriteJSON encodes v with the server's content type and status
+// handling.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError emits the server's error body shape ({error, kind,
+// retryable}, Retry-After on the load-induced statuses).
+func WriteError(w http.ResponseWriter, status int, err error) { writeError(w, status, err) }
+
+// PlanKey builds the plan-cache key the server would use for this
+// query shape: everything the search outcome depends on. The
+// coordinator extends it with its shard topology so a cached pinned
+// order is never replayed across re-partitionings.
+func PlanKey(t *table.Table, q engine.Query, widths []int, workers int, rho float64, maxPlans int, limit *int, offset int) string {
+	return planKey(t, q, widths, workers, rho, maxPlans, limit, offset, nil)
+}
+
+// SortColWidths resolves the bit width of every sort column of q
+// (including a window's order column), validating they exist in t.
+func SortColWidths(t *table.Table, q engine.Query) ([]int, error) {
+	return sortColWidths(t, q)
+}

@@ -1,0 +1,917 @@
+// The coordinator: mcsd's scatter-gather front. It speaks the same
+// job-oriented protocol as a single mcsd (Submit/Status/Result/Wait/
+// Run), but executes a query by pinning the plan search's column order
+// over the full table, fanning the rewritten sub-query out to every
+// shard through the retrying client pool, and merging the per-shard
+// sorted results back into the bytes a single-node run would have
+// produced (docs/sharding.md).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/byteslice"
+	"repro/internal/client"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/mergesort"
+	"repro/internal/obs"
+	"repro/internal/pipeerr"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+var (
+	obsQueries         = obs.NewCounter("shard.queries")
+	obsQueryErrors     = obs.NewCounter("shard.query_errors")
+	obsContainedPanics = obs.NewCounter("shard.contained_panics")
+	obsFanout          = obs.NewCounter("shard.fanout_subqueries")
+	obsExecTime        = obs.NewTimer("shard.exec")
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Registry holds the full (unsharded) tables; required. The
+	// coordinator never sorts them — it scans them for filter
+	// cardinalities and statistics (plan pinning) and looks sort-key
+	// codes up by global oid (cross-shard merging).
+	Registry *server.Registry
+	// Shards lists the shard daemons' base URLs in range order: shard i
+	// must serve rows [i·n/N, (i+1)·n/N) of every registered table
+	// (mcsd -shard-index i -shard-count N). Required, at least one.
+	Shards []string
+	// Model is the cost model the pin search uses; required. It must be
+	// the model the equivalence oracle runs with — the pinned order is
+	// only the single-node order if both searches cost plans identically.
+	Model *costmodel.Model
+	// Rho and MaxPlans are the plan-search determinism keystone, exactly
+	// as on the single-node server: a negative Rho (no wall-clock
+	// cutoff) plus a counted budget make the pinned order a pure
+	// function of the query and the statistics.
+	Rho      float64
+	MaxPlans int
+	// DefaultWorkers is the merge-side worker count used when a request
+	// does not name one (default 1). The value also travels to the
+	// shards inside the sub-queries (0 there means the shard's own
+	// default).
+	DefaultWorkers int
+	// PlanCacheSize bounds the pinned-choice cache
+	// (server.DefaultPlanCacheSize when 0).
+	PlanCacheSize int
+	// WatchdogMult, when > 0, arms a per-query watchdog killing the
+	// fan-out once wall time exceeds WatchdogFloor + WatchdogMult ×
+	// predicted single-node T_mcs. The budget is deliberately the
+	// single-node estimate: N shards sorting n/N rows each finish under
+	// it, so a fan-out that overruns it is stuck, not slow.
+	WatchdogMult float64
+	// WatchdogFloor is the watchdog's minimum kill budget (default 2s
+	// when the watchdog is armed).
+	WatchdogFloor time.Duration
+	// Client configures the per-shard HTTP clients (retry, backoff,
+	// breaker). BaseURL and Seed are per-endpoint and filled in by the
+	// pool.
+	Client client.Config
+}
+
+// Coordinator fans queries out over the shards and gathers the results.
+type Coordinator struct {
+	cfg    Config
+	pool   *client.Pool
+	cache  *server.PlanCache
+	ranges map[string][]Range
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg sync.WaitGroup // running jobs
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+}
+
+// job is one submitted query and its terminal state (the same
+// lifecycle as the single-node server's jobs).
+type job struct {
+	id  string
+	req server.QueryRequest
+
+	mu     sync.Mutex
+	state  server.JobState
+	res    *server.QueryResult
+	err    error
+	doneCh chan struct{}
+}
+
+// New validates cfg and returns a ready coordinator. The per-table
+// shard ranges are fixed here, from the registered row counts and the
+// shard list — the same Ranges formula the shards themselves slice by.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("shard: Config.Registry is required")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("shard: Config.Model is required")
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: Config.Shards is required")
+	}
+	if cfg.DefaultWorkers < 1 {
+		cfg.DefaultWorkers = 1
+	}
+	if cfg.MaxPlans <= 0 {
+		cfg.MaxPlans = server.DefaultMaxPlans
+	}
+	if cfg.WatchdogMult > 0 && cfg.WatchdogFloor <= 0 {
+		cfg.WatchdogFloor = 2 * time.Second
+	}
+	ranges := make(map[string][]Range)
+	for _, name := range cfg.Registry.Names() {
+		t, err := cfg.Registry.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		ranges[name] = Ranges(t.N, len(cfg.Shards))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Coordinator{
+		cfg:        cfg,
+		pool:       client.NewPool(cfg.Client),
+		cache:      server.NewPlanCache(cfg.PlanCacheSize, cfg.Model),
+		ranges:     ranges,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+	}, nil
+}
+
+// PlanCache exposes the coordinator's pinned-choice cache (tests).
+func (c *Coordinator) PlanCache() *server.PlanCache { return c.cache }
+
+// TableRanges returns the shard ranges of a registered table.
+func (c *Coordinator) TableRanges(name string) []Range { return c.ranges[name] }
+
+// Submit registers req as an asynchronous job and schedules the
+// fan-out on the coordinator's base context (plus the request's own
+// timeout, if any). Sub-queries do not re-apply the timeout — the job
+// context already carries the deadline end to end.
+func (c *Coordinator) Submit(req server.QueryRequest) (string, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", server.ErrShuttingDown
+	}
+	c.nextID++
+	j := &job{
+		id:     fmt.Sprintf("j%d", c.nextID),
+		req:    req,
+		state:  server.JobQueued,
+		doneCh: make(chan struct{}),
+	}
+	c.jobs[j.id] = j
+	c.wg.Add(1)
+	c.mu.Unlock()
+
+	// Containment of last resort, exactly as on the single-node server:
+	// c.run recovers fan-out and merge panics itself, so reaching the
+	// onPanic path means the job bookkeeping panicked. Settle the job so
+	// waiters unblock.
+	pipeerr.Spawn(pipeerr.StageServe, func(pe *pipeerr.PipelineError) {
+		j.mu.Lock()
+		settled := j.state == server.JobDone || j.state == server.JobFailed
+		if !settled {
+			j.state, j.err = server.JobFailed, pe
+		}
+		j.mu.Unlock()
+		if !settled {
+			close(j.doneCh)
+		}
+	}, func() {
+		defer c.wg.Done()
+		ctx := c.baseCtx
+		var cancel context.CancelFunc
+		if req.TimeoutMS > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		res, err := c.run(ctx, j, req)
+		j.mu.Lock()
+		if err != nil {
+			j.state, j.err = server.JobFailed, err
+		} else {
+			j.state, j.res = server.JobDone, res
+		}
+		j.mu.Unlock()
+		close(j.doneCh)
+	})
+	return j.id, nil
+}
+
+// Status returns the job's current state, classified with the
+// coordinator's error taxonomy (shard_unavailable for unreachable
+// shards, the propagated shard kind otherwise).
+func (c *Coordinator) Status(id string) (server.JobStatus, error) {
+	j, err := c.job(id)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := server.JobStatus{ID: j.id, State: j.state}
+	if j.err != nil {
+		st.Error = j.err.Error()
+		st.Kind = c.errorKind(j.err)
+		st.Retryable = c.retryable(j.err)
+	}
+	return st, nil
+}
+
+// Result returns the finished job's result, or an error when the job
+// failed or has not finished yet.
+func (c *Coordinator) Result(id string) (*server.QueryResult, error) {
+	j, err := c.job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case server.JobDone:
+		return j.res, nil
+	case server.JobFailed:
+		return nil, j.err
+	default:
+		return nil, fmt.Errorf("%w: job %s is %s", errNotFinished, id, j.state)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends, then
+// returns its result as Result would.
+func (c *Coordinator) Wait(ctx context.Context, id string) (*server.QueryResult, error) {
+	j, err := c.job(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.doneCh:
+		return c.Result(id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Run executes req synchronously on the caller's context: the same
+// pin, fan-out, and merge path Submit's jobs take.
+func (c *Coordinator) Run(ctx context.Context, req server.QueryRequest) (*server.QueryResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, server.ErrShuttingDown
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	defer c.wg.Done()
+	return c.run(ctx, nil, req)
+}
+
+// Shutdown drains the coordinator: new submissions are refused,
+// running fan-outs get until ctx ends to finish, then the base context
+// is cancelled so stragglers unwind through the client's cooperative
+// cancellation. No goroutine outlives the call.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+
+	done := make(chan struct{})
+	pipeerr.Spawn(pipeerr.StageServe, nil, func() {
+		defer close(done)
+		c.wg.Wait()
+	})
+	select {
+	case <-done:
+		c.baseCancel()
+		return nil
+	case <-ctx.Done():
+		c.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// errNoJob is wrapped by lookups of unknown job ids (wire: 404).
+var errNoJob = errors.New("shard: no such job")
+
+// errNotFinished is wrapped when a result is fetched before the job
+// reached a terminal state (wire: 409).
+var errNotFinished = errors.New("shard: job not finished")
+
+// job looks up a submitted job by id.
+func (c *Coordinator) job(id string) (*job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("%w: %q", errNoJob, id)
+	}
+	return j, nil
+}
+
+// shardError tags a failed shard call with its endpoint so the
+// taxonomy can tell "a shard failed" (transport faults, refused
+// connections — retryable shard_unavailable) from the coordinator's
+// own failures. Unwrap keeps the typed chain (client.Error, pipeerr
+// sentinels, context errors) reachable through it.
+type shardError struct {
+	addr string
+	err  error
+}
+
+func (e *shardError) Error() string { return fmt.Sprintf("shard %s: %v", e.addr, e.err) }
+func (e *shardError) Unwrap() error { return e.err }
+
+// run is the one execution path and the coordinator's containment
+// boundary: the merge runs on this goroutine (the job goroutine, or
+// the caller's for Run), so a panicking merge — chaos arms the
+// shard.merge site with panics — becomes a typed, retryable job
+// failure instead of a process crash.
+func (c *Coordinator) run(ctx context.Context, j *job, req server.QueryRequest) (res *server.QueryResult, err error) {
+	obsQueries.Inc()
+	defer func() {
+		if v := recover(); v != nil {
+			obsContainedPanics.Inc()
+			obsQueryErrors.Inc()
+			res = nil
+			err = &pipeerr.PipelineError{Stage: pipeerr.StageServe, Round: -1, Worker: -1, Err: pipeerr.AsError(v)}
+		}
+	}()
+	res, err = c.execute(ctx, j, req)
+	if err != nil {
+		obsQueryErrors.Inc()
+		return nil, pipeerr.NoteCancel(err)
+	}
+	return res, nil
+}
+
+// execute implements one query: pin the plan, fan out, merge.
+func (c *Coordinator) execute(ctx context.Context, j *job, req server.QueryRequest) (*server.QueryResult, error) {
+	t, err := c.cfg.Registry.Lookup(req.Table)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", server.ErrInvalidRequest, err)
+	}
+	if len(req.ColOrder) > 0 {
+		// The pin is the coordinator's own job; accepting an external one
+		// would let a caller silently diverge the shards from the order
+		// the merge keys are built in.
+		return nil, fmt.Errorf("%w: col_order is reserved for the coordinator's shard sub-queries", server.ErrInvalidRequest)
+	}
+	q, err := req.ToEngineQuery()
+	if err != nil {
+		return nil, err
+	}
+	widths, err := server.SortColWidths(t, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", server.ErrInvalidRequest, err)
+	}
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = c.cfg.DefaultWorkers
+	}
+	if j != nil {
+		j.mu.Lock()
+		j.state = server.JobRunning
+		j.mu.Unlock()
+	}
+
+	// LIMIT 0 runs no plan search on the single node, so the coordinator
+	// pins nothing either: the fan-out only collects filtered row counts.
+	limit0 := req.Limit != nil && *req.Limit == 0
+	var choice planner.Choice
+	planHit := false
+	if !limit0 {
+		choice, planHit, err = c.pinnedChoice(ctx, t, req, q, widths, workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Watchdog: one-shot — unlike the single-node server the plan (and
+	// with it the T_mcs estimate) is already fixed before any shard
+	// starts, so the budget never needs extending mid-flight.
+	runCtx := ctx
+	if c.cfg.WatchdogMult > 0 {
+		wctx, wcancel := context.WithCancelCause(ctx)
+		defer wcancel(nil)
+		runCtx = wctx
+		budget := c.cfg.WatchdogFloor
+		if choice.Est > 0 {
+			budget += time.Duration(choice.Est * c.cfg.WatchdogMult)
+		}
+		start := time.Now()
+		pipeerr.Spawn(pipeerr.StageServe, nil, func() {
+			tm := time.NewTimer(budget)
+			defer tm.Stop()
+			select {
+			case <-tm.C:
+				wcancel(pipeerr.Watchdog(time.Since(start), budget))
+			case <-wctx.Done():
+			}
+		})
+	}
+
+	execStart := time.Now()
+	subs := buildSubRequests(req, choice.ColOrder)
+	results := make([][]*server.QueryResult, len(subs))
+	for vi := range results {
+		results[vi] = make([]*server.QueryResult, len(c.cfg.Shards))
+	}
+	g := pipeerr.NewGroup(runCtx)
+	for vi := range subs {
+		sub := subs[vi]
+		for si, addr := range c.cfg.Shards {
+			vi, si, addr := vi, si, addr
+			g.Go(pipeerr.StageServe, vi, si, func(gctx context.Context) error {
+				faultinject.Fire(faultinject.ShardFanout)
+				obsFanout.Inc()
+				cl, err := c.pool.For(addr)
+				if err != nil {
+					return &shardError{addr: addr, err: err}
+				}
+				r, err := cl.Query(gctx, sub)
+				if err != nil {
+					return &shardError{addr: addr, err: err}
+				}
+				results[vi][si] = r
+				return nil
+			})
+		}
+	}
+	if err := g.Wait(); err != nil {
+		return nil, surfaceWatchdog(runCtx, err)
+	}
+
+	faultinject.Fire(faultinject.ShardMerge)
+
+	rows := 0
+	for _, r := range results[0] {
+		if r == nil {
+			return nil, fmt.Errorf("%w: missing shard result", errShardInvalid)
+		}
+		rows += r.Rows
+	}
+
+	res := &server.QueryResult{
+		Table:        req.Table,
+		Rows:         rows,
+		Workers:      workers,
+		Plan:         choice.Plan.String(),
+		ColOrder:     choice.ColOrder,
+		PlanCacheHit: planHit,
+	}
+	if j != nil {
+		res.JobID = j.id
+	}
+	if limit0 {
+		// Match the single-node LIMIT 0 result: filtered row count, no
+		// data, the zero plan's rendering.
+		res.Plan = plan.Plan{}.String()
+		res.ColOrder = nil
+		res.ExecNS = time.Since(execStart).Nanoseconds()
+		return res, nil
+	}
+
+	if q.Window != nil {
+		ranks, oids, err := c.mergeWindowParts(runCtx, t, q, req, choice.ColOrder, widths, results[0], workers)
+		if err != nil {
+			return nil, surfaceWatchdog(runCtx, err)
+		}
+		res.Ranks, res.RowOids = ranks, oids
+	} else {
+		gk, agg, err := c.mergeGroupParts(runCtx, q, req, choice.ColOrder, widths, results, workers)
+		if err != nil {
+			return nil, surfaceWatchdog(runCtx, err)
+		}
+		res.GroupKeys, res.Aggregates = gk, agg
+	}
+	obsExecTime.Add(time.Since(execStart))
+	res.ExecNS = time.Since(execStart).Nanoseconds()
+	return res, nil
+}
+
+// surfaceWatchdog converts the plain context cancellation a watchdog
+// kill unwinds as back into the typed pipeerr.ErrWatchdog cause.
+func surfaceWatchdog(runCtx context.Context, err error) error {
+	if pipeerr.IsCtxErr(err) {
+		if cause := context.Cause(runCtx); cause != nil && errors.Is(cause, pipeerr.ErrWatchdog) {
+			return cause
+		}
+	}
+	return err
+}
+
+// buildSubRequests rewrites req into the per-shard sub-queries of one
+// fan-out wave. Every shape becomes one sub-query except avg, which
+// needs two (global avg = global sum / global count, and neither is a
+// function of per-shard avgs).
+//
+// LIMIT/OFFSET rewriting: a shard cannot apply the global offset (it
+// cannot know how many rows the other shards contribute before it),
+// so sub-queries ask for the first offset+limit entries and the
+// coordinator's merge re-applies the window. Any entry within the
+// global cut is within each holder's local cut (a shard's entries are
+// a subsequence of the global order), so the pre-cut loses nothing.
+// ORDER BY <agg> sorts by a value only the gather knows, so those
+// sub-queries drop the cut and the agg-sort entirely and return full
+// key-ordered group tables.
+func buildSubRequests(req server.QueryRequest, pin []int) []server.QueryRequest {
+	sub := req
+	sub.TimeoutMS = 0
+	sub.ColOrder = nil
+	if len(pin) > 0 {
+		sub.ColOrder = append([]int(nil), pin...)
+	}
+	switch {
+	case req.OrderByAgg:
+		sub.OrderByAgg = false
+		sub.Limit, sub.Offset = nil, 0
+	case req.Limit != nil:
+		cut := 0
+		if *req.Limit > 0 {
+			cut = req.Offset + *req.Limit
+		}
+		sub.Limit, sub.Offset = &cut, 0
+	default:
+		sub.Offset = 0
+	}
+	if req.Agg != nil && req.Agg.Kind == "avg" {
+		cnt := sub
+		cnt.Agg = &server.AggReq{Kind: "count"}
+		sum := sub
+		sum.Agg = &server.AggReq{Kind: "sum", Col: req.Agg.Col}
+		return []server.QueryRequest{cnt, sum}
+	}
+	return []server.QueryRequest{sub}
+}
+
+// mergeGroupParts merges the per-shard group tables into the global
+// one: decode, validate, merge-and-combine, then re-apply the pieces
+// the sub-queries stripped (the aggregate sort of ORDER BY <agg>, the
+// avg division, the LIMIT/OFFSET window).
+func (c *Coordinator) mergeGroupParts(ctx context.Context, q engine.Query, req server.QueryRequest, pin []int, widths []int, results [][]*server.QueryResult, workers int) ([][]uint64, []uint64, error) {
+	m := len(q.SortCols)
+	spec := mergeSpec{order: pin, widths: widths, desc: make([]bool, m)}
+	for i, sc := range q.SortCols {
+		spec.desc[i] = sc.Desc
+	}
+
+	avg := q.Agg != nil && q.Agg.Kind == engine.Avg
+	parts := make([]groupsPart, len(results[0]))
+	for si, pr := range results[0] {
+		p := groupsPart{keys: pr.GroupKeys, agg: pr.Aggregates}
+		if avg {
+			ar := results[1][si]
+			if len(ar.GroupKeys) != len(pr.GroupKeys) || len(ar.Aggregates) != len(ar.GroupKeys) {
+				return nil, nil, fmt.Errorf("%w: avg sub-queries disagree on shard %d's groups", errShardInvalid, si)
+			}
+			for gi := range pr.GroupKeys {
+				if gi&(mergeCtxStride-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, nil, err
+					}
+				}
+				if len(ar.GroupKeys[gi]) != len(pr.GroupKeys[gi]) || !sameClauseKey(ar.GroupKeys[gi], pr.GroupKeys[gi]) {
+					return nil, nil, fmt.Errorf("%w: avg sub-queries disagree on shard %d's groups", errShardInvalid, si)
+				}
+			}
+			p.aux = ar.Aggregates
+		}
+		parts[si] = p
+	}
+
+	merged, err := mergeGroups(ctx, parts, spec, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	if avg {
+		// merged.agg is the global count, merged.aux the global sum;
+		// the engine's per-group arithmetic is sum / row-count.
+		for gi := range merged.agg {
+			if gi&(mergeCtxStride-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
+				}
+			}
+			if merged.agg[gi] == 0 {
+				return nil, nil, fmt.Errorf("%w: avg group with zero count", errShardInvalid)
+			}
+			merged.agg[gi] = merged.aux[gi] / merged.agg[gi]
+		}
+	}
+	if q.OrderByAgg {
+		sortMergedByAggregate(merged)
+	}
+
+	lo, hi := cutWindow(len(merged.keys), req.Limit, req.Offset)
+	return merged.keys[lo:hi], merged.agg[lo:hi], nil
+}
+
+// sortMergedByAggregate re-applies the aggregate sort the sub-queries
+// stripped, with the engine's own machinery (descending via
+// complement, the stable 64-bit-bank sort) over the merged groups —
+// which are in global key order, the same order the single node's
+// aggregate sort starts from, so ties land identically.
+func sortMergedByAggregate(mg *mergedGroups) {
+	n := len(mg.agg)
+	keys := make([]uint64, n)
+	idx := make([]uint32, n)
+	for i, a := range mg.agg {
+		keys[i] = ^a
+		idx[i] = uint32(i)
+	}
+	mergesort.Sort(64, keys, idx)
+	gk := make([][]uint64, n)
+	ag := make([]uint64, n)
+	for i, j := range idx {
+		gk[i], ag[i] = mg.keys[j], mg.agg[j]
+	}
+	mg.keys, mg.agg = gk, ag
+}
+
+// cutWindow clamps [offset, offset+limit) to n entries.
+func cutWindow(n int, limit *int, offset int) (int, int) {
+	lo := offset
+	if lo > n {
+		lo = n
+	}
+	hi := n
+	if limit != nil && lo+*limit < hi {
+		hi = lo + *limit
+	}
+	return lo, hi
+}
+
+// mergeWindowParts merges the per-shard ranked-row results of a window
+// query. Shards return local oids in their local sort order; the
+// coordinator maps them to global oids (range base + local oid),
+// rebuilds the massaged sort keys from its own full table, merges the
+// runs — TopK with the tie-extended cut under a LIMIT — and recomputes
+// ranks over the merged prefix exactly as the engine does (ranks only
+// look backward, so ranking the prefix is exact).
+func (c *Coordinator) mergeWindowParts(ctx context.Context, t *table.Table, q engine.Query, req server.QueryRequest, pin []int, widths []int, parts []*server.QueryResult, workers int) ([]uint32, []uint32, error) {
+	m := len(q.SortCols) + 1
+	spec := mergeSpec{order: pin, widths: widths, desc: make([]bool, m)}
+	for i, sc := range q.SortCols {
+		spec.desc[i] = sc.Desc
+	}
+	spec.desc[m-1] = q.Window.Desc
+
+	cols := make([]*byteslice.BS, m)
+	for i, name := range sortColNames(q) {
+		bs, err := t.ByteSlice(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = bs
+	}
+	ranges := c.ranges[req.Table]
+	if len(ranges) != len(parts) {
+		return nil, nil, fmt.Errorf("%w: %d shard results for %d ranges", errShardInvalid, len(parts), len(ranges))
+	}
+
+	total := 0
+	for si, pr := range parts {
+		if len(pr.Ranks) != len(pr.RowOids) {
+			return nil, nil, fmt.Errorf("%w: shard %d has %d ranks for %d rows", errShardInvalid, si, len(pr.Ranks), len(pr.RowOids))
+		}
+		total += len(pr.RowOids)
+	}
+
+	cut := 0
+	if req.Limit != nil {
+		cut = req.Offset + *req.Limit
+	}
+
+	// Rebuild each part's sort keys from the full table and check the
+	// part really is in sorted order with ascending-oid ties — the
+	// invariant the no-compare merge relies on.
+	flat, err := c.mergeWindowRuns(ctx, spec, cols, ranges, parts, total, cut, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	offsets := partOffsets(len(parts), func(i int) int { return len(parts[i].RowOids) })
+	oids := make([]uint32, len(flat))
+	for i, f := range flat {
+		if i&(mergeCtxStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		pi, li := locateFlat(offsets, f)
+		oids[i] = uint32(ranges[pi].Lo) + parts[pi].RowOids[li]
+	}
+
+	// Rank recomputation, replicating the engine: partition on equality
+	// of the partition columns' codes, rank counts rows and advances on
+	// an order-code change (code inequality is invariant under the
+	// descending complement, so raw codes suffice).
+	nPart := m - 1
+	samePartition := func(a, b uint32) bool {
+		for ci := 0; ci < nPart; ci++ {
+			if cols[ci].Lookup(int(a)) != cols[ci].Lookup(int(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	orderCol := cols[m-1]
+	ranks := make([]uint32, len(oids))
+	partStart := 0
+	var rank, seen uint32
+	for i, cur := range oids {
+		if i&(mergeCtxStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if i == 0 || !samePartition(cur, oids[partStart]) {
+			partStart, rank, seen = i, 1, 1
+		} else {
+			seen++
+			if orderCol.Lookup(int(cur)) != orderCol.Lookup(int(oids[i-1])) {
+				rank = seen
+			}
+		}
+		ranks[i] = rank
+	}
+
+	lo := req.Offset
+	if lo > len(oids) {
+		lo = len(oids)
+	}
+	return ranks[lo:], oids[lo:], nil
+}
+
+// mergeWindowRuns builds the massaged keys of every part from the full
+// table and merges the runs, returning the merged flat-index order cut
+// at the global limit (0 = no cut). Each part is validated on the way:
+// oids inside the shard's range, keys non-decreasing, ties in
+// ascending oid order.
+func (c *Coordinator) mergeWindowRuns(ctx context.Context, spec mergeSpec, cols []*byteslice.BS, ranges []Range, parts []*server.QueryResult, total, cut, workers int) ([]uint32, error) {
+	m := len(spec.order)
+	vals := make([]uint64, m)
+	if spec.totalWidth() <= 64 {
+		keys := make([]uint64, 0, total)
+		runs := []int{0}
+		for si, pr := range parts {
+			var prevKey uint64
+			var prevOid uint32
+			for i, oid := range pr.RowOids {
+				if i&(mergeCtxStride-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				if int(oid) >= ranges[si].Len() {
+					return nil, fmt.Errorf("%w: shard %d row oid %d outside its %d-row range", errShardInvalid, si, oid, ranges[si].Len())
+				}
+				g := ranges[si].Lo + int(oid)
+				for ci := range cols {
+					vals[ci] = cols[ci].Lookup(g)
+				}
+				k := spec.pack(vals)
+				if i > 0 && (k < prevKey || (k == prevKey && oid <= prevOid)) {
+					return nil, fmt.Errorf("%w: shard %d row %d out of sort order", errShardInvalid, si, i)
+				}
+				prevKey, prevOid = k, oid
+				keys = append(keys, k)
+			}
+			runs = append(runs, len(keys))
+		}
+		return mergeRows64(ctx, keys, runs, cut, workers)
+	}
+
+	vecs := make([][]uint64, 0, total)
+	runs := []int{0}
+	buf := make([]uint64, m)
+	for si, pr := range parts {
+		prev := make([]uint64, m)
+		var prevOid uint32
+		for i, oid := range pr.RowOids {
+			if i&(mergeCtxStride-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if int(oid) >= ranges[si].Len() {
+				return nil, fmt.Errorf("%w: shard %d row oid %d outside its %d-row range", errShardInvalid, si, oid, ranges[si].Len())
+			}
+			g := ranges[si].Lo + int(oid)
+			for ci := range cols {
+				vals[ci] = cols[ci].Lookup(g)
+			}
+			spec.massage(vals, buf)
+			if i > 0 {
+				if cmp := compareVec(prev, buf); cmp > 0 || (cmp == 0 && oid <= prevOid) {
+					return nil, fmt.Errorf("%w: shard %d row %d out of sort order", errShardInvalid, si, i)
+				}
+			}
+			copy(prev, buf)
+			prevOid = oid
+			vecs = append(vecs, append([]uint64(nil), buf...))
+		}
+		runs = append(runs, len(vecs))
+	}
+	return mergeWide(ctx, vecs, runs, cut)
+}
+
+// errorKind classifies a coordinator job failure for the wire. Shard
+// failures with a typed kind propagate it (a budget refusal on a shard
+// is a budget refusal of the query); unreachable or unresponsive
+// shards — transport faults, open breakers — become the retryable
+// "shard_unavailable"; everything the coordinator fails at itself
+// falls through to the single-node taxonomy.
+func (c *Coordinator) errorKind(err error) string {
+	var ce *client.Error
+	var se *shardError
+	switch {
+	case errors.Is(err, errNoJob):
+		return "not_found"
+	case errors.Is(err, errNotFinished):
+		return "not_finished"
+	case errors.Is(err, errShardInvalid):
+		return "shard_invalid"
+	case errors.As(err, &ce):
+		if ce.Kind != "" && ce.Kind != "internal" {
+			return ce.Kind
+		}
+		return "shard_unavailable"
+	case errors.Is(err, client.ErrBreakerOpen):
+		return "shard_unavailable"
+	case errors.As(err, &se):
+		if pipeerr.IsCtxErr(se.err) {
+			return server.ErrorKind(err)
+		}
+		return "shard_unavailable"
+	default:
+		return server.ErrorKind(err)
+	}
+}
+
+// retryable reports whether re-submitting the identical query may
+// succeed: the shard taxonomy's verdict for shard failures (a restarted
+// or recovered shard serves the retry), pipeerr's for everything else.
+func (c *Coordinator) retryable(err error) bool {
+	var ce *client.Error
+	var se *shardError
+	switch {
+	case errors.Is(err, errShardInvalid):
+		return false
+	case errors.As(err, &ce):
+		return ce.Retryable
+	case errors.Is(err, client.ErrBreakerOpen):
+		return true
+	case errors.As(err, &se):
+		if pipeerr.IsCtxErr(se.err) {
+			return pipeerr.Retryable(err)
+		}
+		return true
+	default:
+		return pipeerr.Retryable(err)
+	}
+}
+
+// statusFor maps coordinator errors to HTTP statuses: the coordinator's
+// own job-layer sentinels first, shard unavailability as 503 (the
+// conventional "upstream is down, retry later"), invalid shard
+// responses as 502, and the single-node mapping for the rest.
+func (c *Coordinator) statusFor(err error) int {
+	switch {
+	case errors.Is(err, errNoJob):
+		return 404
+	case errors.Is(err, errNotFinished):
+		return 409
+	case errors.Is(err, errShardInvalid):
+		return 502
+	default:
+		if c.errorKind(err) == "shard_unavailable" {
+			return 503
+		}
+		return server.StatusFor(err)
+	}
+}

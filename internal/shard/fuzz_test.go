@@ -1,0 +1,240 @@
+package shard
+
+// FuzzShardMerge fuzzes the coordinator's trust boundary: the per-shard
+// group-table decode (validateGroups) and the cross-shard merge behind
+// it. Raw mode feeds arbitrary decoded bytes straight in — the merge
+// must either reject them as errShardInvalid or produce a well-formed
+// combined table, never panic or corrupt. Canon mode repairs the fuzz
+// input into valid per-shard tables and then requires the full
+// differential properties: mergeGroups equals a naive sort-and-combine
+// reference, and the packed-64 and wide lexicographic merge paths
+// produce the identical flat order.
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/column"
+)
+
+// decodeSpec derives a mergeSpec from the shape word: 1..3 columns of
+// widths 2..8 bits, per-column descending flags, and a rotated (and
+// possibly reversed) clause-to-sort-position permutation.
+func decodeSpec(shape uint16) mergeSpec {
+	m := int(shape)%3 + 1
+	sp := mergeSpec{order: make([]int, m), widths: make([]int, m), desc: make([]bool, m)}
+	for c := 0; c < m; c++ {
+		sp.widths[c] = 2 + int(shape>>(2+uint(c)*3))%7
+		sp.desc[c] = shape>>(11+uint(c))&1 == 1
+	}
+	rot := int(shape>>14) % m
+	for i := 0; i < m; i++ {
+		sp.order[i] = (i + rot) % m
+	}
+	if shape>>13&1 == 1 {
+		for i, j := 0, m-1; i < j; i, j = i+1, j-1 {
+			sp.order[i], sp.order[j] = sp.order[j], sp.order[i]
+		}
+	}
+	return sp
+}
+
+// decodeParts slices the fuzz bytes into 1..4 per-shard group tables.
+// canon repairs each part into a valid table: codes masked to their
+// widths, groups sorted by massaged key, duplicate keys dropped.
+func decodeParts(data []byte, sp mergeSpec, canon, withAux bool) []groupsPart {
+	m := len(sp.order)
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nParts := int(next())%4 + 1
+	parts := make([]groupsPart, nParts)
+	for pi := range parts {
+		cnt := int(next()) % 8
+		p := groupsPart{}
+		for g := 0; g < cnt; g++ {
+			vec := make([]uint64, m)
+			for c := 0; c < m; c++ {
+				v := uint64(next())
+				if canon {
+					v &= column.Mask(sp.widths[c])
+				}
+				vec[c] = v
+			}
+			p.keys = append(p.keys, vec)
+			p.agg = append(p.agg, uint64(next())%100+1)
+			if withAux {
+				p.aux = append(p.aux, uint64(next())%1000)
+			}
+		}
+		if canon && len(p.keys) > 0 {
+			idx := make([]int, len(p.keys))
+			for i := range idx {
+				idx[i] = i
+			}
+			a, b := make([]uint64, m), make([]uint64, m)
+			sort.SliceStable(idx, func(x, y int) bool {
+				sp.massage(p.keys[idx[x]], a)
+				sp.massage(p.keys[idx[y]], b)
+				return compareVec(a, b) < 0
+			})
+			q := groupsPart{}
+			for _, i := range idx {
+				if len(q.keys) > 0 && sameClauseKey(q.keys[len(q.keys)-1], p.keys[i]) {
+					continue
+				}
+				q.keys = append(q.keys, p.keys[i])
+				q.agg = append(q.agg, p.agg[i])
+				if withAux {
+					q.aux = append(q.aux, p.aux[i])
+				}
+			}
+			p = q
+		}
+		parts[pi] = p
+	}
+	return parts
+}
+
+// referenceMerge is the naive oracle: every group of every part, sorted
+// by massaged key, equal clause keys combined by summing.
+func referenceMerge(parts []groupsPart, sp mergeSpec, withAux bool) *mergedGroups {
+	type row struct {
+		vec      []uint64
+		agg, aux uint64
+	}
+	var rows []row
+	for _, p := range parts {
+		for g := range p.keys {
+			r := row{vec: p.keys[g], agg: p.agg[g]}
+			if withAux {
+				r.aux = p.aux[g]
+			}
+			rows = append(rows, r)
+		}
+	}
+	m := len(sp.order)
+	a, b := make([]uint64, m), make([]uint64, m)
+	sort.SliceStable(rows, func(x, y int) bool {
+		sp.massage(rows[x].vec, a)
+		sp.massage(rows[y].vec, b)
+		return compareVec(a, b) < 0
+	})
+	out := &mergedGroups{}
+	for _, r := range rows {
+		if len(out.keys) > 0 && sameClauseKey(out.keys[len(out.keys)-1], r.vec) {
+			last := len(out.agg) - 1
+			out.agg[last] += r.agg
+			if withAux {
+				out.aux[last] += r.aux
+			}
+			continue
+		}
+		out.keys = append(out.keys, r.vec)
+		out.agg = append(out.agg, r.agg)
+		if withAux {
+			out.aux = append(out.aux, r.aux)
+		}
+	}
+	return out
+}
+
+func FuzzShardMerge(f *testing.F) {
+	f.Add(uint16(0), []byte{})
+	f.Add(uint16(1), []byte{2, 3, 1, 2, 3, 2, 4, 5, 6, 3, 1, 1, 9})
+	f.Add(uint16(0x2ffe), []byte("two parts, colliding keys, colliding keys across parts"))
+	f.Add(uint16(0xffff), []byte{4, 7, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 7, 7, 7, 7, 7})
+	f.Add(uint16(0x1234), []byte{1, 6, 255, 254, 253, 252, 251, 250, 1, 2, 3, 4, 5, 6})
+
+	f.Fuzz(func(t *testing.T, shape uint16, data []byte) {
+		sp := decodeSpec(shape)
+		withAux := shape>>1&1 == 1
+		canon := shape&1 == 1
+		parts := decodeParts(data, sp, canon, withAux)
+		ctx := context.Background()
+
+		merged, err := mergeGroups(ctx, parts, sp, 2)
+		if err != nil {
+			if canon {
+				t.Fatalf("canonical parts rejected: %v", err)
+			}
+			if !errors.Is(err, errShardInvalid) {
+				t.Fatalf("raw parts rejected with a non-taxonomy error: %v", err)
+			}
+			return
+		}
+
+		// Whatever survived must be a well-formed combined table: strict
+		// ascending massaged order, lengths aligned.
+		if len(merged.agg) != len(merged.keys) || (merged.aux != nil && len(merged.aux) != len(merged.keys)) {
+			t.Fatalf("merged table misaligned: %d keys, %d agg, %d aux", len(merged.keys), len(merged.agg), len(merged.aux))
+		}
+		m := len(sp.order)
+		prev, cur := make([]uint64, m), make([]uint64, m)
+		for g, vec := range merged.keys {
+			sp.massage(vec, cur)
+			if g > 0 && compareVec(prev, cur) >= 0 {
+				t.Fatalf("merged group %d out of order", g)
+			}
+			prev, cur = cur, prev
+		}
+
+		if !canon {
+			return
+		}
+		want := referenceMerge(parts, sp, withAux)
+		if len(merged.keys) != len(want.keys) {
+			t.Fatalf("merged %d groups, reference has %d", len(merged.keys), len(want.keys))
+		}
+		for g := range want.keys {
+			if !sameClauseKey(merged.keys[g], want.keys[g]) || merged.agg[g] != want.agg[g] {
+				t.Fatalf("group %d = (%v, %d), reference (%v, %d)",
+					g, merged.keys[g], merged.agg[g], want.keys[g], want.agg[g])
+			}
+			if withAux && merged.aux[g] != want.aux[g] {
+				t.Fatalf("group %d aux = %d, reference %d", g, merged.aux[g], want.aux[g])
+			}
+		}
+
+		// Path equivalence: the packed-64 and wide lexicographic merges
+		// must order the same valid runs identically.
+		if sp.totalWidth() > 64 {
+			return
+		}
+		var keys []uint64
+		var vecs [][]uint64
+		runs := []int{0}
+		buf := make([]uint64, m)
+		for _, p := range parts {
+			for _, vec := range p.keys {
+				keys = append(keys, sp.pack(vec))
+				sp.massage(vec, buf)
+				vecs = append(vecs, append([]uint64(nil), buf...))
+			}
+			runs = append(runs, len(keys))
+		}
+		packed, err := mergeRows64(ctx, keys, runs, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := mergeWide(ctx, vecs, runs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(packed) != len(wide) {
+			t.Fatalf("packed merge has %d elements, wide %d", len(packed), len(wide))
+		}
+		for i := range packed {
+			if packed[i] != wide[i] {
+				t.Fatalf("flat order diverges at %d: packed %d, wide %d", i, packed[i], wide[i])
+			}
+		}
+	})
+}

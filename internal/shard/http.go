@@ -1,0 +1,121 @@
+// Wire surface of the coordinator: the same HTTP/JSON protocol as a
+// single mcsd (a client cannot tell a coordinator from a daemon), with
+// the coordinator's error taxonomy behind it — shard_unavailable rides
+// a 503 with Retry-After, a malformed shard response is a 502.
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// maxRequestBytes bounds a request body read, as on the single node.
+const maxRequestBytes = 1 << 20
+
+// Handler returns the coordinator's HTTP mux: the single-node endpoint
+// set, minus the admission/breaker readiness detail the coordinator
+// does not have (it admits nothing itself — the shards do).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", c.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", c.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /tables", c.handleTables)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /livez", c.handleLivez)
+	mux.HandleFunc("GET /readyz", c.handleHealthz)
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	req, err := server.ParseQueryRequest(body)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	id, err := c.Submit(*req)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	server.WriteJSON(w, http.StatusAccepted, map[string]string{"job_id": id})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := c.Status(r.PathValue("id"))
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := c.Result(r.PathValue("id"))
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, res)
+}
+
+func (c *Coordinator) handleTables(w http.ResponseWriter, _ *http.Request) {
+	server.WriteJSON(w, http.StatusOK, map[string][]string{"tables": c.cfg.Registry.Names()})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteJSON(w); err != nil {
+		// Headers are gone; nothing more to do than drop the conn.
+		return
+	}
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		server.WriteJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "shards": fmt.Sprintf("%d", len(c.cfg.Shards))})
+}
+
+// handleLivez is pure liveness, as on the single node.
+func (c *Coordinator) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	server.WriteJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// readBody reads at most maxRequestBytes of the request body.
+func readBody(r *http.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, maxRequestBytes)); err != nil {
+		return nil, fmt.Errorf("%w: %v", server.ErrInvalidRequest, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// writeError emits the single-node error body shape under the
+// coordinator's classification.
+func (c *Coordinator) writeError(w http.ResponseWriter, err error) {
+	status := c.statusFor(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	server.WriteJSON(w, status, map[string]any{
+		"error":     err.Error(),
+		"kind":      c.errorKind(err),
+		"retryable": c.retryable(err),
+	})
+}

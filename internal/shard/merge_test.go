@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestValidateGroupsRejects: every way a confused or truncated shard
+// response can be structurally wrong must fail with errShardInvalid
+// before its values reach the merge.
+func TestValidateGroupsRejects(t *testing.T) {
+	sp := mergeSpec{order: []int{0, 1}, widths: []int{4, 4}, desc: []bool{false, false}}
+	cases := []struct {
+		name string
+		p    groupsPart
+		ok   bool
+	}{
+		{name: "valid", ok: true,
+			p: groupsPart{keys: [][]uint64{{1, 2}, {2, 1}}, agg: []uint64{3, 4}}},
+		{name: "valid_empty", ok: true, p: groupsPart{}},
+		{name: "agg_length_mismatch",
+			p: groupsPart{keys: [][]uint64{{1, 2}}, agg: []uint64{3, 4}}},
+		{name: "aux_length_mismatch",
+			p: groupsPart{keys: [][]uint64{{1, 2}}, agg: []uint64{3}, aux: []uint64{5, 6}}},
+		{name: "wrong_key_arity",
+			p: groupsPart{keys: [][]uint64{{1, 2, 3}}, agg: []uint64{3}}},
+		{name: "code_exceeds_width",
+			p: groupsPart{keys: [][]uint64{{1, 16}}, agg: []uint64{3}}},
+		{name: "descending_keys",
+			p: groupsPart{keys: [][]uint64{{2, 0}, {1, 0}}, agg: []uint64{3, 4}}},
+		{name: "duplicate_adjacent_keys",
+			p: groupsPart{keys: [][]uint64{{1, 2}, {1, 2}}, agg: []uint64{3, 4}}},
+	}
+	for _, tc := range cases {
+		err := validateGroups(tc.p, sp)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && !errors.Is(err, errShardInvalid) {
+			t.Errorf("%s: err = %v, want errShardInvalid", tc.name, err)
+		}
+	}
+}
+
+// TestValidateGroupsDescOrder: the order check runs over MASSAGED keys,
+// so a descending sort column must arrive in descending raw order.
+func TestValidateGroupsDescOrder(t *testing.T) {
+	sp := mergeSpec{order: []int{0, 1}, widths: []int{4, 4}, desc: []bool{true, false}}
+	ok := groupsPart{keys: [][]uint64{{2, 0}, {1, 0}}, agg: []uint64{1, 1}}
+	if err := validateGroups(ok, sp); err != nil {
+		t.Errorf("descending raw order on a desc column rejected: %v", err)
+	}
+	bad := groupsPart{keys: [][]uint64{{1, 0}, {2, 0}}, agg: []uint64{1, 1}}
+	if err := validateGroups(bad, sp); !errors.Is(err, errShardInvalid) {
+		t.Errorf("ascending raw order on a desc column accepted: %v", err)
+	}
+}
+
+// TestMergeGroupsCombines: equal keys across shards collapse into one
+// group with summed primary and auxiliary aggregates, in global sort
+// order.
+func TestMergeGroupsCombines(t *testing.T) {
+	sp := mergeSpec{order: []int{0, 1}, widths: []int{4, 4}, desc: []bool{false, false}}
+	parts := []groupsPart{
+		{keys: [][]uint64{{1, 1}, {2, 2}}, agg: []uint64{2, 3}, aux: []uint64{10, 20}},
+		{keys: [][]uint64{{1, 1}, {3, 3}}, agg: []uint64{5, 7}, aux: []uint64{30, 40}},
+	}
+	m, err := mergeGroups(context.Background(), parts, sp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := [][]uint64{{1, 1}, {2, 2}, {3, 3}}
+	wantAgg := []uint64{7, 3, 7}
+	wantAux := []uint64{40, 20, 40}
+	if len(m.keys) != len(wantKeys) {
+		t.Fatalf("merged %d groups, want %d", len(m.keys), len(wantKeys))
+	}
+	for g := range wantKeys {
+		if !sameClauseKey(m.keys[g], wantKeys[g]) || m.agg[g] != wantAgg[g] || m.aux[g] != wantAux[g] {
+			t.Errorf("group %d = (%v, %d, %d), want (%v, %d, %d)",
+				g, m.keys[g], m.agg[g], m.aux[g], wantKeys[g], wantAgg[g], wantAux[g])
+		}
+	}
+}
+
+func TestMergeGroupsRejectsPartialAux(t *testing.T) {
+	sp := mergeSpec{order: []int{0}, widths: []int{4}, desc: []bool{false}}
+	parts := []groupsPart{
+		{keys: [][]uint64{{1}}, agg: []uint64{2}, aux: []uint64{10}},
+		{keys: [][]uint64{{2}}, agg: []uint64{3}},
+	}
+	if _, err := mergeGroups(context.Background(), parts, sp, 1); !errors.Is(err, errShardInvalid) {
+		t.Errorf("aux on one shard only: err = %v, want errShardInvalid", err)
+	}
+}
+
+// TestMergeWideMatchesPacked: the wide lexicographic fallback and the
+// packed-64 parallel path implement the same (key, run) order — run a
+// spec whose total width fits both, with heavy duplication so ties
+// cross runs, and require identical flat-index output, with and
+// without a limit cut.
+func TestMergeWideMatchesPacked(t *testing.T) {
+	sp := mergeSpec{order: []int{2, 0, 1}, widths: []int{9, 7, 5}, desc: []bool{false, true, false}}
+	rng := chaos.NewRand(42)
+	const runLen = 40
+	var vecsRaw [][]uint64
+	runs := []int{0}
+	for r := 0; r < 3; r++ {
+		run := make([][]uint64, runLen)
+		for i := range run {
+			// Domain 3 per column: most keys collide across runs.
+			run[i] = []uint64{rng.Uint64() % 3, rng.Uint64() % 3, rng.Uint64() % 3}
+		}
+		sort.SliceStable(run, func(a, b int) bool { return sp.pack(run[a]) < sp.pack(run[b]) })
+		vecsRaw = append(vecsRaw, run...)
+		runs = append(runs, len(vecsRaw))
+	}
+
+	keys := make([]uint64, len(vecsRaw))
+	massaged := make([][]uint64, len(vecsRaw))
+	buf := make([]uint64, len(sp.order))
+	for i, vec := range vecsRaw {
+		keys[i] = sp.pack(vec)
+		sp.massage(vec, buf)
+		massaged[i] = append([]uint64(nil), buf...)
+	}
+
+	ctx := context.Background()
+	for _, limit := range []int{0, 17} {
+		packed, err := mergeRows64(ctx, append([]uint64(nil), keys...), runs, limit, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := mergeWide(ctx, massaged, runs, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(packed) != len(wide) {
+			t.Fatalf("limit=%d: packed %d elements, wide %d", limit, len(packed), len(wide))
+		}
+		for i := range packed {
+			if packed[i] != wide[i] {
+				t.Fatalf("limit=%d: order diverges at %d: packed %d, wide %d", limit, i, packed[i], wide[i])
+			}
+		}
+		if limit > 0 && len(packed) != limit {
+			t.Errorf("limit=%d: got %d elements", limit, len(packed))
+		}
+	}
+}
+
+// TestMergeRows64LimitIsPrefix: the tie-extended cut trimmed to the
+// limit must equal the full merge's prefix — that equality is what lets
+// the coordinator merge per-shard pre-cut windows.
+func TestMergeRows64LimitIsPrefix(t *testing.T) {
+	rng := chaos.NewRand(7)
+	var keys []uint64
+	runs := []int{0}
+	for r := 0; r < 4; r++ {
+		run := make([]uint64, 33)
+		for i := range run {
+			run[i] = rng.Uint64() % 5
+		}
+		sort.Slice(run, func(a, b int) bool { return run[a] < run[b] })
+		keys = append(keys, run...)
+		runs = append(runs, len(keys))
+	}
+	ctx := context.Background()
+	full, err := mergeRows64(ctx, append([]uint64(nil), keys...), runs, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{1, 9, 50, len(keys), len(keys) + 10} {
+		cut, err := mergeRows64(ctx, append([]uint64(nil), keys...), runs, limit, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := limit
+		if wantLen > len(full) {
+			wantLen = len(full)
+		}
+		if len(cut) != wantLen {
+			t.Fatalf("limit=%d: got %d elements, want %d", limit, len(cut), wantLen)
+		}
+		for i := range cut {
+			if cut[i] != full[i] {
+				t.Fatalf("limit=%d: element %d is flat %d, full merge has %d", limit, i, cut[i], full[i])
+			}
+		}
+	}
+}
+
+func TestLocateFlat(t *testing.T) {
+	// Parts of sizes 3, 0, 4, 1 — the empty middle part must be skipped.
+	offsets := []int{0, 3, 3, 7, 8}
+	want := [][2]int{{0, 0}, {0, 1}, {0, 2}, {2, 0}, {2, 1}, {2, 2}, {2, 3}, {3, 0}}
+	for f, w := range want {
+		pi, li := locateFlat(offsets, uint32(f))
+		if pi != w[0] || li != w[1] {
+			t.Errorf("locateFlat(%d) = (%d,%d), want (%d,%d)", f, pi, li, w[0], w[1])
+		}
+	}
+}

@@ -1,0 +1,45 @@
+//go:build soak
+
+package shard
+
+// The cross-shard soak storm: the tier-1 shard storm's invariants —
+// zero leaks, typed failures only, retried successes byte-identical to
+// the fault-free engine oracle — run for 45 seconds with 16 concurrent
+// retrying clients over a 4-shard topology.
+//
+// Run it with:
+//
+//	go test -tags soak -race -run TestShardStormSoak -timeout 10m ./internal/shard/
+//
+// or `make chaos-soak`. Override the seed to reproduce a prior run:
+//
+//	go test -tags soak -run TestShardStormSoak -shard-chaos-seed 0xDEADBEEF ./internal/shard/
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+var shardSoakSeed = flag.Uint64("shard-chaos-seed", chaos.DefaultSeed, "storm seed for the shard soak run (logged; reuse to reproduce)")
+
+func TestShardStormSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard soak storm skipped in -short mode")
+	}
+	runShardStorm(t, shardStormParams{
+		shards:   4,
+		clients:  16,
+		duration: 45 * time.Second,
+		workers:  []int{1, 4, 8},
+		chaos: chaos.Config{
+			Seed:       *shardSoakSeed,
+			PanicProb:  0.005,
+			DelayProb:  0.02,
+			CancelProb: 0.01,
+			MaxDelay:   2 * time.Millisecond,
+		},
+	})
+}

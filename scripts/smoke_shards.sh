@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the sharded mcsd topology (docs/sharding.md):
+# build, start three shard daemons plus a coordinator over them plus one
+# unsharded daemon as the oracle, run the same query through both
+# fronts, and require byte-identical data fields. Then check the
+# coordinator's shard.* metrics moved, SIGTERM everything, and require
+# clean drains (exit 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+HOST="${MCSD_HOST:-127.0.0.1}"
+COORD_PORT="${MCSD_COORD_PORT:-18090}"
+FULL_PORT="${MCSD_FULL_PORT:-18094}"
+SHARD_PORTS=(18091 18092 18093)
+COORD="http://$HOST:$COORD_PORT"
+FULL="http://$HOST:$FULL_PORT"
+BIN="$(mktemp -d)/mcsd"
+LOGDIR="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -KILL "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$BIN" "$LOGDIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "smoke_shards: FAIL: $*" >&2
+  for log in "$LOGDIR"/*.log; do
+    echo "--- $log ---" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+# Every daemon generates the same deterministic table; the shards slice
+# it by -shard-index, the coordinator and the oracle keep it whole.
+TABLE_FLAGS=(-tables tpch -tablerows 8000 -seed 1 -model builtin -workers 2 -max-concurrent 2 -drain-timeout 20s)
+
+echo "smoke_shards: building mcsd"
+go build -o "$BIN" ./cmd/mcsd
+
+SHARD_URLS=""
+for i in 0 1 2; do
+  port=${SHARD_PORTS[$i]}
+  echo "smoke_shards: starting shard $i/3 on :$port"
+  "$BIN" -addr "$HOST:$port" "${TABLE_FLAGS[@]}" \
+    -shard-index "$i" -shard-count 3 >"$LOGDIR/shard$i.log" 2>&1 &
+  PIDS+=($!)
+  SHARD_URLS="${SHARD_URLS:+$SHARD_URLS,}http://$HOST:$port"
+done
+
+echo "smoke_shards: starting the unsharded oracle daemon on :$FULL_PORT"
+"$BIN" -addr "$HOST:$FULL_PORT" "${TABLE_FLAGS[@]}" >"$LOGDIR/full.log" 2>&1 &
+PIDS+=($!)
+
+echo "smoke_shards: starting the coordinator on :$COORD_PORT over $SHARD_URLS"
+"$BIN" -addr "$HOST:$COORD_PORT" "${TABLE_FLAGS[@]}" \
+  -shards "$SHARD_URLS" >"$LOGDIR/coord.log" 2>&1 &
+PIDS+=($!)
+
+wait_ready() {
+  local base=$1 name=$2
+  for _ in $(seq 1 100); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  fail "$name never became healthy at $base"
+}
+for i in 0 1 2; do wait_ready "http://$HOST:${SHARD_PORTS[$i]}" "shard $i"; done
+wait_ready "$FULL" "oracle daemon"
+wait_ready "$COORD" "coordinator"
+
+grep -q "shard 0/3 serves" "$LOGDIR/shard0.log" || fail "shard 0 did not log its range"
+grep -q "coordinating .* over 3 shards" "$LOGDIR/coord.log" || fail "coordinator did not log its topology"
+
+QUERY='{"table":"tpch_wide","kind":"groupby","sort_cols":[{"name":"p_brand"},{"name":"p_type"},{"name":"p_size"}],"filters":[{"col":"p_size","op":"neq","const":15}],"agg":{"kind":"count"},"order_by_agg":true,"workers":2}'
+
+run_query() {
+  local base=$1 job state
+  job=$(curl -fsS "$base/query" -d "$QUERY" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+  [[ -n "$job" ]] || fail "submit to $base returned no job_id"
+  for _ in $(seq 1 200); do
+    state=$(curl -fsS "$base/jobs/$job" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$state" in
+      done) curl -fsS "$base/jobs/$job/result"; return 0 ;;
+      failed) fail "job $job on $base failed: $(curl -fsS "$base/jobs/$job")" ;;
+    esac
+    sleep 0.1
+  done
+  fail "job $job on $base did not finish"
+}
+
+# canon keeps only the data fields (rows through row_oids) — job ids,
+# plans, and timings legitimately differ between the two fronts.
+canon() {
+  tr -d ' \n' | sed -e 's/.*"rows":/"rows":/' -e 's/,"workers":.*//' -e 's/,"plan":.*//'
+}
+
+echo "smoke_shards: querying the coordinator and the oracle daemon"
+GOT=$(run_query "$COORD" | canon)
+WANT=$(run_query "$FULL" | canon)
+[[ -n "$WANT" ]] || fail "oracle produced no data fields"
+if [[ "$GOT" != "$WANT" ]]; then
+  fail "coordinator result diverges from the unsharded daemon:
+  coordinator: $GOT
+  oracle:      $WANT"
+fi
+echo "smoke_shards: 3-shard result is byte-identical to the unsharded daemon"
+
+echo "smoke_shards: checking coordinator /metrics for shard counters"
+METRICS=$(curl -fsS "$COORD/metrics" | tr -d ' \n')
+FANOUT=$(printf '%s' "$METRICS" | sed -n 's/.*"name":"shard\.fanout_subqueries","value":\([0-9]*\).*/\1/p')
+[[ -n "$FANOUT" && "$FANOUT" -ge 3 ]] || fail "shard.fanout_subqueries=$FANOUT, want >= 3"
+
+echo "smoke_shards: draining everything with SIGTERM"
+for pid in "${PIDS[@]}"; do kill -TERM "$pid"; done
+for pid in "${PIDS[@]}"; do
+  if ! wait "$pid"; then fail "a daemon exited non-zero on SIGTERM"; fi
+done
+PIDS=()
+for log in "$LOGDIR"/*.log; do
+  grep -q "drained cleanly" "$log" || fail "no clean-drain message in $log"
+done
+
+echo "smoke_shards: PASS"
